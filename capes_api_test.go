@@ -1,0 +1,126 @@
+package capes_test
+
+import (
+	"testing"
+
+	"capes"
+)
+
+// The root package is the public facade; these tests pin its surface.
+
+func TestFacadeHyperparameters(t *testing.T) {
+	h := capes.DefaultHyperparameters()
+	if h.MinibatchSize != 32 || h.DiscountRate != 0.99 {
+		t.Fatal("facade hyperparameters do not match Table 1")
+	}
+}
+
+func TestFacadeActionSpace(t *testing.T) {
+	space, err := capes.NewActionSpace(capes.LustreTunables()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.NumActions() != 5 {
+		t.Fatalf("NumActions = %d", space.NumActions())
+	}
+	if capes.NullAction != 0 {
+		t.Fatal("NullAction must be 0")
+	}
+}
+
+func TestFacadeEngineOnCustomSystem(t *testing.T) {
+	space, err := capes.NewActionSpace(
+		capes.Tunable{Name: "knob", Min: 0, Max: 10, Step: 1, Default: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := capes.DefaultHyperparameters()
+	h.TicksPerObservation = 2
+	h.MinibatchSize = 4
+	h.ExplorationPeriod = 50
+	knob := 5.0
+	eng, err := capes.NewEngine(capes.Config{
+		Hyper:      h,
+		Space:      space,
+		Objective:  capes.SumIndices(0),
+		RewardMode: capes.RewardDelta,
+		Checker:    capes.RangeChecker(space.Tunables),
+		FrameWidth: 2,
+		Seed:       1,
+		Training:   true,
+		Tuning:     true,
+	},
+		func() (capes.Frame, error) { return capes.Frame{knob / 10, 1}, nil },
+		func(vals []float64) error { knob = vals[0]; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 200; tick++ {
+		eng.Tick(tick)
+	}
+	st := eng.Stats()
+	if st.ReplayRecords != 200 || st.TrainSteps == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if knob < 0 || knob > 10 {
+		t.Fatalf("knob driven out of range: %v", knob)
+	}
+}
+
+func TestFacadeSimulatedCluster(t *testing.T) {
+	p := capes.DefaultClusterParams()
+	p.Clients, p.Servers = 2, 1
+	cluster, err := capes.NewCluster(p, capes.NewRandRW(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 20; tick++ {
+		cluster.Tick(tick)
+	}
+	if cluster.AggregateThroughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+	if cluster.FrameWidth() != 2*capes.NumClientPIs {
+		t.Fatalf("frame width = %d", cluster.FrameWidth())
+	}
+}
+
+func TestFacadeExperimentEnv(t *testing.T) {
+	o := capes.DefaultExperimentOptions()
+	o.Scale = 0.002
+	o.Clients, o.Servers = 2, 1
+	o.TicksPerObservation = 2
+	env, err := capes.NewEnv(o, capes.NewSeqWrite(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Train(1)
+	if env.Engine.Stats().ReplayRecords == 0 {
+		t.Fatal("training recorded nothing")
+	}
+	if po := capes.PaperExperimentOptions(); po.Scale != 1.0 {
+		t.Fatal("paper options wrong")
+	}
+}
+
+func TestFacadeCheckersAndObjectives(t *testing.T) {
+	if err := capes.NoopChecker([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	chain := capes.ChainCheckers(capes.MinimumChecker(0, 2))
+	if err := chain([]float64{1}); err == nil {
+		t.Fatal("chain must veto")
+	}
+	obj, err := capes.WeightedObjective(
+		[]capes.Objective{capes.SumIndices(0)}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj(capes.Frame{3}) != 6 {
+		t.Fatal("weighted objective wrong")
+	}
+	tp := capes.ThroughputObjective(1, 2, 0, 1)
+	if tp(capes.Frame{1, 2}) != 3 {
+		t.Fatal("throughput objective wrong")
+	}
+}

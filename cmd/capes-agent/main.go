@@ -1,0 +1,123 @@
+// capes-agent is the generic node-side Monitoring/Control Agent for
+// deployments whose target system is not the built-in simulator. Like
+// the released artifact's conf.py adapter functions, it delegates
+// observation and control to user-supplied commands:
+//
+//   - every sampling tick it runs -collect-cmd, which must print one
+//     float per performance indicator (whitespace-separated) to stdout;
+//   - when an action arrives it runs -control-cmd with the parameter
+//     values appended as arguments.
+//
+// Usage:
+//
+//	capes-agent -daemon 127.0.0.1:7070 -node 0 -pis 10 \
+//	    -collect-cmd ./collect.sh -control-cmd ./apply.sh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"capes/internal/agent"
+)
+
+func collect(cmdline string, numPIs int) ([]float64, error) {
+	parts := strings.Fields(cmdline)
+	out, err := exec.Command(parts[0], parts[1:]...).Output()
+	if err != nil {
+		return nil, fmt.Errorf("collect command: %w", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) != numPIs {
+		return nil, fmt.Errorf("collect command printed %d values, want %d", len(fields), numPIs)
+	}
+	pis := make([]float64, numPIs)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("collect value %d: %w", i, err)
+		}
+		pis[i] = v
+	}
+	return pis, nil
+}
+
+func control(cmdline string, values []float64) error {
+	parts := strings.Fields(cmdline)
+	args := parts[1:]
+	for _, v := range values {
+		args = append(args, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return exec.Command(parts[0], args...).Run()
+}
+
+func main() {
+	var (
+		daemon     = flag.String("daemon", "127.0.0.1:7070", "capesd address")
+		node       = flag.Int("node", 0, "node id")
+		pis        = flag.Int("pis", 10, "performance indicators per tick")
+		collectCmd = flag.String("collect-cmd", "", "command printing one float per PI")
+		controlCmd = flag.String("control-cmd", "", "command receiving parameter values as args")
+		interval   = flag.Duration("interval", time.Second, "sampling tick length")
+	)
+	flag.Parse()
+	if *collectCmd == "" {
+		fatal(fmt.Errorf("-collect-cmd is required"))
+	}
+	role := "monitor"
+	if *controlCmd != "" {
+		role = "monitor+control"
+	}
+	a, err := agent.Dial(*daemon, *node, *pis, role)
+	if err != nil {
+		fatal(err)
+	}
+	defer a.Close()
+	fmt.Printf("capes-agent: node %d connected to %s as %s\n", *node, *daemon, role)
+
+	if *controlCmd != "" {
+		go func() {
+			for act := range a.Actions() {
+				if err := control(*controlCmd, act.Values); err != nil {
+					fmt.Fprintln(os.Stderr, "capes-agent: control:", err)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	var tick int64
+	for {
+		select {
+		case <-sig:
+			bytes, msgs := a.TrafficStats()
+			fmt.Printf("capes-agent: stopping after %d ticks (%d msgs, %d bytes)\n", tick, msgs, bytes)
+			return
+		case <-ticker.C:
+			tick++
+			vals, err := collect(*collectCmd, *pis)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "capes-agent:", err)
+				continue // the Replay DB tolerates missing ticks (§3.5)
+			}
+			if err := a.SendIndicators(tick, vals); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capes-agent:", err)
+	os.Exit(1)
+}

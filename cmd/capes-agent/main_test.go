@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCollectParsesCommandOutput(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("shell helpers are POSIX")
+	}
+	vals, err := collect("echo 1.5 2 -3e-1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 1.5 || vals[1] != 2 || vals[2] != -0.3 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestCollectRejectsWrongCount(t *testing.T) {
+	if _, err := collect("echo 1 2", 3); err == nil {
+		t.Fatal("expected count error")
+	}
+}
+
+func TestCollectRejectsNonNumeric(t *testing.T) {
+	if _, err := collect("echo a b", 2); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCollectCommandFailure(t *testing.T) {
+	if _, err := collect("false", 1); err == nil {
+		t.Fatal("expected command error")
+	}
+}
+
+func TestControlPassesValuesAsArgs(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "applied")
+	script := filepath.Join(dir, "apply.sh")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\necho \"$@\" > "+outFile+"\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := control(script, []float64{16, 500.5}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(got)) != "16 500.5" {
+		t.Fatalf("applied args = %q", got)
+	}
+}

@@ -1,0 +1,182 @@
+// capes-bench regenerates every table and figure of the paper's
+// evaluation section against the simulated cluster. Each experiment
+// prints rows with the same schema the paper reports.
+//
+// Usage:
+//
+//	capes-bench -experiment all -scale 0.05
+//	capes-bench -experiment fig2 -scale 1.0        # full 12/24 h sessions
+//	capes-bench -experiment table2
+//
+// Experiments: table1, fig2, fig3, fig4, fig5, fig6, table2, comparison,
+// ssd, hypersearch (by name only), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"capes/internal/capes"
+	"capes/internal/experiment"
+	"capes/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which experiment to run (table1|fig2|fig3|fig4|fig5|fig6|table2|comparison|ssd|hypersearch|all)")
+		scale   = flag.Float64("scale", 0.05, "session-duration scale (1.0 = the paper's 12/24/70 h schedule)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		clients = flag.Int("clients", 5, "simulated client nodes")
+		servers = flag.Int("servers", 4, "simulated server nodes")
+		obs     = flag.Int("obs-ticks", 5, "sampling ticks per observation (paper: 10)")
+		outPath = flag.String("out", "", "also append output to this file")
+	)
+	flag.Parse()
+
+	o := experiment.DefaultOptions()
+	o.Scale = *scale
+	o.Seed = *seed
+	o.Clients = *clients
+	o.Servers = *servers
+	o.TicksPerObservation = *obs
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(out, "capes-bench: scale=%.3g clients=%d servers=%d obs-ticks=%d seed=%d\n",
+		o.Scale, o.Clients, o.Servers, o.TicksPerObservation, o.Seed)
+
+	want := strings.Split(*exp, ",")
+	has := func(name string) bool {
+		for _, w := range want {
+			if w == name || w == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	ran := 0
+	run := func(name string, f func() error) {
+		if !has(name) {
+			return
+		}
+		ran++
+		start := time.Now()
+		fmt.Fprintf(out, "\n--- %s ---\n", name)
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Fprintf(out, "(%s completed in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() error {
+		experiment.WriteTable1(out, capes.DefaultHyperparameters())
+		return nil
+	})
+	run("fig2", func() error {
+		rows, err := experiment.RunFig2(o)
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig2(out, rows)
+		return nil
+	})
+	run("fig3", func() error {
+		rows, err := experiment.RunFig3(o)
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig3(out, rows)
+		return nil
+	})
+	run("fig4", func() error {
+		sessions, err := experiment.RunFig4(o)
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig4(out, sessions)
+		return nil
+	})
+	run("fig5", func() error {
+		res, err := experiment.RunFig5(o)
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig5(out, res)
+		return nil
+	})
+	run("fig6", func() error {
+		res, err := experiment.RunFig6(o)
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig6(out, res)
+		return nil
+	})
+	run("table2", func() error {
+		res, err := experiment.RunTable2(o)
+		if err != nil {
+			return err
+		}
+		experiment.WriteTable2(out, res)
+		return nil
+	})
+	run("comparison", func() error {
+		rows, err := experiment.RunComparison(o, func(seed int64) workload.Generator {
+			return workload.NewRandRW(1, 9, seed)
+		}, 12)
+		if err != nil {
+			return err
+		}
+		experiment.WriteComparison(out, rows)
+		return nil
+	})
+	run("ssd", func() error {
+		res, err := experiment.RunSSDControl(o)
+		if err != nil {
+			return err
+		}
+		experiment.WriteSSDControl(out, res)
+		return nil
+	})
+	// The grid search is gridpoints × seeds full sessions; only run it
+	// when asked for by name.
+	if hasExplicit(want, "hypersearch") {
+		ran++
+		fmt.Fprintln(out, "\n--- hypersearch ---")
+		res, err := experiment.RunHypersearch(o, nil, []int64{o.Seed}, 6)
+		if err != nil {
+			fatal(err)
+		}
+		experiment.WriteHypersearch(out, res)
+	}
+
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func hasExplicit(want []string, name string) bool {
+	for _, w := range want {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capes-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// capes-inspect examines CAPES artifacts on disk: model checkpoints
+// (*.ckpt), Replay-DB snapshots and session directories, printing their
+// shapes and contents — the operational counterpart to sqlite3/strings
+// on the original prototype's files.
+//
+// Usage:
+//
+//	capes-inspect model.ckpt
+//	capes-inspect replay.db
+//	capes-inspect /var/lib/capes/session
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"capes/internal/nn"
+	"capes/internal/replay"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: capes-inspect <model.ckpt | replay.db | session-dir>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	info, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	if info.IsDir() {
+		inspectSession(path)
+		return
+	}
+	// Try model first, then replay snapshot.
+	if m, err := nn.LoadFile(path); err == nil {
+		inspectModel(path, m)
+		return
+	}
+	if db, err := replay.LoadFile(path); err == nil {
+		inspectReplay(path, db)
+		return
+	}
+	fatal(fmt.Errorf("%s is neither a model checkpoint nor a replay snapshot", path))
+}
+
+func inspectModel(path string, m *nn.MLP) {
+	fmt.Printf("%s: CAPES DNN checkpoint\n", path)
+	fmt.Printf("  layer sizes:   %v\n", m.Sizes)
+	fmt.Printf("  activation:    %s\n", m.Activation)
+	fmt.Printf("  parameters:    %d (%.2f MB in memory)\n", m.NumParams(), float64(m.Bytes())/1e6)
+	if n, err := m.CheckpointBytes(); err == nil {
+		fmt.Printf("  on disk:       %.2f MB (compressed)\n", float64(n)/1e6)
+	}
+	if err := m.CheckFinite(); err != nil {
+		fmt.Printf("  WARNING:       %v\n", err)
+	} else {
+		fmt.Printf("  health:        all parameters finite\n")
+	}
+}
+
+func inspectReplay(path string, db *replay.DB) {
+	cfg := db.Config()
+	lo, hi := db.Bounds()
+	fmt.Printf("%s: CAPES Replay DB snapshot\n", path)
+	fmt.Printf("  records:       %d (ticks %d … %d)\n", db.Len(), lo, hi)
+	fmt.Printf("  frame width:   %d PIs\n", cfg.FrameWidth)
+	fmt.Printf("  stack ticks:   %d (observation size %d)\n", cfg.StackTicks, db.ObservationWidth())
+	fmt.Printf("  missing tol.:  %.0f%%\n", cfg.MissingTolerance*100)
+	fmt.Printf("  memory:        %.2f MB\n", float64(db.MemoryBytes())/1e6)
+	// Coverage: fraction of the tick range that has frames and actions.
+	if hi > lo {
+		frames, actions := 0, 0
+		for t := lo; t <= hi; t++ {
+			if _, ok := db.FrameAt(t); ok {
+				frames++
+			}
+			if _, ok := db.ActionAt(t); ok {
+				actions++
+			}
+		}
+		span := float64(hi - lo + 1)
+		fmt.Printf("  coverage:      %.1f%% frames, %.1f%% actions\n",
+			100*float64(frames)/span, 100*float64(actions)/span)
+	}
+}
+
+func inspectSession(dir string) {
+	fmt.Printf("%s: CAPES session directory\n", dir)
+	manifest := filepath.Join(dir, "session.json")
+	if buf, err := os.ReadFile(manifest); err == nil {
+		var m map[string]any
+		if json.Unmarshal(buf, &m) == nil {
+			fmt.Printf("  manifest:      %v\n", compactJSON(m))
+		}
+	}
+	if m, err := nn.LoadFile(filepath.Join(dir, "model.ckpt")); err == nil {
+		fmt.Println()
+		inspectModel(filepath.Join(dir, "model.ckpt"), m)
+	}
+	if db, err := replay.LoadFile(filepath.Join(dir, "replay.db")); err == nil {
+		fmt.Println()
+		inspectReplay(filepath.Join(dir, "replay.db"), db)
+	}
+}
+
+func compactJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprint(v)
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capes-inspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"capes/internal/nn"
+	"capes/internal/replay"
+)
+
+func TestInspectorsDoNotPanic(t *testing.T) {
+	dir := t.TempDir()
+
+	m := nn.NewCAPESNetwork(rand.New(rand.NewSource(1)), 8, 3)
+	modelPath := filepath.Join(dir, "model.ckpt")
+	if err := m.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.LoadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inspectModel(modelPath, loaded)
+
+	db, err := replay.New(replay.Config{FrameWidth: 2, StackTicks: 2, MissingTolerance: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(0); tick < 10; tick++ {
+		db.PutFrame(tick, replay.Frame{1, 2})
+		db.PutAction(tick, 1)
+	}
+	dbPath := filepath.Join(dir, "replay.db")
+	if err := db.SaveFile(dbPath); err != nil {
+		t.Fatal(err)
+	}
+	loadedDB, err := replay.LoadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inspectReplay(dbPath, loadedDB)
+
+	inspectSession(dir) // dir contains model.ckpt + replay.db, no manifest
+}
+
+func TestCompactJSON(t *testing.T) {
+	if compactJSON(map[string]int{"a": 1}) != `{"a":1}` {
+		t.Fatal("compactJSON wrong")
+	}
+	if compactJSON(func() {}) == "" {
+		t.Fatal("unmarshalable value must still render")
+	}
+}

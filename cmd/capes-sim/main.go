@@ -1,0 +1,143 @@
+// capes-sim runs the simulated Lustre-like cluster as a standalone
+// target system: it advances the cluster on a wall-clock-driven virtual
+// clock and attaches one Monitoring/Control Agent per simulated client,
+// all connecting to a capesd Interface Daemon. Together with capesd this
+// demonstrates the full distributed deployment of Figure 1 on localhost:
+//
+//	capesd    -listen 127.0.0.1:7070 -clients 5 &
+//	capes-sim -daemon 127.0.0.1:7070 -workload randrw-1:9 -tick-ms 5
+//
+// -tick-ms compresses time: each real 5 ms is one simulated second.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"capes/internal/agent"
+	"capes/internal/storesim"
+	"capes/internal/workload"
+)
+
+func parseWorkload(name string, seed int64) (workload.Generator, error) {
+	switch {
+	case strings.HasPrefix(name, "randrw-"):
+		var r, w int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(name, "randrw-"), "%d:%d", &r, &w); err != nil {
+			return nil, fmt.Errorf("bad randrw ratio %q (want e.g. randrw-1:9)", name)
+		}
+		return workload.NewRandRW(r, w, seed), nil
+	case name == "fileserver":
+		return workload.NewFileserver(32, seed), nil
+	case name == "seqwrite":
+		return workload.NewSeqWrite(5, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func main() {
+	var (
+		daemon  = flag.String("daemon", "127.0.0.1:7070", "capesd address")
+		wl      = flag.String("workload", "randrw-1:9", "workload (randrw-R:W | fileserver | seqwrite)")
+		clients = flag.Int("clients", 5, "simulated clients")
+		servers = flag.Int("servers", 4, "simulated servers")
+		tickMs  = flag.Int("tick-ms", 10, "real milliseconds per simulated second")
+		ticks   = flag.Int64("ticks", 0, "stop after this many ticks (0 = run until signal)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		report  = flag.Int64("report-every", 600, "print throughput every N ticks")
+	)
+	flag.Parse()
+
+	gen, err := parseWorkload(*wl, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	p := storesim.DefaultParams()
+	p.Clients = *clients
+	p.Servers = *servers
+	p.Seed = *seed
+	cluster, err := storesim.New(p, gen)
+	if err != nil {
+		fatal(err)
+	}
+
+	// One agent per simulated client; client 0 doubles as the control
+	// agent that applies broadcast parameter changes cluster-wide (the
+	// evaluation tunes all clients to the same values).
+	agents := make([]*agent.NodeAgent, *clients)
+	for i := 0; i < *clients; i++ {
+		role := "monitor"
+		if i == 0 {
+			role = "monitor+control"
+		}
+		a, err := agent.Dial(*daemon, i, storesim.NumClientPIs, role)
+		if err != nil {
+			fatal(fmt.Errorf("connecting node %d to %s: %w", i, *daemon, err))
+		}
+		defer a.Close()
+		agents[i] = a
+	}
+	fmt.Printf("capes-sim: %d clients connected to %s, workload %s\n", *clients, *daemon, *wl)
+
+	// Apply actions from capesd as they arrive.
+	go func() {
+		for act := range agents[0].Actions() {
+			if len(act.Values) >= 2 {
+				cluster.SetAllWindows(act.Values[0])
+				cluster.SetAllRateLimits(act.Values[1])
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(time.Duration(*tickMs) * time.Millisecond)
+	defer ticker.Stop()
+
+	pis := make([]float64, storesim.NumClientPIs)
+	var tick int64
+	var sumTput float64
+	for {
+		select {
+		case <-sig:
+			fmt.Printf("capes-sim: stopped at tick %d\n", tick)
+			return
+		case <-ticker.C:
+			tick++
+			cluster.Tick(tick)
+			for i, a := range agents {
+				cluster.ClientPIs(i, pis)
+				if err := a.SendIndicators(tick, pis); err != nil {
+					fatal(fmt.Errorf("node %d send: %w", i, err))
+				}
+			}
+			sumTput += cluster.AggregateThroughput()
+			if *report > 0 && tick%*report == 0 {
+				bytes, msgs := agents[0].TrafficStats()
+				avg := int64(0)
+				if msgs > 0 {
+					avg = bytes / msgs
+				}
+				fmt.Printf("capes-sim: tick %d  window=%.0f rate=%.0f  tput=%.2f MB/s (avg %.2f)  msg=%d B\n",
+					tick, cluster.Window(0), cluster.RateLimit(0),
+					cluster.AggregateThroughput()/1e6, sumTput/float64(tick)/1e6, avg)
+			}
+			if *ticks > 0 && tick >= *ticks {
+				fmt.Printf("capes-sim: done after %d ticks, mean throughput %.2f MB/s\n",
+					tick, sumTput/float64(tick)/1e6)
+				return
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capes-sim:", err)
+	os.Exit(1)
+}

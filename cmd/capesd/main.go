@@ -1,0 +1,132 @@
+// capesd is the CAPES control node: the Interface Daemon plus the DRL
+// engine (Figure 1). It listens for Monitoring Agents (see
+// cmd/capes-agent and cmd/capes-sim), relays their performance
+// indicators into the Replay DB, trains the deep Q-network, and
+// broadcasts parameter-change actions to Control Agents.
+//
+// The engine advances one tick per fully assembled cluster frame, so
+// time is driven by the agents' sampling cadence — real time on a real
+// deployment, accelerated time against cmd/capes-sim.
+//
+// Usage:
+//
+//	capesd -listen :7070 -clients 5 -session /var/lib/capes/session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"capes/internal/agent"
+	"capes/internal/capes"
+	"capes/internal/replay"
+	"capes/internal/storesim"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "address to listen for agents")
+		clients  = flag.Int("clients", 5, "number of monitored client nodes")
+		obsTicks = flag.Int("obs-ticks", 5, "sampling ticks per observation")
+		session  = flag.String("session", "", "session directory for checkpoint save/restore")
+		noTune   = flag.Bool("monitor-only", false, "collect and train but never issue actions")
+		exploit  = flag.Bool("exploit", false, "greedy policy, no training (measured tuning phase)")
+	)
+	flag.Parse()
+
+	frameWidth := *clients * storesim.NumClientPIs
+	space, err := capes.NewActionSpace(capes.LustreTunables()...)
+	if err != nil {
+		fatal(err)
+	}
+
+	hyper := capes.DefaultHyperparameters()
+	hyper.TicksPerObservation = *obsTicks
+
+	// Mailbox between the daemon's frame-assembly callback and the
+	// engine's Collector.
+	var mu sync.Mutex
+	var latest replay.Frame
+
+	var d *agent.Daemon
+	cfg := capes.Config{
+		Hyper:      hyper,
+		Space:      space,
+		Objective:  capes.ThroughputObjective(*clients, storesim.NumClientPIs, 2, 3),
+		RewardMode: capes.RewardDelta,
+		FrameWidth: frameWidth,
+		Seed:       1,
+		Training:   !*exploit,
+		Tuning:     !*noTune,
+	}
+	var eng *capes.Engine
+	eng, err = capes.NewEngine(cfg,
+		func() (replay.Frame, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if latest == nil {
+				return nil, fmt.Errorf("no frame yet")
+			}
+			return latest, nil
+		},
+		func(vals []float64) error {
+			if d == nil {
+				return fmt.Errorf("daemon not ready")
+			}
+			d.BroadcastAction(0, eng.LastAction(), vals)
+			return nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+	if *exploit {
+		eng.SetExploit(true)
+	}
+	if *session != "" {
+		if err := eng.RestoreSession(*session); err == nil {
+			fmt.Println("capesd: restored session from", *session)
+		}
+	}
+
+	d, err = agent.NewDaemon(*listen, *clients, storesim.NumClientPIs,
+		func(tick int64, frame []float64) {
+			mu.Lock()
+			latest = frame
+			mu.Unlock()
+			eng.Tick(tick)
+		},
+		func(tick int64, name string) {
+			fmt.Printf("capesd: workload change to %q at tick %d, bumping epsilon\n", name, tick)
+			eng.NotifyWorkloadChange(tick)
+		})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("capesd: listening on %s for %d clients (%d PIs each)\n",
+		d.Addr(), *clients, storesim.NumClientPIs)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+
+	if *session != "" {
+		if err := eng.SaveSession(*session); err != nil {
+			fmt.Fprintln(os.Stderr, "capesd: checkpoint failed:", err)
+		} else {
+			fmt.Println("capesd: session saved to", *session)
+		}
+	}
+	st := eng.Stats()
+	fmt.Printf("capesd: shutting down (train steps %d, replay records %d, vetoes %d)\n",
+		st.TrainSteps, st.ReplayRecords, st.Vetoes)
+	d.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capesd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Custom: tune a user-defined system through the Collector/Controller
+// adapter interface — the artifact's promise that CAPES "can be used to
+// tune virtually any parameters as long as an adapter function is
+// provided" (§A.1). The target here is a toy web server model with two
+// knobs (worker threads and batch size) whose latency-vs-throughput
+// surface has an interior optimum; CAPES only ever sees the adapter
+// functions, never the model. The example also demonstrates
+// multi-objective tuning (§6): the objective combines throughput with a
+// latency penalty via WeightedObjective.
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"capes"
+)
+
+// toyServer is the target system: requests/s and latency as functions of
+// worker count and batch size, with noise. Optimal near workers=24,
+// batch=8; defaults are pessimal (workers=4, batch=1).
+type toyServer struct {
+	workers float64
+	batch   float64
+	rng     *rand.Rand
+
+	throughput float64
+	latencyMs  float64
+}
+
+func (s *toyServer) step() {
+	// Throughput rises with workers until contention; batching amortizes
+	// overhead but inflates latency.
+	contention := 1 + math.Pow(s.workers/32, 3)
+	base := 1000 * s.workers / contention * (1 + 0.4*math.Log1p(s.batch))
+	s.throughput = base * (1 + s.rng.NormFloat64()*0.05)
+	s.latencyMs = (2 + s.batch*0.8) * contention * (1 + s.rng.NormFloat64()*0.05)
+}
+
+func main() {
+	ticks := flag.Int64("ticks", 8000, "training ticks")
+	flag.Parse()
+
+	srv := &toyServer{workers: 4, batch: 1, rng: rand.New(rand.NewSource(5))}
+	srv.step()
+
+	space, err := capes.NewActionSpace(
+		capes.Tunable{Name: "workers", Min: 1, Max: 64, Step: 2, Default: 4},
+		capes.Tunable{Name: "batch_size", Min: 1, Max: 32, Step: 1, Default: 1},
+	)
+	check(err)
+
+	// Two performance indicators per tick: normalized throughput and
+	// latency, plus the two knob values — exactly what a Monitoring
+	// Agent adapter would report.
+	const frameWidth = 4
+	collector := func() (capes.Frame, error) {
+		return capes.Frame{
+			srv.throughput / 50000,
+			srv.latencyMs / 100,
+			srv.workers / 64,
+			srv.batch / 32,
+		}, nil
+	}
+	controller := func(vals []float64) error {
+		srv.workers, srv.batch = vals[0], vals[1]
+		return nil
+	}
+
+	// Multi-objective: maximize throughput, penalize latency.
+	tput := capes.SumIndices(0)
+	lat := capes.SumIndices(1)
+	objective, err := capes.WeightedObjective(
+		[]capes.Objective{tput, lat}, []float64{1.0, -2.0})
+	check(err)
+
+	hyper := capes.DefaultHyperparameters()
+	hyper.TicksPerObservation = 4
+	hyper.ExplorationPeriod = *ticks / 2
+	hyper.AdamLearningRate = 1e-3
+
+	eng, err := capes.NewEngine(capes.Config{
+		Hyper:      hyper,
+		Space:      space,
+		Objective:  objective,
+		RewardMode: capes.RewardDelta,
+		Checker:    capes.RangeChecker(space.Tunables),
+		FrameWidth: frameWidth,
+		Seed:       7,
+		Training:   true,
+		Tuning:     true,
+	}, collector, controller)
+	check(err)
+
+	fmt.Printf("custom: defaults   workers=%.0f batch=%.0f  tput=%.0f req/s  lat=%.1f ms\n",
+		srv.workers, srv.batch, srv.throughput, srv.latencyMs)
+
+	for tick := int64(1); tick <= *ticks; tick++ {
+		srv.step()
+		eng.Tick(tick)
+	}
+
+	// Freeze and evaluate the greedy policy.
+	eng.SetTraining(false)
+	eng.SetExploit(true)
+	var tputSum, latSum float64
+	const evalTicks = 400
+	for tick := *ticks + 1; tick <= *ticks+evalTicks; tick++ {
+		srv.step()
+		eng.Tick(tick)
+		tputSum += srv.throughput
+		latSum += srv.latencyMs
+	}
+	vals := eng.CurrentValues()
+	fmt.Printf("custom: tuned      workers=%.0f batch=%.0f  tput=%.0f req/s  lat=%.1f ms\n",
+		vals[0], vals[1], tputSum/evalTicks, latSum/evalTicks)
+	fmt.Printf("custom: engine saw only the adapter functions — no model of the server\n")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,339 @@
+// Package agent implements the distributed deployment of Figure 1: the
+// Interface Daemon (a TCP server that receives performance indicators
+// from Monitoring Agents, reassembles cluster-wide frames, and broadcasts
+// actions) and the node-side Monitoring/Control Agent client. The
+// in-process experiments do not need these; they exist so the system can
+// be deployed as separate processes (cmd/capesd, cmd/capes-agent,
+// cmd/capes-sim) exactly as the paper describes.
+package agent
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"capes/internal/wire"
+)
+
+// FrameSink receives reassembled cluster frames: the concatenated PI
+// vectors of all nodes for one sampling tick.
+type FrameSink func(tick int64, frame []float64)
+
+// Daemon is the Interface Daemon: the single writer in front of the
+// Replay DB and the broadcast point for actions (§3.3).
+type Daemon struct {
+	ln         net.Listener
+	nodes      int
+	pisPerNode int
+	onFrame    FrameSink
+	onChange   func(tick int64, name string)
+
+	mu       sync.Mutex
+	decoders map[int]*wire.DiffDecoder
+	latest   map[int][]float64 // most recent full PI vector per node
+	seen     map[int64]map[int]bool
+	controls map[int]net.Conn // control-agent connections by node
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewDaemon starts an Interface Daemon listening on addr (use
+// "127.0.0.1:0" for tests). onChange may be nil.
+func NewDaemon(addr string, nodes, pisPerNode int, onFrame FrameSink, onChange func(int64, string)) (*Daemon, error) {
+	if nodes <= 0 || pisPerNode <= 0 {
+		return nil, fmt.Errorf("agent: nodes and pisPerNode must be positive")
+	}
+	if onFrame == nil {
+		return nil, fmt.Errorf("agent: onFrame sink is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		ln:         ln,
+		nodes:      nodes,
+		pisPerNode: pisPerNode,
+		onFrame:    onFrame,
+		onChange:   onChange,
+		decoders:   make(map[int]*wire.DiffDecoder),
+		latest:     make(map[int][]float64),
+		seen:       make(map[int64]map[int]bool),
+		controls:   make(map[int]net.Conn),
+	}
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, nil
+}
+
+// Addr returns the daemon's listen address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.wg.Add(1)
+		go d.serveConn(conn)
+	}
+}
+
+func (d *Daemon) serveConn(conn net.Conn) {
+	defer d.wg.Done()
+	defer conn.Close()
+	// First message must be Hello.
+	env, err := wire.ReadMsg(conn)
+	if err != nil || env.Type != wire.MsgHello || env.Hello == nil {
+		return
+	}
+	h := env.Hello
+	if h.NumPIs != d.pisPerNode || h.NodeID < 0 || h.NodeID >= d.nodes {
+		wire.WriteMsg(conn, &wire.Envelope{Type: wire.MsgAck, Ack: &wire.Ack{
+			NodeID: h.NodeID, OK: false,
+			Error: fmt.Sprintf("bad registration: node %d, %d PIs", h.NodeID, h.NumPIs),
+		}})
+		return
+	}
+	d.mu.Lock()
+	if d.decoders[h.NodeID] == nil {
+		d.decoders[h.NodeID] = wire.NewDiffDecoder(d.pisPerNode)
+	}
+	if h.Role == "control" || h.Role == "monitor+control" {
+		d.controls[h.NodeID] = conn
+	}
+	d.mu.Unlock()
+	wire.WriteMsg(conn, &wire.Envelope{Type: wire.MsgAck, Ack: &wire.Ack{NodeID: h.NodeID, OK: true}})
+
+	for {
+		env, err := wire.ReadMsg(conn)
+		if err != nil {
+			d.mu.Lock()
+			if d.controls[h.NodeID] == conn {
+				delete(d.controls, h.NodeID)
+			}
+			d.mu.Unlock()
+			return
+		}
+		switch env.Type {
+		case wire.MsgIndicators:
+			d.handleIndicators(env.Indicators)
+		case wire.MsgWorkloadChange:
+			if d.onChange != nil && env.WorkloadChange != nil {
+				d.onChange(env.WorkloadChange.Tick, env.WorkloadChange.Name)
+			}
+		}
+	}
+}
+
+func (d *Daemon) handleIndicators(msg *wire.Indicators) {
+	if msg == nil {
+		return
+	}
+	d.mu.Lock()
+	dec := d.decoders[msg.NodeID]
+	if dec == nil {
+		d.mu.Unlock()
+		return
+	}
+	full, err := dec.Apply(msg)
+	if err != nil {
+		d.mu.Unlock()
+		return
+	}
+	d.latest[msg.NodeID] = full
+	if d.seen[msg.Tick] == nil {
+		d.seen[msg.Tick] = make(map[int]bool)
+	}
+	d.seen[msg.Tick][msg.NodeID] = true
+	complete := len(d.seen[msg.Tick]) == d.nodes
+	var frame []float64
+	if complete {
+		frame = make([]float64, d.nodes*d.pisPerNode)
+		for n := 0; n < d.nodes; n++ {
+			copy(frame[n*d.pisPerNode:(n+1)*d.pisPerNode], d.latest[n])
+		}
+		delete(d.seen, msg.Tick)
+	}
+	d.mu.Unlock()
+	if complete {
+		d.onFrame(msg.Tick, frame)
+	}
+}
+
+// BroadcastAction sends the parameter vector to every connected Control
+// Agent. Returns the number of agents reached.
+func (d *Daemon) BroadcastAction(tick int64, id int, values []float64) int {
+	env := &wire.Envelope{Type: wire.MsgAction, Action: &wire.Action{
+		Tick: tick, ID: id, Values: append([]float64(nil), values...),
+	}}
+	d.mu.Lock()
+	conns := make([]net.Conn, 0, len(d.controls))
+	for _, c := range d.controls {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+	sent := 0
+	for _, c := range conns {
+		if err := wire.WriteMsg(c, env); err == nil {
+			sent++
+		}
+	}
+	return sent
+}
+
+// NumControlAgents returns how many control agents are registered.
+func (d *Daemon) NumControlAgents() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.controls)
+}
+
+// Close stops the daemon and waits for connection goroutines to finish.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	conns := make([]net.Conn, 0, len(d.controls))
+	for _, c := range d.controls {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+	err := d.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	d.wg.Wait()
+	return err
+}
+
+// NodeAgent is the client side: the Monitoring Agent (ships differential
+// PI updates) and Control Agent (receives actions) for one node.
+type NodeAgent struct {
+	conn    net.Conn
+	nodeID  int
+	enc     *wire.DiffEncoder
+	actions chan wire.Action
+
+	mu        sync.Mutex
+	sentBytes int64
+	sentMsgs  int64
+	closed    bool
+}
+
+// Dial connects a node agent to the Interface Daemon. role is "monitor",
+// "control" or "monitor+control".
+func Dial(addr string, nodeID, numPIs int, role string) (*NodeAgent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	host, _ := conn.LocalAddr().(*net.TCPAddr)
+	hello := &wire.Envelope{Type: wire.MsgHello, Hello: &wire.Hello{
+		NodeID: nodeID, Role: role, NumPIs: numPIs, Hostname: fmt.Sprint(host),
+	}}
+	if err := wire.WriteMsg(conn, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, err := wire.ReadMsg(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if ack.Type != wire.MsgAck || ack.Ack == nil || !ack.Ack.OK {
+		conn.Close()
+		if ack.Ack != nil {
+			return nil, fmt.Errorf("agent: registration rejected: %s", ack.Ack.Error)
+		}
+		return nil, fmt.Errorf("agent: registration rejected")
+	}
+	a := &NodeAgent{
+		conn:    conn,
+		nodeID:  nodeID,
+		enc:     wire.NewDiffEncoder(nodeID, numPIs),
+		actions: make(chan wire.Action, 64),
+	}
+	go a.readLoop()
+	return a, nil
+}
+
+func (a *NodeAgent) readLoop() {
+	for {
+		env, err := wire.ReadMsg(a.conn)
+		if err != nil {
+			close(a.actions)
+			return
+		}
+		if env.Type == wire.MsgAction && env.Action != nil {
+			select {
+			case a.actions <- *env.Action:
+			default: // drop if the consumer is stuck; next action supersedes
+			}
+		}
+	}
+}
+
+// SendIndicators diffs and ships this tick's PI vector.
+func (a *NodeAgent) SendIndicators(tick int64, pis []float64) error {
+	msg, err := a.enc.Encode(tick, pis)
+	if err != nil {
+		return err
+	}
+	env := &wire.Envelope{Type: wire.MsgIndicators, Indicators: msg}
+	buf, err := wire.Encode(env)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return fmt.Errorf("agent: closed")
+	}
+	if _, err := a.conn.Write(buf); err != nil {
+		return err
+	}
+	a.sentBytes += int64(len(buf))
+	a.sentMsgs++
+	return nil
+}
+
+// SendWorkloadChange notifies the daemon that a new workload started.
+func (a *NodeAgent) SendWorkloadChange(tick int64, name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return wire.WriteMsg(a.conn, &wire.Envelope{
+		Type:           wire.MsgWorkloadChange,
+		WorkloadChange: &wire.WorkloadChange{Tick: tick, Name: name},
+	})
+}
+
+// Actions returns the channel of received parameter-change commands. The
+// channel closes when the connection drops.
+func (a *NodeAgent) Actions() <-chan wire.Action { return a.actions }
+
+// TrafficStats returns bytes and messages sent so far (Table 2's
+// "average message size per client").
+func (a *NodeAgent) TrafficStats() (bytes, msgs int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sentBytes, a.sentMsgs
+}
+
+// Close shuts the agent connection down.
+func (a *NodeAgent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	return a.conn.Close()
+}

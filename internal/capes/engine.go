@@ -1,0 +1,311 @@
+package capes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"capes/internal/replay"
+	"capes/internal/rl"
+)
+
+// Collector gathers one performance-indicator frame from the target
+// system — the adapter "for collecting the observation from the target
+// system" (§A.1). In-process deployments read the simulator directly;
+// distributed deployments receive frames from Monitoring Agents.
+type Collector func() (replay.Frame, error)
+
+// Controller applies a parameter-value vector (aligned with the
+// ActionSpace tunables) to the target system — the adapter "for setting
+// the parameters to the target system".
+type Controller func(values []float64) error
+
+// Config assembles an Engine.
+type Config struct {
+	Hyper      Hyperparameters
+	Space      *ActionSpace
+	Objective  Objective
+	RewardMode RewardMode
+	Checker    ActionChecker // nil = NoopChecker
+	FrameWidth int           // PIs per sampling tick across all nodes
+	Seed       int64
+
+	// Training and Tuning can be toggled independently (§3.3: "we can
+	// choose to do solely monitoring or training on demand").
+	Training bool
+	Tuning   bool
+}
+
+// LossPoint is one sample of the training loss trace (Figure 5).
+type LossPoint struct {
+	Tick int64
+	Loss float64 // EWMA-smoothed prediction error
+}
+
+// Engine is the DRL Engine plus the Interface-Daemon bookkeeping for an
+// in-process deployment: it relays frames into the Replay DB, selects
+// and applies actions, and runs training steps, all on the shared
+// virtual clock.
+type Engine struct {
+	cfg   Config
+	db    *replay.DB
+	agent *rl.Agent
+	rng   *rand.Rand
+
+	collector  Collector
+	controller Controller
+	rewardFn   replay.RewardFunc
+	checker    ActionChecker
+
+	current []float64
+	exploit bool // greedy-only mode (evaluation phase)
+
+	missedSamples int64
+	vetoes        int64
+	trainErrors   int64
+	lossTrace     []LossPoint
+	lastAction    int
+	actionCounts  []int64 // per action id
+	history       []ActionRecord
+	historyCap    int
+}
+
+// ActionRecord is one applied action (kept in a bounded ring for
+// operator inspection — "which knobs has CAPES been turning?").
+type ActionRecord struct {
+	Tick   int64
+	Action int
+	Values []float64
+}
+
+// NewEngine builds an engine. collector must not be nil; controller may
+// be nil only when cfg.Tuning is false.
+func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine, error) {
+	if err := cfg.Hyper.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Space == nil {
+		return nil, fmt.Errorf("capes: Config.Space is required")
+	}
+	if cfg.Objective == nil {
+		return nil, fmt.Errorf("capes: Config.Objective is required")
+	}
+	if cfg.FrameWidth <= 0 {
+		return nil, fmt.Errorf("capes: Config.FrameWidth must be positive")
+	}
+	if collector == nil {
+		return nil, fmt.Errorf("capes: collector is required")
+	}
+	if controller == nil {
+		if cfg.Tuning {
+			return nil, fmt.Errorf("capes: controller is required when tuning")
+		}
+		controller = func([]float64) error { return nil }
+	}
+	db, err := replay.New(replay.Config{
+		FrameWidth:       cfg.FrameWidth,
+		StackTicks:       cfg.Hyper.TicksPerObservation,
+		MissingTolerance: cfg.Hyper.MissingTolerance,
+		Capacity:         cfg.Hyper.ReplayCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eps := &rl.EpsilonSchedule{
+		Initial:     cfg.Hyper.EpsilonInitial,
+		Final:       cfg.Hyper.EpsilonFinal,
+		AnnealTicks: cfg.Hyper.ExplorationPeriod,
+		BumpValue:   cfg.Hyper.EpsilonBump,
+	}
+	agentCfg := rl.Config{
+		Gamma:         cfg.Hyper.DiscountRate,
+		LearningRate:  cfg.Hyper.AdamLearningRate,
+		TargetUpdateα: cfg.Hyper.TargetUpdateRate,
+		MinibatchSize: cfg.Hyper.MinibatchSize,
+		GradientClip:  cfg.Hyper.GradientClip,
+		UseTargetNet:  true,
+	}
+	agent, err := rl.NewAgent(agentCfg, eps, db.ObservationWidth(), cfg.Space.NumActions(), rng)
+	if err != nil {
+		return nil, err
+	}
+	checker := cfg.Checker
+	if checker == nil {
+		checker = NoopChecker
+	}
+	return &Engine{
+		cfg:          cfg,
+		db:           db,
+		agent:        agent,
+		rng:          rng,
+		collector:    collector,
+		controller:   controller,
+		rewardFn:     RewardFunc(cfg.Objective, cfg.RewardMode),
+		checker:      checker,
+		current:      cfg.Space.Defaults(),
+		lastAction:   NullAction,
+		actionCounts: make([]int64, cfg.Space.NumActions()),
+		historyCap:   256,
+	}, nil
+}
+
+// Tick implements sim.Ticker: one sampling tick, one action tick (when
+// due) and one training step (when due).
+func (e *Engine) Tick(now int64) {
+	h := &e.cfg.Hyper
+
+	// Sampling tick: collect a frame and relay it to the Replay DB.
+	if now%h.SamplingTickLength == 0 {
+		frame, err := e.collector()
+		if err != nil {
+			e.missedSamples++
+		} else if err := e.db.PutFrame(now, frame); err != nil {
+			e.missedSamples++
+		}
+	}
+
+	// Action tick.
+	if e.cfg.Tuning && now%h.ActionTickLength == 0 {
+		action := e.chooseAction(now)
+		proposed := e.cfg.Space.Apply(action, e.current)
+		if err := e.checker(proposed); err != nil {
+			e.vetoes++
+			action = NullAction
+			proposed = e.current
+		}
+		e.db.PutAction(now, action)
+		e.lastAction = action
+		e.actionCounts[action]++
+		if action != NullAction {
+			if err := e.controller(proposed); err == nil {
+				e.current = proposed
+				e.recordAction(now, action)
+			}
+		}
+	}
+
+	// Training step.
+	if e.cfg.Training && now >= h.TrainStartTicks && now%h.TrainEvery == 0 {
+		batch, err := e.db.ConstructMinibatch(e.rng, h.MinibatchSize, e.rewardFn)
+		if err != nil {
+			return // not enough data yet
+		}
+		if _, err := e.agent.TrainStep(batch); err != nil {
+			e.trainErrors++
+			return
+		}
+		if e.agent.Steps()%25 == 0 {
+			e.lossTrace = append(e.lossTrace, LossPoint{Tick: now, Loss: e.agent.SmoothedLoss()})
+		}
+	}
+}
+
+// chooseAction applies the policy: random while the DB cannot form an
+// observation (cold start), otherwise ε-greedy (or pure greedy in
+// exploit mode).
+func (e *Engine) chooseAction(now int64) int {
+	obs, err := e.db.Observation(now)
+	if err != nil {
+		return e.rng.Intn(e.cfg.Space.NumActions())
+	}
+	if e.exploit {
+		return e.agent.GreedyAction(obs)
+	}
+	return e.agent.SelectAction(obs, now)
+}
+
+// recordAction appends to the bounded action history.
+func (e *Engine) recordAction(now int64, action int) {
+	rec := ActionRecord{Tick: now, Action: action, Values: append([]float64(nil), e.current...)}
+	if len(e.history) >= e.historyCap {
+		copy(e.history, e.history[1:])
+		e.history[len(e.history)-1] = rec
+		return
+	}
+	e.history = append(e.history, rec)
+}
+
+// ActionHistory returns the most recent applied actions (oldest first),
+// up to the engine's history capacity.
+func (e *Engine) ActionHistory() []ActionRecord {
+	return append([]ActionRecord(nil), e.history...)
+}
+
+// ActionDistribution returns how often each action id was chosen,
+// indexed by action id (NULL included).
+func (e *Engine) ActionDistribution() []int64 {
+	return append([]int64(nil), e.actionCounts...)
+}
+
+// NotifyWorkloadChange bumps ε to the configured bump value (§3.6): "
+// Whenever a new workload is started on the system, the Interface Daemon
+// notifies the DRL Engine to bump up ε".
+func (e *Engine) NotifyWorkloadChange(now int64) {
+	e.agent.Epsilon.Bump(now)
+}
+
+// SetTraining toggles training steps.
+func (e *Engine) SetTraining(on bool) { e.cfg.Training = on }
+
+// SetTuning toggles action issuance.
+func (e *Engine) SetTuning(on bool) { e.cfg.Tuning = on }
+
+// SetExploit switches between ε-greedy (false; training sessions) and
+// pure greedy (true; measured tuning sessions).
+func (e *Engine) SetExploit(on bool) { e.exploit = on }
+
+// CurrentValues returns a copy of the parameter vector CAPES believes is
+// applied.
+func (e *Engine) CurrentValues() []float64 {
+	return append([]float64(nil), e.current...)
+}
+
+// SetCurrentValues overrides the engine's view of the applied parameters
+// (used when the operator resets the target system between sessions).
+func (e *Engine) SetCurrentValues(vals []float64) error {
+	if len(vals) != len(e.cfg.Space.Tunables) {
+		return fmt.Errorf("capes: got %d values for %d tunables", len(vals), len(e.cfg.Space.Tunables))
+	}
+	e.current = append([]float64(nil), vals...)
+	return nil
+}
+
+// LastAction returns the most recent action id.
+func (e *Engine) LastAction() int { return e.lastAction }
+
+// DB exposes the Replay Database (read-mostly; the Interface Daemon path
+// is the writer).
+func (e *Engine) DB() *replay.DB { return e.db }
+
+// Agent exposes the Q-learning agent.
+func (e *Engine) Agent() *rl.Agent { return e.agent }
+
+// LossTrace returns the recorded prediction-error series (Figure 5).
+func (e *Engine) LossTrace() []LossPoint {
+	return append([]LossPoint(nil), e.lossTrace...)
+}
+
+// Stats summarizes engine health counters.
+type Stats struct {
+	TrainSteps    int64
+	MissedSamples int64
+	Vetoes        int64
+	TrainErrors   int64
+	ReplayRecords int
+	RandomActions int64
+	CalcActions   int64
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() Stats {
+	random, calc := e.agent.ActionCounts()
+	return Stats{
+		TrainSteps:    e.agent.Steps(),
+		MissedSamples: e.missedSamples,
+		Vetoes:        e.vetoes,
+		TrainErrors:   e.trainErrors,
+		ReplayRecords: e.db.Len(),
+		RandomActions: random,
+		CalcActions:   calc,
+	}
+}

@@ -1,0 +1,447 @@
+package capes
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"capes/internal/replay"
+)
+
+// smallConfig builds a fast engine configuration for unit tests: a tiny
+// observation window so training steps cost microseconds.
+func smallConfig(t *testing.T, tuning, training bool) (Config, *ActionSpace) {
+	t.Helper()
+	space, err := NewActionSpace(Tunable{Name: "p", Min: 0, Max: 100, Step: 5, Default: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := DefaultHyperparameters()
+	h.TicksPerObservation = 2
+	h.MinibatchSize = 8
+	h.ExplorationPeriod = 100
+	h.TrainStartTicks = 16
+	return Config{
+		Hyper:      h,
+		Space:      space,
+		Objective:  SumIndices(0),
+		RewardMode: RewardDelta,
+		FrameWidth: 3,
+		Seed:       1,
+		Training:   training,
+		Tuning:     tuning,
+	}, space
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	collector := func() (replay.Frame, error) { return replay.Frame{0, 0, 0}, nil }
+	controller := func([]float64) error { return nil }
+
+	if _, err := NewEngine(cfg, nil, controller); err == nil {
+		t.Fatal("nil collector must fail")
+	}
+	if _, err := NewEngine(cfg, collector, nil); err == nil {
+		t.Fatal("nil controller with tuning must fail")
+	}
+	cfgNoTune := cfg
+	cfgNoTune.Tuning = false
+	if _, err := NewEngine(cfgNoTune, collector, nil); err != nil {
+		t.Fatalf("monitor-only engine must not need a controller: %v", err)
+	}
+	cfgBad := cfg
+	cfgBad.Space = nil
+	if _, err := NewEngine(cfgBad, collector, controller); err == nil {
+		t.Fatal("nil space must fail")
+	}
+	cfgBad2 := cfg
+	cfgBad2.Objective = nil
+	if _, err := NewEngine(cfgBad2, collector, controller); err == nil {
+		t.Fatal("nil objective must fail")
+	}
+	cfgBad3 := cfg
+	cfgBad3.FrameWidth = 0
+	if _, err := NewEngine(cfgBad3, collector, controller); err == nil {
+		t.Fatal("zero frame width must fail")
+	}
+	cfgBad4 := cfg
+	cfgBad4.Hyper.MinibatchSize = 0
+	if _, err := NewEngine(cfgBad4, collector, controller); err == nil {
+		t.Fatal("invalid hyperparameters must fail")
+	}
+}
+
+func TestEngineRecordsFramesAndActions(t *testing.T) {
+	cfg, _ := smallConfig(t, true, false)
+	var applied [][]float64
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func(v []float64) error {
+			applied = append(applied, append([]float64(nil), v...))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 50; tick++ {
+		eng.Tick(tick)
+	}
+	if eng.DB().Len() != 50 {
+		t.Fatalf("replay records = %d", eng.DB().Len())
+	}
+	// Every tick records an action (possibly NULL).
+	for tick := int64(1); tick <= 50; tick++ {
+		if _, ok := eng.DB().ActionAt(tick); !ok {
+			t.Fatalf("no action recorded at tick %d", tick)
+		}
+	}
+	// During ε=1 exploration, non-NULL actions must have been applied.
+	if len(applied) == 0 {
+		t.Fatal("controller never invoked during exploration")
+	}
+	for _, v := range applied {
+		if v[0] < 0 || v[0] > 100 {
+			t.Fatalf("applied out-of-range value %v", v)
+		}
+	}
+}
+
+func TestEngineCollectorErrorsCounted(t *testing.T) {
+	cfg, _ := smallConfig(t, false, false)
+	n := 0
+	eng, err := NewEngine(cfg, func() (replay.Frame, error) {
+		n++
+		if n%2 == 0 {
+			return nil, errors.New("sample lost")
+		}
+		return replay.Frame{1, 2, 3}, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 20; tick++ {
+		eng.Tick(tick)
+	}
+	st := eng.Stats()
+	if st.MissedSamples != 10 {
+		t.Fatalf("MissedSamples = %d", st.MissedSamples)
+	}
+	if eng.DB().Len() != 10 {
+		t.Fatalf("replay records = %d", eng.DB().Len())
+	}
+}
+
+func TestEngineWrongFrameWidthCounted(t *testing.T) {
+	cfg, _ := smallConfig(t, false, false)
+	eng, err := NewEngine(cfg, func() (replay.Frame, error) {
+		return replay.Frame{1}, nil // wrong width
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Tick(1)
+	if eng.Stats().MissedSamples != 1 {
+		t.Fatal("bad frame must count as missed sample")
+	}
+}
+
+func TestEngineTrainingProducesLossTrace(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 300; tick++ {
+		eng.Tick(tick)
+	}
+	st := eng.Stats()
+	if st.TrainSteps == 0 {
+		t.Fatal("no training steps executed")
+	}
+	if len(eng.LossTrace()) == 0 {
+		t.Fatal("no loss trace recorded")
+	}
+	if st.TrainErrors != 0 {
+		t.Fatalf("training errors: %d", st.TrainErrors)
+	}
+}
+
+func TestEngineCheckerVeto(t *testing.T) {
+	cfg, space := smallConfig(t, true, false)
+	// Veto everything that isn't exactly the default.
+	cfg.Checker = func(v []float64) error {
+		if v[0] != 50 {
+			return fmt.Errorf("vetoed")
+		}
+		return nil
+	}
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func(v []float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 100; tick++ {
+		eng.Tick(tick)
+	}
+	if got := eng.CurrentValues()[0]; got != 50 {
+		t.Fatalf("vetoed engine moved the parameter to %v", got)
+	}
+	if eng.Stats().Vetoes == 0 {
+		t.Fatal("no vetoes counted under an always-veto checker")
+	}
+	// Every recorded action must be NULL.
+	for tick := int64(1); tick <= 100; tick++ {
+		if a, ok := eng.DB().ActionAt(tick); ok && a != NullAction {
+			t.Fatalf("non-NULL action %d recorded at %d despite veto", a, tick)
+		}
+	}
+	_ = space
+}
+
+func TestEngineControllerFailureKeepsState(t *testing.T) {
+	cfg, _ := smallConfig(t, true, false)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func(v []float64) error { return errors.New("target unreachable") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 50; tick++ {
+		eng.Tick(tick)
+	}
+	if got := eng.CurrentValues()[0]; got != 50 {
+		t.Fatalf("engine state drifted to %v though controller always failed", got)
+	}
+}
+
+func TestEngineTogglesAndSetValues(t *testing.T) {
+	cfg, _ := smallConfig(t, false, false)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 30; tick++ {
+		eng.Tick(tick)
+	}
+	if st := eng.Stats(); st.TrainSteps != 0 {
+		t.Fatal("training ran while disabled")
+	}
+	if _, ok := eng.DB().ActionAt(5); ok {
+		t.Fatal("actions recorded while tuning disabled")
+	}
+	eng.SetTraining(true)
+	eng.SetTuning(true)
+	for tick := int64(31); tick <= 60; tick++ {
+		eng.Tick(tick)
+	}
+	if st := eng.Stats(); st.TrainSteps == 0 {
+		t.Fatal("training did not start after enable")
+	}
+	if err := eng.SetCurrentValues([]float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.CurrentValues()[0] != 10 {
+		t.Fatal("SetCurrentValues ignored")
+	}
+	if err := eng.SetCurrentValues([]float64{1, 2}); err == nil {
+		t.Fatal("wrong arity must error")
+	}
+}
+
+func TestEngineExploitModeIsDeterministicallyGreedy(t *testing.T) {
+	cfg, _ := smallConfig(t, true, false)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the DB so observations are available.
+	for tick := int64(1); tick <= 20; tick++ {
+		eng.Tick(tick)
+	}
+	eng.SetExploit(true)
+	// With a frozen network and identical frames, the greedy action must
+	// be identical every tick.
+	first := -1
+	for tick := int64(21); tick <= 40; tick++ {
+		eng.Tick(tick)
+		a, _ := eng.DB().ActionAt(tick)
+		if first == -1 {
+			first = a
+		} else if a != first && a != NullAction {
+			// (NULL can appear if clamping vetoes; same id otherwise.)
+			t.Fatalf("exploit mode action changed: %d then %d", first, a)
+		}
+	}
+}
+
+func TestEngineWorkloadChangeBumpsEpsilon(t *testing.T) {
+	cfg, _ := smallConfig(t, true, false)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run past the anneal so ε is at its final value.
+	for tick := int64(1); tick <= 200; tick++ {
+		eng.Tick(tick)
+	}
+	if got := eng.Agent().Epsilon.At(200); got != 0.05 {
+		t.Fatalf("ε before bump = %v", got)
+	}
+	eng.NotifyWorkloadChange(200)
+	if got := eng.Agent().Epsilon.At(200); got != 0.2 {
+		t.Fatalf("ε after bump = %v", got)
+	}
+}
+
+func TestSessionSaveRestore(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	collector := func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil }
+	controller := func([]float64) error { return nil }
+	eng, err := NewEngine(cfg, collector, controller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 120; tick++ {
+		eng.Tick(tick)
+	}
+	dir := t.TempDir()
+	if err := eng.SaveSession(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := NewEngine(cfg, collector, controller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.RestoreSession(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Model weights restored: identical Q-values on a fixed observation.
+	obs := make([]float64, eng.DB().ObservationWidth())
+	q1, q2 := eng.Agent().QValues(obs), eng2.Agent().QValues(obs)
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatalf("Q[%d] differs after restore: %v vs %v", i, q1[i], q2[i])
+		}
+	}
+	// Replay DB restored.
+	if eng2.DB().Len() != eng.DB().Len() {
+		t.Fatalf("replay len %d vs %d", eng2.DB().Len(), eng.DB().Len())
+	}
+	// Current values restored.
+	if eng2.CurrentValues()[0] != eng.CurrentValues()[0] {
+		t.Fatal("current values not restored")
+	}
+}
+
+func TestSessionRestoreRejectsMismatchedShape(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	collector := func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil }
+	controller := func([]float64) error { return nil }
+	eng, err := NewEngine(cfg, collector, controller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := eng.SaveSession(dir); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.FrameWidth = 4
+	eng2, err := NewEngine(cfg2, func() (replay.Frame, error) { return replay.Frame{1, 2, 3, 4}, nil }, controller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.RestoreSession(dir); err == nil {
+		t.Fatal("mismatched frame width must fail restore")
+	}
+}
+
+func TestSessionRestoreMissingDir(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RestoreSession("/nonexistent/dir"); err == nil {
+		t.Fatal("missing session dir must fail")
+	}
+}
+
+func TestEngineActionHistoryAndDistribution(t *testing.T) {
+	cfg, space := smallConfig(t, true, false)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 400; tick++ {
+		eng.Tick(tick)
+	}
+	dist := eng.ActionDistribution()
+	if len(dist) != space.NumActions() {
+		t.Fatalf("distribution len = %d", len(dist))
+	}
+	var total int64
+	for _, c := range dist {
+		total += c
+	}
+	if total != 400 {
+		t.Fatalf("distribution total = %d", total)
+	}
+	hist := eng.ActionHistory()
+	if len(hist) == 0 {
+		t.Fatal("no action history under exploration")
+	}
+	if len(hist) > 256 {
+		t.Fatalf("history exceeded cap: %d", len(hist))
+	}
+	// History entries are ordered by tick and carry the applied values.
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Tick <= hist[i-1].Tick {
+			t.Fatal("history not ordered")
+		}
+	}
+	for _, h := range hist {
+		if h.Action == NullAction {
+			t.Fatal("NULL actions must not enter the history")
+		}
+		if len(h.Values) != 1 {
+			t.Fatalf("history values = %v", h.Values)
+		}
+	}
+}
+
+func TestEngineHistoryRingBound(t *testing.T) {
+	cfg, _ := smallConfig(t, true, false)
+	cfg.Hyper.EpsilonFinal = 1.0 // keep every action random so non-NULL actions keep flowing
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 2000; tick++ {
+		eng.Tick(tick)
+	}
+	hist := eng.ActionHistory()
+	if len(hist) != 256 {
+		t.Fatalf("ring size = %d, want 256", len(hist))
+	}
+	// The retained window is the most recent one.
+	if hist[len(hist)-1].Tick < 1500 {
+		t.Fatalf("history stale: last tick %d", hist[len(hist)-1].Tick)
+	}
+}

@@ -1,0 +1,88 @@
+package capes
+
+import (
+	"fmt"
+
+	"capes/internal/replay"
+)
+
+// Objective maps a performance-indicator frame to the scalar the tuner
+// maximizes (§3.2). "For single-objective tuning, the objective function
+// equals the tuning objective measurement, such as throughput or
+// latency. It is also common to use an objective function that combines
+// multiple objectives."
+type Objective func(frame replay.Frame) float64
+
+// SumIndices returns an Objective summing the frame entries at the given
+// flat indices — e.g. every client's read- and write-throughput PI.
+func SumIndices(indices ...int) Objective {
+	idx := append([]int(nil), indices...)
+	return func(f replay.Frame) float64 {
+		var s float64
+		for _, i := range idx {
+			if i >= 0 && i < len(f) {
+				s += f[i]
+			}
+		}
+		return s
+	}
+}
+
+// ThroughputObjective builds the evaluation's objective for a cluster
+// frame of `clients` nodes with `pisPerClient` indicators each, where the
+// read- and write-throughput PIs sit at offsets readOff and writeOff
+// within each client's vector: the aggregated read+write throughput.
+func ThroughputObjective(clients, pisPerClient, readOff, writeOff int) Objective {
+	return func(f replay.Frame) float64 {
+		var s float64
+		for c := 0; c < clients; c++ {
+			base := c * pisPerClient
+			if base+writeOff < len(f) {
+				s += f[base+readOff] + f[base+writeOff]
+			}
+		}
+		return s
+	}
+}
+
+// WeightedObjective combines objectives with weights — the multi-
+// objective form (e.g. throughput minus a latency penalty, the
+// "throughput and latency at the same time" future-work case of §6).
+func WeightedObjective(objs []Objective, weights []float64) (Objective, error) {
+	if len(objs) != len(weights) || len(objs) == 0 {
+		return nil, fmt.Errorf("capes: need equal non-zero objectives (%d) and weights (%d)", len(objs), len(weights))
+	}
+	o := append([]Objective(nil), objs...)
+	w := append([]float64(nil), weights...)
+	return func(f replay.Frame) float64 {
+		var s float64
+		for i, fn := range o {
+			s += w[i] * fn(f)
+		}
+		return s
+	}, nil
+}
+
+// RewardMode selects how the per-transition reward is derived from the
+// objective.
+type RewardMode int
+
+const (
+	// RewardDelta uses objective(s_{t+1}) − objective(s_t): "we can
+	// measure the change of I/O throughput at the next second to use it
+	// as the reward" (§3.2). Mean-zero rewards keep Q-values small and
+	// training stable; this is the default.
+	RewardDelta RewardMode = iota
+	// RewardAbsolute uses objective(s_{t+1}) directly.
+	RewardAbsolute
+)
+
+// RewardFunc builds the replay.RewardFunc for an objective and mode.
+func RewardFunc(obj Objective, mode RewardMode) replay.RewardFunc {
+	switch mode {
+	case RewardAbsolute:
+		return func(cur, next replay.Frame) float64 { return obj(next) }
+	default:
+		return func(cur, next replay.Frame) float64 { return obj(next) - obj(cur) }
+	}
+}

@@ -1,0 +1,119 @@
+package capes
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"capes/internal/nn"
+	"capes/internal/replay"
+	"capes/internal/rl"
+)
+
+// Session checkpointing (§A.4): "CAPES automatically checkpoints and
+// stores the trained model when being stopped, and loads the saved model
+// when being started next time". A session directory holds the model,
+// the replay database snapshot and a small JSON manifest.
+
+const (
+	modelFile    = "model.ckpt"
+	replayFile   = "replay.db"
+	manifestFile = "session.json"
+)
+
+type sessionManifest struct {
+	Version       int       `json:"version"`
+	FrameWidth    int       `json:"frame_width"`
+	NumActions    int       `json:"num_actions"`
+	CurrentValues []float64 `json:"current_values"`
+	TrainSteps    int64     `json:"train_steps"`
+}
+
+// SaveSession writes the engine's model, replay DB and state to dir
+// (created if needed).
+func (e *Engine) SaveSession(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := e.agent.Online.SaveFile(filepath.Join(dir, modelFile)); err != nil {
+		return fmt.Errorf("capes: save model: %w", err)
+	}
+	if err := e.db.SaveFile(filepath.Join(dir, replayFile)); err != nil {
+		return fmt.Errorf("capes: save replay DB: %w", err)
+	}
+	m := sessionManifest{
+		Version:       1,
+		FrameWidth:    e.cfg.FrameWidth,
+		NumActions:    e.cfg.Space.NumActions(),
+		CurrentValues: e.CurrentValues(),
+		TrainSteps:    e.agent.Steps(),
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestFile), buf, 0o644)
+}
+
+// RestoreSession loads a session saved by SaveSession into a fresh
+// engine built with the same Config. The model weights and current
+// parameter values are restored; the replay DB snapshot replaces the
+// engine's empty DB.
+func (e *Engine) RestoreSession(dir string) error {
+	buf, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return err
+	}
+	var m sessionManifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return fmt.Errorf("capes: bad session manifest: %w", err)
+	}
+	if m.FrameWidth != e.cfg.FrameWidth {
+		return fmt.Errorf("capes: session frame width %d, engine %d", m.FrameWidth, e.cfg.FrameWidth)
+	}
+	if m.NumActions != e.cfg.Space.NumActions() {
+		return fmt.Errorf("capes: session has %d actions, engine %d", m.NumActions, e.cfg.Space.NumActions())
+	}
+	model, err := nn.LoadFile(filepath.Join(dir, modelFile))
+	if err != nil {
+		return fmt.Errorf("capes: load model: %w", err)
+	}
+	if model.InputSize() != e.db.ObservationWidth() || model.OutputSize() != m.NumActions {
+		return fmt.Errorf("capes: model shape %d→%d incompatible with engine %d→%d",
+			model.InputSize(), model.OutputSize(), e.db.ObservationWidth(), m.NumActions)
+	}
+	agentCfg := e.agent.Config()
+	agent, err := rl.NewAgentWithNetwork(agentCfg, e.agent.Epsilon, model, e.rng)
+	if err != nil {
+		return err
+	}
+	e.agent = agent
+	if err := e.loadReplay(filepath.Join(dir, replayFile)); err != nil {
+		return err
+	}
+	if m.CurrentValues != nil {
+		if err := e.SetCurrentValues(m.CurrentValues); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) loadReplay(path string) error {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil // model-only checkpoint is fine
+	}
+	db, err := replay.LoadFile(path)
+	if err != nil {
+		return fmt.Errorf("capes: load replay DB: %w", err)
+	}
+	got := db.Config()
+	want := e.db.Config()
+	if got.FrameWidth != want.FrameWidth || got.StackTicks != want.StackTicks {
+		return fmt.Errorf("capes: replay snapshot shape %d×%d, engine %d×%d",
+			got.FrameWidth, got.StackTicks, want.FrameWidth, want.StackTicks)
+	}
+	e.db = db
+	return nil
+}

@@ -1,0 +1,129 @@
+package chart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestBarChartScalesToMax(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "title", " MB/s", []Bar{
+		{Label: "a", Value: 10},
+		{Label: "bb", Value: 5},
+	}, 20)
+	out := buf.String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	countBlocks := func(s string) int { return strings.Count(s, "█") }
+	if countBlocks(lines[1]) != 20 {
+		t.Fatalf("max bar = %d blocks, want 20", countBlocks(lines[1]))
+	}
+	if countBlocks(lines[2]) != 10 {
+		t.Fatalf("half bar = %d blocks, want 10", countBlocks(lines[2]))
+	}
+	// Labels padded to equal width.
+	if !strings.Contains(lines[1], "a  │") {
+		t.Fatalf("label not padded: %q", lines[1])
+	}
+}
+
+func TestBarChartErrorMark(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "t", "", []Bar{{Label: "x", Value: 10, Err: 5}}, 30)
+	if !strings.Contains(buf.String(), "±") {
+		t.Fatal("CI mark missing")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "t", "", []Bar{{Label: "x", Value: 0}}, 10)
+	if !strings.Contains(buf.String(), "0.00") {
+		t.Fatal("zero bar must still print a value")
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	var buf bytes.Buffer
+	GroupedBars(&buf, "fig2", " MB/s",
+		[]string{"1:9"}, []string{"baseline", "24h"},
+		[][]float64{{4.8, 7.2}}, 20)
+	out := buf.String()
+	if !strings.Contains(out, "1:9") || !strings.Contains(out, "baseline") {
+		t.Fatalf("output = %q", out)
+	}
+	// The larger series fills the width.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "24h") && strings.Count(line, "█") != 20 {
+			t.Fatalf("24h bar not full width: %q", line)
+		}
+	}
+}
+
+func TestLinePlotShapeAndBounds(t *testing.T) {
+	xs := make([]int64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = int64(i)
+		ys[i] = float64(100 - i) // decreasing line
+	}
+	var buf bytes.Buffer
+	LinePlot(&buf, "loss", xs, ys, 40, 8)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + max + 8 rows + axis + range = 12 lines
+	if len(lines) != 12 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "100") {
+		t.Fatalf("max annotation missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "ticks 0 … 99") {
+		t.Fatal("x range missing")
+	}
+	// A decreasing series puts a '*' in the top-left region and the
+	// bottom-right region.
+	if !strings.Contains(lines[2], "*") {
+		t.Fatal("top row empty for decreasing series")
+	}
+	if !strings.Contains(lines[9], "*") {
+		t.Fatal("bottom row empty for decreasing series")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	LinePlot(&buf, "t", nil, nil, 10, 4)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty plot must say so")
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	LinePlot(&buf, "t", []int64{1, 2}, []float64{5, 5}, 10, 4)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("constant series must still plot")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatalf("len = %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	if utf8.RuneCountInString(Sparkline([]float64{7, 7})) != 2 {
+		t.Fatal("constant sparkline")
+	}
+}

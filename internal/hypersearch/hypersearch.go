@@ -1,0 +1,144 @@
+// Package hypersearch implements the systematic hyperparameter
+// optimization the paper defers to future work (§6: "We will also need
+// to use a systematic approach to hyperparameter optimization, such as
+// using grid search"). It enumerates a cartesian grid over named
+// hyperparameter axes, scores each point with a caller-provided
+// evaluation function (typically a short training session), averages
+// over seeds, and ranks the results.
+package hypersearch
+
+import (
+	"fmt"
+	"sort"
+
+	"capes/internal/capes"
+)
+
+// Axis is one hyperparameter dimension of the grid.
+type Axis struct {
+	Name   string // one of the names accepted by Apply
+	Values []float64
+}
+
+// Point assigns a value to each axis.
+type Point map[string]float64
+
+// Result is one evaluated grid point.
+type Result struct {
+	Point Point
+	Score float64 // mean across seeds; higher is better
+}
+
+// EvalFunc scores a hyperparameter setting (e.g. tuned throughput after
+// a short session). It must be deterministic given (h, seed).
+type EvalFunc func(h capes.Hyperparameters, seed int64) (float64, error)
+
+// Grid expands axes into the full cartesian product.
+func Grid(axes []Axis) []Point {
+	points := []Point{{}}
+	for _, ax := range axes {
+		if len(ax.Values) == 0 {
+			continue
+		}
+		next := make([]Point, 0, len(points)*len(ax.Values))
+		for _, p := range points {
+			for _, v := range ax.Values {
+				np := Point{}
+				for k, pv := range p {
+					np[k] = pv
+				}
+				np[ax.Name] = v
+				next = append(next, np)
+			}
+		}
+		points = next
+	}
+	return points
+}
+
+// Apply sets the named hyperparameters on a copy of h. Supported names:
+// learning_rate, gamma, target_update_rate, minibatch_size,
+// epsilon_final, epsilon_bump, exploration_period, ticks_per_observation,
+// train_every, gradient_clip.
+func Apply(h capes.Hyperparameters, p Point) (capes.Hyperparameters, error) {
+	for name, v := range p {
+		switch name {
+		case "learning_rate":
+			h.AdamLearningRate = v
+		case "gamma":
+			h.DiscountRate = v
+		case "target_update_rate":
+			h.TargetUpdateRate = v
+		case "minibatch_size":
+			h.MinibatchSize = int(v)
+		case "epsilon_final":
+			h.EpsilonFinal = v
+		case "epsilon_bump":
+			h.EpsilonBump = v
+		case "exploration_period":
+			h.ExplorationPeriod = int64(v)
+		case "ticks_per_observation":
+			h.TicksPerObservation = int(v)
+		case "train_every":
+			h.TrainEvery = int64(v)
+		case "gradient_clip":
+			h.GradientClip = v
+		default:
+			return h, fmt.Errorf("hypersearch: unknown hyperparameter %q", name)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return h, fmt.Errorf("hypersearch: point %v: %w", p, err)
+	}
+	return h, nil
+}
+
+// Search evaluates every grid point with every seed and returns results
+// sorted best-first. Points that fail Validate are skipped with their
+// error collected into errs.
+func Search(base capes.Hyperparameters, axes []Axis, eval EvalFunc, seeds []int64) (results []Result, errs []error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	for _, p := range Grid(axes) {
+		h, err := Apply(base, p)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		var sum float64
+		ok := true
+		for _, seed := range seeds {
+			s, err := eval(h, seed)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("hypersearch: eval %v seed %d: %w", p, seed, err))
+				ok = false
+				break
+			}
+			sum += s
+		}
+		if !ok {
+			continue
+		}
+		results = append(results, Result{Point: p, Score: sum / float64(len(seeds))})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	return results, errs
+}
+
+// String renders a point deterministically (sorted keys).
+func (p Point) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%g", k, p[k])
+	}
+	return s + "}"
+}

@@ -1,0 +1,120 @@
+// Package netsim models the evaluation cluster's network: gigabit
+// Ethernet per node with a measured peak aggregate of ~500 MB/s (§4.2),
+// giving the 1:1 network-to-storage bandwidth ratio the authors chose to
+// mimic larger supercomputers. The model is flow-level: per tick it caps
+// the bytes each client may move and the aggregate across the fabric, and
+// derives ping latency from utilization.
+package netsim
+
+import (
+	"fmt"
+)
+
+// Params configures the fabric.
+type Params struct {
+	ClientLinkMBps float64 // per-client link capacity (GbE ≈ 117 MB/s)
+	AggregateMBps  float64 // fabric aggregate (paper: ~500 MB/s)
+	BasePingMs     float64 // idle round-trip latency
+	// QueuePingMs scales the latency added at full utilization:
+	// ping = base + QueuePingMs · u/(1−u) (M/M/1-style growth, capped).
+	QueuePingMs float64
+	MaxPingMs   float64
+}
+
+// Default returns the evaluation cluster's network profile.
+func Default() Params {
+	return Params{
+		ClientLinkMBps: 117,
+		AggregateMBps:  500,
+		BasePingMs:     0.25,
+		QueuePingMs:    0.8,
+		MaxPingMs:      200,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.ClientLinkMBps <= 0 || p.AggregateMBps <= 0 {
+		return fmt.Errorf("netsim: link capacities must be positive")
+	}
+	if p.BasePingMs < 0 || p.QueuePingMs < 0 {
+		return fmt.Errorf("netsim: latencies must be non-negative")
+	}
+	if p.MaxPingMs <= p.BasePingMs {
+		return fmt.Errorf("netsim: MaxPingMs must exceed BasePingMs")
+	}
+	return nil
+}
+
+// Fabric applies the capacity model.
+type Fabric struct {
+	P Params
+
+	lastUtilization float64
+}
+
+// New returns a Fabric after validation.
+func New(p Params) (*Fabric, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{P: p}, nil
+}
+
+// Admit takes the bytes each client wants to move this tick (reads plus
+// writes; the links are full duplex but Lustre RPC traffic on the
+// evaluation rig was effectively shared) and returns the per-client
+// scale factors in (0,1] after enforcing per-link and aggregate limits.
+// It also records utilization for PingMs.
+func (f *Fabric) Admit(wantBytes []float64) []float64 {
+	scale := make([]float64, len(wantBytes))
+	linkCap := f.P.ClientLinkMBps * 1e6
+	var total float64
+	granted := make([]float64, len(wantBytes))
+	for i, w := range wantBytes {
+		if w <= 0 {
+			scale[i] = 1
+			continue
+		}
+		g := w
+		if g > linkCap {
+			g = linkCap
+		}
+		granted[i] = g
+		total += g
+	}
+	aggCap := f.P.AggregateMBps * 1e6
+	aggScale := 1.0
+	if total > aggCap {
+		aggScale = aggCap / total
+	}
+	var used float64
+	for i, w := range wantBytes {
+		if w <= 0 {
+			continue
+		}
+		g := granted[i] * aggScale
+		scale[i] = g / w
+		used += g
+	}
+	f.lastUtilization = used / aggCap
+	return scale
+}
+
+// Utilization returns the fabric utilization observed by the last Admit.
+func (f *Fabric) Utilization() float64 { return f.lastUtilization }
+
+// PingMs returns the current client↔server round-trip latency implied by
+// fabric utilization (the "ping latency from each client to each server"
+// performance indicator).
+func (f *Fabric) PingMs() float64 {
+	u := f.lastUtilization
+	if u > 0.99 {
+		u = 0.99
+	}
+	ping := f.P.BasePingMs + f.P.QueuePingMs*u/(1-u)
+	if ping > f.P.MaxPingMs {
+		ping = f.P.MaxPingMs
+	}
+	return ping
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+
+	"capes/internal/tensor"
+)
+
+// Adam implements the Adam stochastic-gradient optimizer (Kingma & Ba,
+// 2015), the optimizer the paper selects for training the Q-network with
+// learning rate 0.0001 (Table 1).
+type Adam struct {
+	LR      float64 // learning rate (Table 1: 0.0001)
+	Beta1   float64 // first-moment decay, default 0.9
+	Beta2   float64 // second-moment decay, default 0.999
+	Epsilon float64 // numerical-stability constant, default 1e-8
+
+	step int
+	m    []*tensor.Matrix // first-moment estimates, aligned with params
+	v    []*tensor.Matrix // second-moment estimates
+}
+
+// NewAdam returns an Adam optimizer with the standard β/ε defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one Adam update: params[i] -= lr · m̂/(√v̂+ε) using the
+// gradients in grads. Moment buffers are lazily allocated to match the
+// parameter shapes on the first call.
+func (a *Adam) Step(params, grads []*tensor.Matrix) {
+	if len(params) != len(grads) {
+		panic("nn: Adam params/grads length mismatch")
+	}
+	if a.m == nil {
+		a.m = make([]*tensor.Matrix, len(params))
+		a.v = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.Rows, p.Cols)
+			a.v[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	a.step++
+	// Bias-corrected learning rate: lr·√(1−β₂ᵗ)/(1−β₁ᵗ).
+	t := float64(a.step)
+	lrT := a.LR * math.Sqrt(1-math.Pow(a.Beta2, t)) / (1 - math.Pow(a.Beta1, t))
+	for i, p := range params {
+		g := grads[i]
+		mi, vi := a.m[i], a.v[i]
+		for j, gj := range g.Data {
+			mi.Data[j] = a.Beta1*mi.Data[j] + (1-a.Beta1)*gj
+			vi.Data[j] = a.Beta2*vi.Data[j] + (1-a.Beta2)*gj*gj
+			p.Data[j] -= lrT * mi.Data[j] / (math.Sqrt(vi.Data[j]) + a.Epsilon)
+		}
+	}
+}
+
+// StepCount returns the number of updates applied so far.
+func (a *Adam) StepCount() int { return a.step }
+
+// Reset clears the moment estimates and step counter.
+func (a *Adam) Reset() {
+	a.step = 0
+	a.m, a.v = nil, nil
+}
+
+// SGD is a plain stochastic-gradient-descent optimizer, kept as a baseline
+// for the optimizer ablation (the paper argues Adam converges faster).
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      []*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer with optional momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step applies params[i] -= lr·grads[i] (with momentum if configured).
+func (s *SGD) Step(params, grads []*tensor.Matrix) {
+	if len(params) != len(grads) {
+		panic("nn: SGD params/grads length mismatch")
+	}
+	if s.Momentum == 0 {
+		for i, p := range params {
+			p.AddScaled(grads[i], -s.LR)
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			s.vel[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	for i, p := range params {
+		v := s.vel[i]
+		v.Scale(s.Momentum)
+		v.AddScaled(grads[i], -s.LR)
+		for j := range p.Data {
+			p.Data[j] += v.Data[j]
+		}
+	}
+}
+
+// Optimizer is satisfied by Adam and SGD.
+type Optimizer interface {
+	Step(params, grads []*tensor.Matrix)
+}
+
+var (
+	_ Optimizer = (*Adam)(nil)
+	_ Optimizer = (*SGD)(nil)
+)

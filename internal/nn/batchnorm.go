@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+
+	"capes/internal/tensor"
+)
+
+// BatchNorm implements batch normalization (Ioffe & Szegedy, 2015) — one
+// of the "new deep learning techniques" §6 of the paper proposes
+// evaluating for CAPES. In training mode it normalizes each feature over
+// the minibatch and learns a scale γ and shift β; in inference mode it
+// uses running estimates of the population statistics, so single-
+// observation action-path forwards behave deterministically.
+type BatchNorm struct {
+	Features int
+	Momentum float64 // running-stat update rate (default 0.1)
+	Epsilon  float64
+
+	Gamma, Beta         []float64
+	GradGamma, GradBeta []float64
+	RunningMean         []float64
+	RunningVar          []float64
+
+	training bool
+
+	// forward caches
+	input  *tensor.Matrix
+	xhat   *tensor.Matrix
+	output *tensor.Matrix
+	gradIn *tensor.Matrix
+	mean   []float64
+	varr   []float64
+}
+
+// NewBatchNorm creates a batch-normalization layer over `features`
+// columns, starting in training mode.
+func NewBatchNorm(features int) *BatchNorm {
+	bn := &BatchNorm{
+		Features:    features,
+		Momentum:    0.1,
+		Epsilon:     1e-5,
+		Gamma:       make([]float64, features),
+		Beta:        make([]float64, features),
+		GradGamma:   make([]float64, features),
+		GradBeta:    make([]float64, features),
+		RunningMean: make([]float64, features),
+		RunningVar:  make([]float64, features),
+		training:    true,
+		mean:        make([]float64, features),
+		varr:        make([]float64, features),
+	}
+	for i := range bn.Gamma {
+		bn.Gamma[i] = 1
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// SetTraining switches between minibatch statistics (true) and running
+// population statistics (false).
+func (bn *BatchNorm) SetTraining(on bool) { bn.training = on }
+
+// Training reports the current mode.
+func (bn *BatchNorm) Training() bool { return bn.training }
+
+func (bn *BatchNorm) ensure(batch int) {
+	if bn.output == nil || bn.output.Rows != batch {
+		bn.output = tensor.New(batch, bn.Features)
+		bn.xhat = tensor.New(batch, bn.Features)
+		bn.gradIn = tensor.New(batch, bn.Features)
+	}
+}
+
+// Forward normalizes the minibatch.
+func (bn *BatchNorm) Forward(in *tensor.Matrix) *tensor.Matrix {
+	if in.Cols != bn.Features {
+		panic("nn: BatchNorm feature mismatch")
+	}
+	bn.ensure(in.Rows)
+	bn.input = in
+	n := float64(in.Rows)
+	var mean, varr []float64
+	if bn.training && in.Rows > 1 {
+		for j := 0; j < bn.Features; j++ {
+			bn.mean[j], bn.varr[j] = 0, 0
+		}
+		for i := 0; i < in.Rows; i++ {
+			row := in.Row(i)
+			for j, v := range row {
+				bn.mean[j] += v
+			}
+		}
+		for j := range bn.mean {
+			bn.mean[j] /= n
+		}
+		for i := 0; i < in.Rows; i++ {
+			row := in.Row(i)
+			for j, v := range row {
+				d := v - bn.mean[j]
+				bn.varr[j] += d * d
+			}
+		}
+		for j := range bn.varr {
+			bn.varr[j] /= n
+			// Update running statistics.
+			bn.RunningMean[j] = (1-bn.Momentum)*bn.RunningMean[j] + bn.Momentum*bn.mean[j]
+			bn.RunningVar[j] = (1-bn.Momentum)*bn.RunningVar[j] + bn.Momentum*bn.varr[j]
+		}
+		mean, varr = bn.mean, bn.varr
+	} else {
+		mean, varr = bn.RunningMean, bn.RunningVar
+	}
+	for i := 0; i < in.Rows; i++ {
+		row := in.Row(i)
+		xh := bn.xhat.Row(i)
+		out := bn.output.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean[j]) / math.Sqrt(varr[j]+bn.Epsilon)
+			out[j] = bn.Gamma[j]*xh[j] + bn.Beta[j]
+		}
+	}
+	return bn.output
+}
+
+// Backward propagates gradients through the normalization (training-mode
+// statistics) and accumulates ∂L/∂γ and ∂L/∂β.
+func (bn *BatchNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	nRows := gradOut.Rows
+	n := float64(nRows)
+	for j := 0; j < bn.Features; j++ {
+		bn.GradGamma[j], bn.GradBeta[j] = 0, 0
+	}
+	for i := 0; i < nRows; i++ {
+		g := gradOut.Row(i)
+		xh := bn.xhat.Row(i)
+		for j := range g {
+			bn.GradGamma[j] += g[j] * xh[j]
+			bn.GradBeta[j] += g[j]
+		}
+	}
+	if !bn.training || nRows == 1 {
+		// Inference-mode backward (fixed statistics): dx = γ·g/√(σ²+ε).
+		varr := bn.RunningVar
+		for i := 0; i < nRows; i++ {
+			g := gradOut.Row(i)
+			dx := bn.gradIn.Row(i)
+			for j := range g {
+				dx[j] = bn.Gamma[j] * g[j] / math.Sqrt(varr[j]+bn.Epsilon)
+			}
+		}
+		return bn.gradIn
+	}
+	// Training-mode backward:
+	// dx = (γ/√(σ²+ε)) · (g − mean(g) − x̂·mean(g·x̂)) per feature.
+	for j := 0; j < bn.Features; j++ {
+		invStd := 1 / math.Sqrt(bn.varr[j]+bn.Epsilon)
+		sumG := bn.GradBeta[j] / n
+		sumGX := bn.GradGamma[j] / n
+		for i := 0; i < nRows; i++ {
+			g := gradOut.At(i, j)
+			xh := bn.xhat.At(i, j)
+			bn.gradIn.Set(i, j, bn.Gamma[j]*invStd*(g-sumG-xh*sumGX))
+		}
+	}
+	return bn.gradIn
+}
+
+// Params exposes γ and β to the optimizer.
+func (bn *BatchNorm) Params() []*tensor.Matrix {
+	return []*tensor.Matrix{
+		tensor.FromSlice(1, bn.Features, bn.Gamma),
+		tensor.FromSlice(1, bn.Features, bn.Beta),
+	}
+}
+
+// Grads exposes the γ/β gradients, aligned with Params.
+func (bn *BatchNorm) Grads() []*tensor.Matrix {
+	return []*tensor.Matrix{
+		tensor.FromSlice(1, bn.Features, bn.GradGamma),
+		tensor.FromSlice(1, bn.Features, bn.GradBeta),
+	}
+}
+
+var _ ParamLayer = (*BatchNorm)(nil)

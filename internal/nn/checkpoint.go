@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+)
+
+// newZeroRand returns a deterministic RNG for models whose weights are
+// about to be overwritten (checkpoint load, Clone).
+func newZeroRand() *rand.Rand { return rand.New(rand.NewSource(0)) }
+
+// Checkpointing. The CAPES artifact "automatically checkpoints and stores
+// the trained model when being stopped, and loads the saved model when
+// being started next time" (§A.4). We serialize the MLP topology and
+// parameters with encoding/gob behind flate compression.
+
+// checkpointFile is the on-disk gob structure.
+type checkpointFile struct {
+	Magic      string
+	Version    int
+	Sizes      []int
+	Activation int
+	Weights    [][]float64 // aligned with Params()
+}
+
+const (
+	checkpointMagic   = "CAPES-DNN"
+	checkpointVersion = 1
+)
+
+// Save writes the model parameters to w.
+func (m *MLP) Save(w io.Writer) error {
+	fw, err := flate.NewWriter(w, flate.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint writer: %w", err)
+	}
+	cf := checkpointFile{
+		Magic:      checkpointMagic,
+		Version:    checkpointVersion,
+		Sizes:      m.Sizes,
+		Activation: int(m.Activation),
+	}
+	for _, p := range m.Params() {
+		cf.Weights = append(cf.Weights, append([]float64(nil), p.Data...))
+	}
+	if err := gob.NewEncoder(fw).Encode(cf); err != nil {
+		return fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	return fw.Close()
+}
+
+// Load reads a checkpoint from r and returns the reconstructed model.
+func Load(r io.Reader) (*MLP, error) {
+	fr := flate.NewReader(r)
+	defer fr.Close()
+	var cf checkpointFile
+	if err := gob.NewDecoder(fr).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	if cf.Magic != checkpointMagic {
+		return nil, fmt.Errorf("nn: not a CAPES checkpoint (magic %q)", cf.Magic)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("nn: unsupported checkpoint version %d", cf.Version)
+	}
+	m := NewMLP(newZeroRand(), Activation(cf.Activation), cf.Sizes...)
+	ps := m.Params()
+	if len(ps) != len(cf.Weights) {
+		return nil, fmt.Errorf("nn: checkpoint has %d tensors, model needs %d", len(cf.Weights), len(ps))
+	}
+	for i, p := range ps {
+		if len(cf.Weights[i]) != len(p.Data) {
+			return nil, fmt.Errorf("nn: checkpoint tensor %d has %d values, want %d", i, len(cf.Weights[i]), len(p.Data))
+		}
+		copy(p.Data, cf.Weights[i])
+	}
+	return m, nil
+}
+
+// SaveFile writes a checkpoint to path (atomically via a temp file).
+func (m *MLP) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*MLP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// CheckpointBytes returns the serialized size of the model, used for the
+// Table 2 "size of the DNN model" row alongside the in-memory Bytes().
+func (m *MLP) CheckpointBytes() (int, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}

@@ -1,0 +1,174 @@
+// Package nn implements the deep neural network used by the CAPES DRL
+// engine: a multi-layer perceptron with tanh hidden layers and a linear
+// output head (one Q-value per action, §3.4 of the paper), trained with
+// mean-squared error and the Adam optimizer.
+//
+// The implementation is minibatch-oriented: a forward pass maps a
+// batch×in matrix to a batch×out matrix, and Backward propagates the
+// output-side gradient back while accumulating parameter gradients, the
+// exact structure TensorFlow provided in the original prototype.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"capes/internal/tensor"
+)
+
+// Dense is a fully connected layer: out = in·W + b, with W of shape
+// in×out and bias b of length out.
+type Dense struct {
+	In, Out int
+	W       *tensor.Matrix
+	B       []float64
+
+	// Gradients accumulated by Backward.
+	GradW *tensor.Matrix
+	GradB []float64
+
+	// Scratch buffers sized for the last batch seen.
+	input  *tensor.Matrix // saved forward input (not owned)
+	output *tensor.Matrix
+	gradIn *tensor.Matrix
+}
+
+// NewDense creates an in×out dense layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:    in,
+		Out:   out,
+		W:     tensor.New(in, out),
+		B:     make([]float64, out),
+		GradW: tensor.New(in, out),
+		GradB: make([]float64, out),
+	}
+	d.W.XavierFill(rng, in, out)
+	return d
+}
+
+func (d *Dense) ensure(batch int) {
+	if d.output == nil || d.output.Rows != batch {
+		d.output = tensor.New(batch, d.Out)
+		d.gradIn = tensor.New(batch, d.In)
+	}
+}
+
+// Forward computes in·W + b for a batch. The returned matrix is owned by
+// the layer and valid until the next Forward call.
+func (d *Dense) Forward(in *tensor.Matrix) *tensor.Matrix {
+	if in.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense forward got %d features, want %d", in.Cols, d.In))
+	}
+	d.ensure(in.Rows)
+	d.input = in
+	tensor.MulInto(d.output, in, d.W)
+	d.output.AddRowVector(d.B)
+	return d.output
+}
+
+// Backward takes ∂L/∂out and returns ∂L/∂in, accumulating ∂L/∂W and
+// ∂L/∂b into GradW/GradB (overwriting them — one minibatch per step).
+func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	// ∂L/∂W = inᵀ · gradOut
+	tensor.MulTransAInto(d.GradW, d.input, gradOut)
+	// ∂L/∂b = column sums of gradOut
+	gradOut.ColSumsInto(d.GradB)
+	// ∂L/∂in = gradOut · Wᵀ
+	tensor.MulTransBInto(d.gradIn, gradOut, d.W)
+	return d.gradIn
+}
+
+// Params returns the layer's parameter matrices flattened as a list; the
+// bias is exposed as a 1×Out matrix view for uniform optimizer handling.
+func (d *Dense) Params() []*tensor.Matrix {
+	return []*tensor.Matrix{d.W, tensor.FromSlice(1, d.Out, d.B)}
+}
+
+// Grads returns the gradient matrices aligned with Params.
+func (d *Dense) Grads() []*tensor.Matrix {
+	return []*tensor.Matrix{d.GradW, tensor.FromSlice(1, d.Out, d.GradB)}
+}
+
+// Tanh is the hyperbolic-tangent activation layer used for both hidden
+// layers of the CAPES Q-network.
+type Tanh struct {
+	output *tensor.Matrix
+	gradIn *tensor.Matrix
+}
+
+// Forward applies tanh elementwise.
+func (t *Tanh) Forward(in *tensor.Matrix) *tensor.Matrix {
+	if t.output == nil || t.output.Rows != in.Rows || t.output.Cols != in.Cols {
+		t.output = tensor.New(in.Rows, in.Cols)
+		t.gradIn = tensor.New(in.Rows, in.Cols)
+	}
+	for i, v := range in.Data {
+		t.output.Data[i] = math.Tanh(v)
+	}
+	return t.output
+}
+
+// Backward uses d tanh(x)/dx = 1 − tanh²(x), computed from the cached
+// forward output.
+func (t *Tanh) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	for i, y := range t.output.Data {
+		t.gradIn.Data[i] = gradOut.Data[i] * (1 - y*y)
+	}
+	return t.gradIn
+}
+
+// ReLU is provided for the ablation benches comparing activation choices;
+// the paper's network uses tanh.
+type ReLU struct {
+	output *tensor.Matrix
+	gradIn *tensor.Matrix
+}
+
+// Forward applies max(0,x) elementwise.
+func (r *ReLU) Forward(in *tensor.Matrix) *tensor.Matrix {
+	if r.output == nil || r.output.Rows != in.Rows || r.output.Cols != in.Cols {
+		r.output = tensor.New(in.Rows, in.Cols)
+		r.gradIn = tensor.New(in.Rows, in.Cols)
+	}
+	for i, v := range in.Data {
+		if v > 0 {
+			r.output.Data[i] = v
+		} else {
+			r.output.Data[i] = 0
+		}
+	}
+	return r.output
+}
+
+// Backward passes gradient where the forward input was positive.
+func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	for i, y := range r.output.Data {
+		if y > 0 {
+			r.gradIn.Data[i] = gradOut.Data[i]
+		} else {
+			r.gradIn.Data[i] = 0
+		}
+	}
+	return r.gradIn
+}
+
+// Layer is the interface satisfied by Dense, Tanh and ReLU.
+type Layer interface {
+	Forward(in *tensor.Matrix) *tensor.Matrix
+	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+}
+
+// ParamLayer is a Layer with trainable parameters.
+type ParamLayer interface {
+	Layer
+	Params() []*tensor.Matrix
+	Grads() []*tensor.Matrix
+}
+
+var (
+	_ ParamLayer = (*Dense)(nil)
+	_ Layer      = (*Tanh)(nil)
+	_ Layer      = (*ReLU)(nil)
+)

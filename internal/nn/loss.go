@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"math"
+
+	"capes/internal/tensor"
+)
+
+// MaskedMSE computes the Q-learning loss of Equation 1: for each row i of
+// the minibatch, only the output unit for the action actually taken,
+// actions[i], contributes to the loss:
+//
+//	L = (1/batch) Σᵢ (targets[i] − pred[i][actions[i]])²
+//
+// It writes ∂L/∂pred into gradOut (same shape as pred; all other entries
+// zero) and returns the scalar loss. This matches the paper's choice of a
+// network that emits Q-values for every action in one forward pass while
+// training only the taken action's head.
+func MaskedMSE(pred *tensor.Matrix, actions []int, targets []float64, gradOut *tensor.Matrix) float64 {
+	if len(actions) != pred.Rows || len(targets) != pred.Rows {
+		panic("nn: MaskedMSE batch size mismatch")
+	}
+	if gradOut.Rows != pred.Rows || gradOut.Cols != pred.Cols {
+		panic("nn: MaskedMSE gradOut shape mismatch")
+	}
+	gradOut.Zero()
+	n := float64(pred.Rows)
+	var loss float64
+	for i := 0; i < pred.Rows; i++ {
+		a := actions[i]
+		if a < 0 || a >= pred.Cols {
+			panic("nn: MaskedMSE action index out of range")
+		}
+		diff := pred.At(i, a) - targets[i]
+		loss += diff * diff
+		// d/dq of (q−t)²/n = 2(q−t)/n
+		gradOut.Set(i, a, 2*diff/n)
+	}
+	return loss / n
+}
+
+// MSE computes the plain mean-squared error between pred and target over
+// all outputs, writing the gradient into gradOut. Used by the supervised
+// sanity tests and the prediction-error metric of Figure 5.
+func MSE(pred, target, gradOut *tensor.Matrix) float64 {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: MSE shape mismatch")
+	}
+	n := float64(len(pred.Data))
+	var loss float64
+	for i, p := range pred.Data {
+		diff := p - target.Data[i]
+		loss += diff * diff
+		gradOut.Data[i] = 2 * diff / n
+	}
+	return loss / n
+}
+
+// ClipGradients scales the gradient set so its global L2 norm does not
+// exceed maxNorm. DQN training can spike when the reward distribution
+// shifts; clipping keeps Adam steps bounded. Returns the pre-clip norm.
+func ClipGradients(grads []*tensor.Matrix, maxNorm float64) float64 {
+	var ss float64
+	for _, g := range grads {
+		ss += g.SumSquares()
+	}
+	norm := math.Sqrt(ss)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, g := range grads {
+			g.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// MaskedHuber is the Huber-loss variant of MaskedMSE: quadratic within
+// ±delta of the target and linear beyond, which caps the gradient
+// magnitude of outlier Bellman targets (the classic DQN stabilizer; kept
+// optional since the paper's prototype used plain MSE).
+func MaskedHuber(pred *tensor.Matrix, actions []int, targets []float64, delta float64, gradOut *tensor.Matrix) float64 {
+	if len(actions) != pred.Rows || len(targets) != pred.Rows {
+		panic("nn: MaskedHuber batch size mismatch")
+	}
+	if gradOut.Rows != pred.Rows || gradOut.Cols != pred.Cols {
+		panic("nn: MaskedHuber gradOut shape mismatch")
+	}
+	if delta <= 0 {
+		panic("nn: MaskedHuber delta must be positive")
+	}
+	gradOut.Zero()
+	n := float64(pred.Rows)
+	var loss float64
+	for i := 0; i < pred.Rows; i++ {
+		a := actions[i]
+		if a < 0 || a >= pred.Cols {
+			panic("nn: MaskedHuber action index out of range")
+		}
+		diff := pred.At(i, a) - targets[i]
+		ad := math.Abs(diff)
+		if ad <= delta {
+			loss += 0.5 * diff * diff
+			gradOut.Set(i, a, diff/n)
+		} else {
+			loss += delta * (ad - 0.5*delta)
+			g := delta / n
+			if diff < 0 {
+				g = -g
+			}
+			gradOut.Set(i, a, g)
+		}
+	}
+	return loss / n
+}

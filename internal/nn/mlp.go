@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"capes/internal/tensor"
+)
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+// Supported activations. ActTanh is the paper's choice (§3.4).
+const (
+	ActTanh Activation = iota
+	ActReLU
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ActTanh:
+		return "tanh"
+	case ActReLU:
+		return "relu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) newLayer() Layer {
+	switch a {
+	case ActReLU:
+		return &ReLU{}
+	default:
+		return &Tanh{}
+	}
+}
+
+// MLP is a multi-layer perceptron: a stack of Dense layers with an
+// activation after every layer except the last, whose output is linear
+// (one scalar per action for a Q-network).
+type MLP struct {
+	Sizes      []int // layer widths: input, hidden..., output
+	Activation Activation
+
+	layers []Layer  // interleaved Dense/activation
+	dense  []*Dense // the Dense layers only, in order
+}
+
+// NewMLP builds an MLP with the given layer widths. The CAPES network is
+// NewMLP(rng, ActTanh, in, in, in, nActions): two hidden layers the same
+// size as the input (Table 1 "number of hidden layers"=2, "hidden layer
+// size"=input size).
+func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...), Activation: act}
+	for i := 0; i+1 < len(sizes); i++ {
+		d := NewDense(sizes[i], sizes[i+1], rng)
+		m.dense = append(m.dense, d)
+		m.layers = append(m.layers, d)
+		if i+2 < len(sizes) { // no activation after the output layer
+			m.layers = append(m.layers, act.newLayer())
+		}
+	}
+	return m
+}
+
+// NewCAPESNetwork builds the paper's Q-network shape: two hidden layers of
+// the same width as the input and a linear head with one output per action.
+func NewCAPESNetwork(rng *rand.Rand, inputSize, nActions int) *MLP {
+	return NewMLP(rng, ActTanh, inputSize, inputSize, inputSize, nActions)
+}
+
+// InputSize returns the expected feature count.
+func (m *MLP) InputSize() int { return m.Sizes[0] }
+
+// OutputSize returns the output width (number of actions for a Q-network).
+func (m *MLP) OutputSize() int { return m.Sizes[len(m.Sizes)-1] }
+
+// Forward runs a minibatch through the network. The result is owned by
+// the network and valid until the next Forward.
+func (m *MLP) Forward(in *tensor.Matrix) *tensor.Matrix {
+	out := in
+	for _, l := range m.layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// ForwardVec runs a single observation (len == InputSize) and returns a
+// fresh copy of the output vector. Used on the action path where the
+// caller keeps the Q-values around.
+func (m *MLP) ForwardVec(obs []float64) []float64 {
+	in := tensor.FromSlice(1, len(obs), obs)
+	out := m.Forward(in)
+	res := make([]float64, out.Cols)
+	copy(res, out.Row(0))
+	return res
+}
+
+// Backward propagates ∂L/∂out back through the network, leaving parameter
+// gradients in each Dense layer.
+func (m *MLP) Backward(gradOut *tensor.Matrix) {
+	g := gradOut
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		g = m.layers[i].Backward(g)
+	}
+}
+
+// Params returns all parameter matrices in a stable order.
+func (m *MLP) Params() []*tensor.Matrix {
+	var ps []*tensor.Matrix
+	for _, d := range m.dense {
+		ps = append(ps, d.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradient matrices aligned with Params.
+func (m *MLP) Grads() []*tensor.Matrix {
+	var gs []*tensor.Matrix
+	for _, d := range m.dense {
+		gs = append(gs, d.Grads()...)
+	}
+	return gs
+}
+
+// NumParams returns the total trainable parameter count (Table 2's
+// "size of the DNN model" is NumParams × 8 bytes, reported by Bytes).
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// Bytes returns the in-memory size of the model parameters.
+func (m *MLP) Bytes() int { return m.NumParams() * 8 }
+
+// Clone returns a deep copy with identical weights (used to spawn the
+// target network from the online network).
+func (m *MLP) Clone() *MLP {
+	// Build with a throwaway RNG, then overwrite parameters.
+	c := NewMLP(rand.New(rand.NewSource(0)), m.Activation, m.Sizes...)
+	c.CopyParamsFrom(m)
+	return c
+}
+
+// CopyParamsFrom copies all parameters from src (hard target update).
+func (m *MLP) CopyParamsFrom(src *MLP) {
+	dst, s := m.Params(), src.Params()
+	if len(dst) != len(s) {
+		panic("nn: CopyParamsFrom shape mismatch")
+	}
+	for i := range dst {
+		dst[i].CopyFrom(s[i])
+	}
+}
+
+// SoftUpdateFrom applies θ⁻ = θ⁻×(1−α) + θ×α parameter-wise — the target
+// network update rule from Table 1 (α = 0.01).
+func (m *MLP) SoftUpdateFrom(src *MLP, alpha float64) {
+	dst, s := m.Params(), src.Params()
+	if len(dst) != len(s) {
+		panic("nn: SoftUpdateFrom shape mismatch")
+	}
+	for i := range dst {
+		dst[i].Lerp(s[i], alpha)
+	}
+}
+
+// CheckFinite returns an error if any parameter is NaN/Inf.
+func (m *MLP) CheckFinite() error {
+	for i, p := range m.Params() {
+		if err := p.CheckFinite(); err != nil {
+			return fmt.Errorf("nn: param %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,532 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"capes/internal/tensor"
+)
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(2, 2, rng)
+	d.W.CopyFrom(tensor.FromSlice(2, 2, []float64{1, 2, 3, 4}))
+	copy(d.B, []float64{10, 20})
+	out := d.Forward(tensor.FromSlice(1, 2, []float64{1, 1}))
+	if out.At(0, 0) != 14 || out.At(0, 1) != 26 {
+		t.Fatalf("Dense forward = %v", out)
+	}
+}
+
+// numericalGradCheck compares analytic gradients against central finite
+// differences for a small network, the canonical backprop correctness test.
+func TestBackpropNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP(rng, ActTanh, 3, 5, 4, 2)
+	batch := 4
+	in := tensor.New(batch, 3)
+	in.XavierFill(rng, 3, 3)
+	target := tensor.New(batch, 2)
+	target.XavierFill(rng, 2, 2)
+
+	loss := func() float64 {
+		out := m.Forward(in)
+		var s float64
+		n := float64(len(out.Data))
+		for i, v := range out.Data {
+			d := v - target.Data[i]
+			s += d * d / n
+		}
+		return s / n * n // keep formula identical to MSE: Σd²/n
+	}
+	// Analytic gradients.
+	out := m.Forward(in)
+	grad := tensor.New(batch, 2)
+	MSE(out, target, grad)
+	m.Backward(grad)
+
+	params, grads := m.Params(), m.Grads()
+	const h = 1e-6
+	checked := 0
+	for pi, p := range params {
+		for j := 0; j < len(p.Data); j += 7 { // sample every 7th param
+			orig := p.Data[j]
+			p.Data[j] = orig + h
+			lp := loss()
+			p.Data[j] = orig - h
+			lm := loss()
+			p.Data[j] = orig
+			numeric := (lp - lm) / (2 * h)
+			analytic := grads[pi].Data[j]
+			if math.Abs(numeric-analytic) > 1e-5*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d[%d]: analytic %g vs numeric %g", pi, j, analytic, numeric)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d gradient entries checked", checked)
+	}
+}
+
+func TestMaskedMSENumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, ActTanh, 4, 6, 3)
+	batch := 5
+	in := tensor.New(batch, 4)
+	in.XavierFill(rng, 4, 4)
+	actions := []int{0, 2, 1, 2, 0}
+	targets := []float64{0.5, -0.2, 1.1, 0.0, -0.7}
+
+	loss := func() float64 {
+		out := m.Forward(in)
+		var s float64
+		for i, a := range actions {
+			d := out.At(i, a) - targets[i]
+			s += d * d
+		}
+		return s / float64(batch)
+	}
+	out := m.Forward(in)
+	grad := tensor.New(batch, 3)
+	got := MaskedMSE(out, actions, targets, grad)
+	if math.Abs(got-loss()) > 1e-12 {
+		t.Fatalf("MaskedMSE loss %g vs direct %g", got, loss())
+	}
+	m.Backward(grad)
+	params, grads := m.Params(), m.Grads()
+	const h = 1e-6
+	for pi, p := range params {
+		for j := 0; j < len(p.Data); j += 5 {
+			orig := p.Data[j]
+			p.Data[j] = orig + h
+			lp := loss()
+			p.Data[j] = orig - h
+			lm := loss()
+			p.Data[j] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grads[pi].Data[j]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Fatalf("masked grad param %d[%d]: analytic %g vs numeric %g",
+					pi, j, grads[pi].Data[j], numeric)
+			}
+		}
+	}
+}
+
+// TestMLPLearnsXOR: the paper notes an MLP "can represent boolean
+// functions, such as AND, OR, NOT, and XOR" (§3.4). Verify training
+// actually learns XOR, the classic non-linearly-separable case.
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMLP(rng, ActTanh, 2, 8, 8, 1)
+	opt := NewAdam(0.01)
+	in := tensor.FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	target := tensor.FromSlice(4, 1, []float64{0, 1, 1, 0})
+	grad := tensor.New(4, 1)
+	var loss float64
+	for i := 0; i < 2000; i++ {
+		out := m.Forward(in)
+		loss = MSE(out, target, grad)
+		m.Backward(grad)
+		opt.Step(m.Params(), m.Grads())
+	}
+	if loss > 0.01 {
+		t.Fatalf("XOR not learned, final loss %g", loss)
+	}
+	out := m.Forward(in)
+	for i, want := range []float64{0, 1, 1, 0} {
+		if math.Abs(out.At(i, 0)-want) > 0.2 {
+			t.Fatalf("XOR row %d: got %g want %g", i, out.At(i, 0), want)
+		}
+	}
+}
+
+func TestReLULearnsRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, ActReLU, 1, 16, 1)
+	opt := NewAdam(0.01)
+	n := 32
+	in := tensor.New(n, 1)
+	target := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		x := float64(i)/float64(n)*2 - 1
+		in.Set(i, 0, x)
+		target.Set(i, 0, math.Abs(x)) // |x| is a natural ReLU shape
+	}
+	grad := tensor.New(n, 1)
+	var loss float64
+	for i := 0; i < 3000; i++ {
+		loss = MSE(m.Forward(in), target, grad)
+		m.Backward(grad)
+		opt.Step(m.Params(), m.Grads())
+	}
+	if loss > 0.005 {
+		t.Fatalf("ReLU regression loss %g", loss)
+	}
+}
+
+func TestCloneAndCopyParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, ActTanh, 3, 4, 2)
+	c := m.Clone()
+	for i, p := range m.Params() {
+		if !tensor.Equal(p, c.Params()[i]) {
+			t.Fatalf("clone param %d differs", i)
+		}
+	}
+	// Mutating the clone must not touch the original.
+	c.Params()[0].Set(0, 0, 123)
+	if m.Params()[0].At(0, 0) == 123 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestSoftUpdateMovesTowardSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	online := NewMLP(rng, ActTanh, 2, 3, 2)
+	target := NewMLP(rand.New(rand.NewSource(99)), ActTanh, 2, 3, 2)
+	before := target.Params()[0].At(0, 0)
+	src := online.Params()[0].At(0, 0)
+	target.SoftUpdateFrom(online, 0.1)
+	after := target.Params()[0].At(0, 0)
+	want := before*0.9 + src*0.1
+	if math.Abs(after-want) > 1e-12 {
+		t.Fatalf("soft update: got %g want %g", after, want)
+	}
+	// Many updates converge to the online parameters.
+	for i := 0; i < 500; i++ {
+		target.SoftUpdateFrom(online, 0.05)
+	}
+	for i, p := range target.Params() {
+		if !tensor.ApproxEqual(p, online.Params()[i], 1e-6) {
+			t.Fatalf("target param %d did not converge", i)
+		}
+	}
+}
+
+func TestForwardVecMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(rng, ActTanh, 4, 5, 3)
+	obs := []float64{0.1, -0.3, 0.7, 0.2}
+	v := m.ForwardVec(obs)
+	batch := m.Forward(tensor.FromSlice(1, 4, obs))
+	for j := 0; j < 3; j++ {
+		if math.Abs(v[j]-batch.At(0, j)) > 1e-12 {
+			t.Fatalf("ForwardVec[%d] = %g, batch = %g", j, v[j], batch.At(0, j))
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewCAPESNetwork(rng, 20, 5)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InputSize() != 20 || got.OutputSize() != 5 {
+		t.Fatalf("loaded shape %d→%d", got.InputSize(), got.OutputSize())
+	}
+	for i, p := range m.Params() {
+		if !tensor.Equal(p, got.Params()[i]) {
+			t.Fatalf("param %d differs after round trip", i)
+		}
+	}
+	// And the loaded network computes identically.
+	obs := make([]float64, 20)
+	for i := range obs {
+		obs[i] = float64(i) / 20
+	}
+	a, b := m.ForwardVec(obs), got.ForwardVec(obs)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMLP(rng, ActReLU, 3, 4, 2)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Activation != ActReLU {
+		t.Fatalf("activation = %v", got.Activation)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("expected error loading garbage")
+	}
+}
+
+func TestNumParamsAndBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := NewMLP(rng, ActTanh, 10, 20, 5)
+	want := 10*20 + 20 + 20*5 + 5
+	if m.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", m.NumParams(), want)
+	}
+	if m.Bytes() != want*8 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+}
+
+// Paper Table 1: the CAPES network has two hidden layers the same size as
+// the input; NewCAPESNetwork must honor that.
+func TestCAPESNetworkShape(t *testing.T) {
+	m := NewCAPESNetwork(rand.New(rand.NewSource(1)), 600, 5)
+	wantSizes := []int{600, 600, 600, 5}
+	if len(m.Sizes) != len(wantSizes) {
+		t.Fatalf("sizes = %v", m.Sizes)
+	}
+	for i, s := range wantSizes {
+		if m.Sizes[i] != s {
+			t.Fatalf("sizes = %v, want %v", m.Sizes, wantSizes)
+		}
+	}
+	if m.Activation != ActTanh {
+		t.Fatal("CAPES network must use tanh")
+	}
+}
+
+func TestAdamReducesLossFasterThanSGDOnIllConditioned(t *testing.T) {
+	// A quadratic bowl with very different curvatures per axis; Adam's
+	// per-parameter scaling should dominate plain SGD.
+	run := func(opt Optimizer) float64 {
+		p := tensor.FromSlice(1, 2, []float64{5, 5})
+		g := tensor.New(1, 2)
+		params, grads := []*tensor.Matrix{p}, []*tensor.Matrix{g}
+		for i := 0; i < 300; i++ {
+			g.Set(0, 0, 2*100*p.At(0, 0))  // steep axis
+			g.Set(0, 1, 2*0.01*p.At(0, 1)) // shallow axis
+			opt.Step(params, grads)
+		}
+		return 100*p.At(0, 0)*p.At(0, 0) + 0.01*p.At(0, 1)*p.At(0, 1)
+	}
+	adamLoss := run(NewAdam(0.1))
+	sgdLoss := run(NewSGD(0.001, 0))
+	if adamLoss >= sgdLoss {
+		t.Fatalf("Adam loss %g not better than SGD %g", adamLoss, sgdLoss)
+	}
+}
+
+func TestAdamResetAndStepCount(t *testing.T) {
+	a := NewAdam(0.001)
+	p := tensor.FromSlice(1, 1, []float64{1})
+	g := tensor.FromSlice(1, 1, []float64{1})
+	a.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	if a.StepCount() != 1 {
+		t.Fatalf("StepCount = %d", a.StepCount())
+	}
+	a.Reset()
+	if a.StepCount() != 0 {
+		t.Fatal("Reset did not clear step count")
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	run := func(momentum float64) float64 {
+		p := tensor.FromSlice(1, 1, []float64{10})
+		g := tensor.New(1, 1)
+		opt := NewSGD(0.01, momentum)
+		for i := 0; i < 100; i++ {
+			g.Set(0, 0, 2*p.At(0, 0))
+			opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+		}
+		return math.Abs(p.At(0, 0))
+	}
+	if run(0.9) >= run(0) {
+		t.Fatal("momentum should reach the optimum faster on a smooth bowl")
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	g := tensor.FromSlice(1, 2, []float64{3, 4}) // norm 5
+	norm := ClipGradients([]*tensor.Matrix{g}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %g", norm)
+	}
+	if math.Abs(g.NormL2()-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %g", g.NormL2())
+	}
+	// No clipping when under the limit or maxNorm<=0.
+	g2 := tensor.FromSlice(1, 2, []float64{0.3, 0.4})
+	ClipGradients([]*tensor.Matrix{g2}, 1)
+	if math.Abs(g2.NormL2()-0.5) > 1e-12 {
+		t.Fatal("under-limit gradients must not be scaled")
+	}
+	g3 := tensor.FromSlice(1, 1, []float64{100})
+	ClipGradients([]*tensor.Matrix{g3}, 0)
+	if g3.At(0, 0) != 100 {
+		t.Fatal("maxNorm=0 must disable clipping")
+	}
+}
+
+// Property: forward pass of a tanh network is bounded by the output
+// layer's affine range — more simply, hidden activations are in [-1,1],
+// so output magnitude ≤ Σ|W_out| + |b|. Check outputs are finite for
+// random inputs (stability property).
+func TestForwardFiniteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewMLP(rng, ActTanh, 6, 6, 6, 3)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		obs := make([]float64, 6)
+		for i := range obs {
+			obs[i] = (r.Float64()*2 - 1) * 1e6 // huge inputs
+		}
+		for _, v := range m.ForwardVec(obs) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFiniteDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewMLP(rng, ActTanh, 2, 2, 1)
+	if err := m.CheckFinite(); err != nil {
+		t.Fatalf("fresh model not finite: %v", err)
+	}
+	m.Params()[0].Set(0, 0, math.NaN())
+	if err := m.CheckFinite(); err == nil {
+		t.Fatal("NaN parameter not detected")
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if ActTanh.String() != "tanh" || ActReLU.String() != "relu" {
+		t.Fatal("activation names wrong")
+	}
+	if Activation(99).String() == "" {
+		t.Fatal("unknown activation must still render")
+	}
+}
+
+func BenchmarkForward600(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewCAPESNetwork(rng, 600, 5)
+	in := tensor.New(32, 600)
+	in.XavierFill(rng, 600, 600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(in)
+	}
+}
+
+func BenchmarkTrainStep600(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewCAPESNetwork(rng, 600, 5)
+	opt := NewAdam(1e-4)
+	in := tensor.New(32, 600)
+	in.XavierFill(rng, 600, 600)
+	actions := make([]int, 32)
+	targets := make([]float64, 32)
+	grad := tensor.New(32, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := m.Forward(in)
+		MaskedMSE(out, actions, targets, grad)
+		m.Backward(grad)
+		opt.Step(m.Params(), m.Grads())
+	}
+}
+
+func TestMaskedHuberMatchesMSEInsideDelta(t *testing.T) {
+	pred := tensor.FromSlice(2, 3, []float64{0.1, 0.5, 0.9, -0.2, 0.0, 0.3})
+	actions := []int{1, 2}
+	targets := []float64{0.4, 0.5}
+	gh := tensor.New(2, 3)
+	lh := MaskedHuber(pred, actions, targets, 10, gh) // delta huge → pure quadratic
+	// Huber inside delta is 0.5·d² (vs d² for MSE): loss and grads halve.
+	gm := tensor.New(2, 3)
+	lm := MaskedMSE(pred, actions, targets, gm)
+	if math.Abs(lh-lm/2) > 1e-12 {
+		t.Fatalf("huber %g vs mse/2 %g", lh, lm/2)
+	}
+	for i := range gh.Data {
+		if math.Abs(gh.Data[i]-gm.Data[i]/2) > 1e-12 {
+			t.Fatal("huber grad must be half the MSE grad inside delta")
+		}
+	}
+}
+
+func TestMaskedHuberCapsOutlierGradients(t *testing.T) {
+	pred := tensor.FromSlice(1, 2, []float64{100, 0})
+	g := tensor.New(1, 2)
+	MaskedHuber(pred, []int{0}, []float64{0}, 1, g)
+	if math.Abs(g.At(0, 0)) > 1.0+1e-12 {
+		t.Fatalf("outlier gradient %v not capped at delta", g.At(0, 0))
+	}
+	// Negative side symmetric.
+	pred2 := tensor.FromSlice(1, 2, []float64{-100, 0})
+	MaskedHuber(pred2, []int{0}, []float64{0}, 1, g)
+	if math.Abs(g.At(0, 0)+1.0) > 1e-12 {
+		t.Fatalf("negative outlier grad = %v", g.At(0, 0))
+	}
+}
+
+func TestMaskedHuberNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewMLP(rng, ActTanh, 3, 5, 2)
+	in := tensor.New(4, 3)
+	in.XavierFill(rng, 3, 3)
+	actions := []int{0, 1, 0, 1}
+	targets := []float64{5, -5, 0.1, -0.1} // mix of outliers and inliers
+	const delta = 0.5
+	loss := func() float64 {
+		out := m.Forward(in)
+		var s float64
+		for i, a := range actions {
+			d := out.At(i, a) - targets[i]
+			ad := math.Abs(d)
+			if ad <= delta {
+				s += 0.5 * d * d
+			} else {
+				s += delta * (ad - 0.5*delta)
+			}
+		}
+		return s / 4
+	}
+	out := m.Forward(in)
+	grad := tensor.New(4, 2)
+	MaskedHuber(out, actions, targets, delta, grad)
+	m.Backward(grad)
+	params, grads := m.Params(), m.Grads()
+	const h = 1e-6
+	for pi, p := range params {
+		for j := 0; j < len(p.Data); j += 3 {
+			orig := p.Data[j]
+			p.Data[j] = orig + h
+			lp := loss()
+			p.Data[j] = orig - h
+			lm := loss()
+			p.Data[j] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grads[pi].Data[j]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Fatalf("huber grad %d[%d]: analytic %g vs numeric %g", pi, j, grads[pi].Data[j], numeric)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package replay
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot persistence. The SQLite file of the original prototype gave the
+// Replay DB durability across daemon restarts (§A.4: "different sessions
+// can use different ... replay database locations"). We provide the same
+// capability as an explicit snapshot: gob-encoded tables behind flate.
+
+type snapshotFile struct {
+	Magic   string
+	Version int
+	Cfg     Config
+	Ticks   []int64
+	Frames  [][]float64
+	ATicks  []int64
+	Actions []int
+}
+
+const (
+	snapshotMagic   = "CAPES-REPLAY"
+	snapshotVersion = 1
+)
+
+// Save serializes the database to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fw, err := flate.NewWriter(w, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	sf := snapshotFile{Magic: snapshotMagic, Version: snapshotVersion, Cfg: db.cfg}
+	for t, f := range db.frames {
+		sf.Ticks = append(sf.Ticks, t)
+		sf.Frames = append(sf.Frames, f)
+	}
+	for t, a := range db.actions {
+		sf.ATicks = append(sf.ATicks, t)
+		sf.Actions = append(sf.Actions, a)
+	}
+	if err := gob.NewEncoder(fw).Encode(sf); err != nil {
+		return fmt.Errorf("replay: encode snapshot: %w", err)
+	}
+	return fw.Close()
+}
+
+// Load reconstructs a database from a snapshot written by Save.
+func Load(r io.Reader) (*DB, error) {
+	fr := flate.NewReader(r)
+	defer fr.Close()
+	var sf snapshotFile
+	if err := gob.NewDecoder(fr).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("replay: decode snapshot: %w", err)
+	}
+	if sf.Magic != snapshotMagic {
+		return nil, fmt.Errorf("replay: not a replay snapshot (magic %q)", sf.Magic)
+	}
+	if sf.Version != snapshotVersion {
+		return nil, fmt.Errorf("replay: unsupported snapshot version %d", sf.Version)
+	}
+	db, err := New(sf.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range sf.Ticks {
+		if err := db.PutFrame(t, sf.Frames[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i, t := range sf.ATicks {
+		db.PutAction(t, sf.Actions[i])
+	}
+	return db, nil
+}
+
+// SaveFile writes a snapshot atomically to path.
+func (db *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// MemoryBytes estimates the resident size of the database: frame and
+// action storage plus map overhead. Reported for the Table 2 "total size
+// of the Replay DB in memory" row.
+func (db *DB) MemoryBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	const mapEntryOverhead = 48 // bucket + key + header estimate
+	frameBytes := int64(db.count) * (int64(db.cfg.FrameWidth)*8 + mapEntryOverhead)
+	actionBytes := int64(len(db.actions)) * (8 + mapEntryOverhead)
+	return frameBytes + actionBytes
+}
+
+// DiskBytes returns the serialized snapshot size (Table 2 "total size of
+// the Replay DB on disk").
+func (db *DB) DiskBytes() (int64, error) {
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		return 0, err
+	}
+	return int64(buf.Len()), nil
+}

@@ -1,0 +1,168 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// PrioritizedSampler layers proportional prioritized experience replay
+// (Schaul et al., 2016) over a DB: transitions are sampled with
+// probability ∝ priorityᵅ, where the priority is the last observed
+// TD error (new transitions get the current maximum so they are seen at
+// least once). This is an optional extension — the paper's CAPES uses
+// uniform sampling (Algorithm 1) — provided for the §6 technique
+// evaluation; see BenchmarkAblationReplay for the uniform baseline.
+type PrioritizedSampler struct {
+	mu    sync.Mutex
+	db    *DB
+	alpha float64
+	eps   float64
+
+	base    int64 // tick of leaf 0
+	tree    *sumTree
+	known   map[int64]bool
+	maxPrio float64
+}
+
+// NewPrioritizedSampler wraps db. alpha ∈ [0,1] blends uniform (0) and
+// fully proportional (1) sampling.
+func NewPrioritizedSampler(db *DB, alpha float64) (*PrioritizedSampler, error) {
+	if db == nil {
+		return nil, fmt.Errorf("replay: nil DB")
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("replay: alpha %v outside [0,1]", alpha)
+	}
+	return &PrioritizedSampler{
+		db:      db,
+		alpha:   alpha,
+		eps:     1e-3,
+		base:    -1,
+		tree:    newSumTree(1024),
+		known:   make(map[int64]bool),
+		maxPrio: 1,
+	}, nil
+}
+
+// Observe registers that tick t has a complete transition available
+// (frame, next frame and action). It receives the current max priority.
+func (p *PrioritizedSampler) Observe(t int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.known[t] {
+		return
+	}
+	if p.base < 0 {
+		p.base = t
+	}
+	idx := int(t - p.base)
+	if idx < 0 {
+		return // before the first observed tick; ignore
+	}
+	if idx >= p.tree.cap {
+		p.tree.grow(idx + 1)
+	}
+	p.known[t] = true
+	p.tree.Set(idx, math.Pow(p.maxPrio+p.eps, p.alpha))
+}
+
+// UpdatePriority records the TD error observed for tick t's transition.
+func (p *PrioritizedSampler) UpdatePriority(t int64, tdError float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.known[t] {
+		return
+	}
+	prio := math.Abs(tdError)
+	if prio > p.maxPrio {
+		p.maxPrio = prio
+	}
+	p.tree.Set(int(t-p.base), math.Pow(prio+p.eps, p.alpha))
+}
+
+// Len returns the number of registered transitions.
+func (p *PrioritizedSampler) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.known)
+}
+
+// ConstructMinibatch samples n transitions proportionally to priority.
+// It returns the batch plus the sampled ticks (aligned with batch rows)
+// so the trainer can feed TD errors back via UpdatePriority.
+func (p *PrioritizedSampler) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch, []int64, error) {
+	p.mu.Lock()
+	if len(p.known) == 0 || p.tree.Total() <= 0 {
+		p.mu.Unlock()
+		return nil, nil, ErrInsufficientData
+	}
+	w := p.db.ObservationWidth()
+	b := &Batch{
+		States:     make([]float64, n*w),
+		NextStates: make([]float64, n*w),
+		Actions:    make([]int, 0, n),
+		Rewards:    make([]float64, 0, n),
+		Width:      w,
+	}
+	ticks := make([]int64, 0, n)
+	maxAttempts := 50 * n
+	have := 0
+	for attempts := 0; have < n && attempts < maxAttempts; attempts++ {
+		u := rng.Float64() * p.tree.Total()
+		t := p.base + int64(p.tree.Sample(u))
+		// Validate the transition against the DB outside our lock-free
+		// guarantees: the DB has its own synchronization.
+		p.mu.Unlock()
+		ok := p.fill(b, have, t, rf)
+		p.mu.Lock()
+		if !ok {
+			// Transition no longer materializable (evicted or sparse):
+			// zero its weight so we stop drawing it.
+			if p.known[t] {
+				p.tree.Set(int(t-p.base), 0)
+				delete(p.known, t)
+			}
+			continue
+		}
+		ticks = append(ticks, t)
+		have++
+	}
+	p.mu.Unlock()
+	if have < n {
+		return nil, nil, fmt.Errorf("%w: gathered %d of %d", ErrInsufficientData, have, n)
+	}
+	b.N = n
+	return b, ticks, nil
+}
+
+// fill materializes transition t into batch row `row`.
+func (p *PrioritizedSampler) fill(b *Batch, row int, t int64, rf RewardFunc) bool {
+	w := b.Width
+	a, ok := p.db.ActionAt(t)
+	if !ok {
+		return false
+	}
+	if err := p.db.observationIntoLocked(b.States[row*w:(row+1)*w], t); err != nil {
+		return false
+	}
+	if err := p.db.observationIntoLocked(b.NextStates[row*w:(row+1)*w], t+1); err != nil {
+		return false
+	}
+	cur, okCur := p.db.FrameAt(t)
+	next, okNext := p.db.FrameAt(t + 1)
+	if !okCur || !okNext {
+		return false
+	}
+	b.Actions = append(b.Actions, a)
+	b.Rewards = append(b.Rewards, rf(cur, next))
+	return true
+}
+
+// observationIntoLocked is Observation() writing into a caller buffer.
+func (db *DB) observationIntoLocked(dst []float64, t int64) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.observationInto(dst, t)
+}

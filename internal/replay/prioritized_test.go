@@ -1,0 +1,224 @@
+package replay
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSumTreeBasics(t *testing.T) {
+	s := newSumTree(4)
+	if s.cap != 4 {
+		t.Fatalf("cap = %d", s.cap)
+	}
+	s.Set(0, 1)
+	s.Set(1, 3)
+	s.Set(3, 6)
+	if s.Total() != 10 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+	if s.Get(1) != 3 || s.Get(2) != 0 {
+		t.Fatal("Get wrong")
+	}
+	// Sampling boundaries: u in [0,1)→0, [1,4)→1, [4,10)→3.
+	cases := []struct {
+		u    float64
+		want int
+	}{{0, 0}, {0.99, 0}, {1, 1}, {3.9, 1}, {4, 3}, {9.99, 3}}
+	for _, c := range cases {
+		if got := s.Sample(c.u); got != c.want {
+			t.Fatalf("Sample(%v) = %d, want %d", c.u, got, c.want)
+		}
+	}
+	// Update propagates.
+	s.Set(1, 0)
+	if s.Total() != 7 {
+		t.Fatalf("Total after zero = %v", s.Total())
+	}
+}
+
+func TestSumTreeNonPowerOfTwoAndGrow(t *testing.T) {
+	s := newSumTree(5) // rounds up to 8
+	if s.cap != 8 {
+		t.Fatalf("cap = %d", s.cap)
+	}
+	s.Set(4, 2)
+	s.grow(20) // rounds to 32, preserves weights
+	if s.cap != 32 || s.Get(4) != 2 || s.Total() != 2 {
+		t.Fatalf("after grow: cap=%d get=%v total=%v", s.cap, s.Get(4), s.Total())
+	}
+	s.grow(10) // no-op shrink attempt
+	if s.cap != 32 {
+		t.Fatal("grow must never shrink")
+	}
+}
+
+func TestSumTreePanics(t *testing.T) {
+	s := newSumTree(2)
+	for _, f := range []func(){
+		func() { s.Set(-1, 1) },
+		func() { s.Set(5, 1) },
+		func() { s.Set(0, -1) },
+		func() { s.Sample(0) }, // empty
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Statistical check: sampling frequency tracks weights.
+func TestSumTreeSamplingDistribution(t *testing.T) {
+	s := newSumTree(4)
+	s.Set(0, 1)
+	s.Set(1, 2)
+	s.Set(2, 7)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 4)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng.Float64()*s.Total())]++
+	}
+	for i, wantFrac := range []float64{0.1, 0.2, 0.7, 0} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-wantFrac) > 0.02 {
+			t.Fatalf("leaf %d sampled %.3f, want %.2f", i, got, wantFrac)
+		}
+	}
+}
+
+func prioritizedFixture(t *testing.T, n int64) (*DB, *PrioritizedSampler) {
+	t.Helper()
+	db := mustDB(t, Config{FrameWidth: 1, StackTicks: 1})
+	ps, err := NewPrioritizedSampler(db, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(0); tick <= n; tick++ {
+		db.PutFrame(tick, Frame{float64(tick)})
+		db.PutAction(tick, int(tick)%3)
+		if tick > 0 {
+			ps.Observe(tick - 1) // transition (t-1 → t) complete
+		}
+	}
+	return db, ps
+}
+
+func TestNewPrioritizedSamplerValidation(t *testing.T) {
+	if _, err := NewPrioritizedSampler(nil, 0.5); err == nil {
+		t.Fatal("nil db must fail")
+	}
+	db := mustDB(t, Config{FrameWidth: 1, StackTicks: 1})
+	if _, err := NewPrioritizedSampler(db, -0.1); err == nil {
+		t.Fatal("bad alpha must fail")
+	}
+	if _, err := NewPrioritizedSampler(db, 1.1); err == nil {
+		t.Fatal("bad alpha must fail")
+	}
+}
+
+func TestPrioritizedMinibatch(t *testing.T) {
+	_, ps := prioritizedFixture(t, 100)
+	if ps.Len() != 100 {
+		t.Fatalf("Len = %d", ps.Len())
+	}
+	rng := rand.New(rand.NewSource(2))
+	rf := func(cur, next Frame) float64 { return next[0] - cur[0] }
+	b, ticks, err := ps.ConstructMinibatch(rng, 16, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 16 || len(ticks) != 16 {
+		t.Fatalf("batch N=%d ticks=%d", b.N, len(ticks))
+	}
+	for i, tick := range ticks {
+		if b.States[i] != float64(tick) {
+			t.Fatalf("row %d: state %v != tick %d", i, b.States[i], tick)
+		}
+		if b.Rewards[i] != 1 {
+			t.Fatalf("reward = %v", b.Rewards[i])
+		}
+	}
+}
+
+func TestPrioritizedSamplingFavorsHighTDError(t *testing.T) {
+	_, ps := prioritizedFixture(t, 200)
+	// Give tick 50 a huge TD error, everything else tiny.
+	for tick := int64(0); tick < 200; tick++ {
+		ps.UpdatePriority(tick, 0.001)
+	}
+	ps.UpdatePriority(50, 100)
+	rng := rand.New(rand.NewSource(3))
+	rf := func(cur, next Frame) float64 { return 0 }
+	hits := 0
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		_, ticks, err := ps.ConstructMinibatch(rng, 8, rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tk := range ticks {
+			if tk == 50 {
+				hits++
+			}
+		}
+	}
+	// Uniform sampling would hit tick 50 about rounds*8/200 = 2 times.
+	if hits < 20 {
+		t.Fatalf("high-priority transition sampled only %d times", hits)
+	}
+}
+
+func TestPrioritizedEmptyAndUnknown(t *testing.T) {
+	db := mustDB(t, Config{FrameWidth: 1, StackTicks: 1})
+	ps, _ := NewPrioritizedSampler(db, 0.5)
+	rng := rand.New(rand.NewSource(4))
+	if _, _, err := ps.ConstructMinibatch(rng, 4, func(a, b Frame) float64 { return 0 }); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v", err)
+	}
+	// Updating an unknown tick is a no-op.
+	ps.UpdatePriority(99, 5)
+	if ps.Len() != 0 {
+		t.Fatal("unknown update must not register")
+	}
+	// Observing the same tick twice counts once.
+	db.PutFrame(0, Frame{0})
+	db.PutFrame(1, Frame{1})
+	db.PutAction(0, 0)
+	ps.Observe(0)
+	ps.Observe(0)
+	if ps.Len() != 1 {
+		t.Fatalf("Len = %d", ps.Len())
+	}
+}
+
+func TestPrioritizedDropsEvictedTransitions(t *testing.T) {
+	db := mustDB(t, Config{FrameWidth: 1, StackTicks: 1, Capacity: 20})
+	ps, _ := NewPrioritizedSampler(db, 0.5)
+	for tick := int64(0); tick <= 100; tick++ {
+		db.PutFrame(tick, Frame{float64(tick)})
+		db.PutAction(tick, 0)
+		if tick > 0 {
+			ps.Observe(tick - 1)
+		}
+	}
+	// Ticks < 81 are evicted from the DB but still registered in the
+	// sampler; minibatch construction must skim them off.
+	rng := rand.New(rand.NewSource(5))
+	b, ticks, err := ps.ConstructMinibatch(rng, 8, func(a, bb Frame) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range ticks {
+		if tk < 81 {
+			t.Fatalf("sampled evicted tick %d", tk)
+		}
+	}
+	_ = b
+}

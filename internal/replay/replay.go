@@ -1,0 +1,289 @@
+// Package replay implements the CAPES Replay Database (§3.5): two
+// timestamp-indexed tables — per-tick system-status frames and per-tick
+// actions — plus the Algorithm 1 minibatch constructor used for
+// experience replay. The original prototype used SQLite with WAL; here
+// the store is an in-memory ring keyed by tick with optional snapshot
+// persistence, which preserves the algorithm exactly (the trainer only
+// ever reads uniformly random timestamps and the Interface Daemon is the
+// only writer).
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Frame is the flattened vector of performance indicators collected from
+// every monitored node at one sampling tick.
+type Frame []float64
+
+// RewardFunc computes the reward for the transition from the frame at
+// time t to the frame at time t+1 (paper §3.2: "after changing the
+// congestion window size, we can measure the change of I/O throughput at
+// the next second to use it as the reward").
+type RewardFunc func(cur, next Frame) float64
+
+// Config sizes the database.
+type Config struct {
+	FrameWidth int // performance indicators per tick across all nodes
+	StackTicks int // sampling ticks per observation (Table 1: 10)
+	// MissingTolerance is the fraction of missing frames tolerated per
+	// observation (Table 1: 0.20). An observation whose stack window has
+	// more missing ticks than this is rejected by the sampler; tolerated
+	// gaps are filled with the nearest earlier frame.
+	MissingTolerance float64
+	// Capacity bounds the number of retained ticks; 0 means unbounded.
+	// When full, the oldest ticks are evicted.
+	Capacity int
+}
+
+// DB is the Replay Database. All methods are safe for one writer and many
+// readers (the Interface Daemon writes, the DRL engine reads — §3.3).
+type DB struct {
+	mu  sync.RWMutex
+	cfg Config
+
+	frames  map[int64]Frame
+	actions map[int64]int
+	minTick int64 // smallest tick present (for eviction & sampling)
+	maxTick int64 // largest tick present
+	count   int
+
+	evictions int64
+}
+
+// New creates an empty Replay DB.
+func New(cfg Config) (*DB, error) {
+	if cfg.FrameWidth <= 0 {
+		return nil, errors.New("replay: FrameWidth must be positive")
+	}
+	if cfg.StackTicks <= 0 {
+		return nil, errors.New("replay: StackTicks must be positive")
+	}
+	if cfg.MissingTolerance < 0 || cfg.MissingTolerance >= 1 {
+		return nil, fmt.Errorf("replay: MissingTolerance %v out of [0,1)", cfg.MissingTolerance)
+	}
+	return &DB{
+		cfg:     cfg,
+		frames:  make(map[int64]Frame),
+		actions: make(map[int64]int),
+		minTick: -1,
+		maxTick: -1,
+	}, nil
+}
+
+// Config returns the database configuration.
+func (db *DB) Config() Config { return db.cfg }
+
+// PutFrame stores the status frame for a tick. A copy is made.
+func (db *DB) PutFrame(tick int64, f Frame) error {
+	if len(f) != db.cfg.FrameWidth {
+		return fmt.Errorf("replay: frame width %d, want %d", len(f), db.cfg.FrameWidth)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.frames[tick]; !exists {
+		db.count++
+	}
+	db.frames[tick] = append(Frame(nil), f...)
+	if db.minTick < 0 || tick < db.minTick {
+		db.minTick = tick
+	}
+	if tick > db.maxTick {
+		db.maxTick = tick
+	}
+	db.evictLocked()
+	return nil
+}
+
+// PutAction records the action id taken at a tick.
+func (db *DB) PutAction(tick int64, action int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.actions[tick] = action
+}
+
+// evictLocked drops the oldest ticks while over capacity.
+func (db *DB) evictLocked() {
+	if db.cfg.Capacity <= 0 {
+		return
+	}
+	for db.count > db.cfg.Capacity && db.minTick <= db.maxTick {
+		if _, ok := db.frames[db.minTick]; ok {
+			delete(db.frames, db.minTick)
+			delete(db.actions, db.minTick)
+			db.count--
+			db.evictions++
+		}
+		db.minTick++
+	}
+}
+
+// Len returns the number of stored frames (Table 2 "number of records").
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.count
+}
+
+// Evictions returns how many frames were dropped to honor Capacity.
+func (db *DB) Evictions() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.evictions
+}
+
+// Bounds returns the smallest and largest stored tick (-1,-1 when empty).
+func (db *DB) Bounds() (min, max int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.minTick, db.maxTick
+}
+
+// FrameAt returns a copy of the frame stored at tick, if present.
+func (db *DB) FrameAt(tick int64) (Frame, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	f, ok := db.frames[tick]
+	if !ok {
+		return nil, false
+	}
+	return append(Frame(nil), f...), true
+}
+
+// ActionAt returns the action recorded at tick, if any.
+func (db *DB) ActionAt(tick int64) (int, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	a, ok := db.actions[tick]
+	return a, ok
+}
+
+// ObservationWidth is the flattened observation size: StackTicks frames
+// of FrameWidth indicators (Table 2 "observation size").
+func (db *DB) ObservationWidth() int {
+	return db.cfg.FrameWidth * db.cfg.StackTicks
+}
+
+// errObservation reasons for a rejected timestamp.
+var (
+	errTooManyMissing = errors.New("replay: too many missing frames in window")
+	errNoAction       = errors.New("replay: no action recorded at timestamp")
+)
+
+// observationInto assembles the stacked observation ending at tick t into
+// dst (len ObservationWidth). Missing ticks within tolerance are filled
+// with the nearest earlier frame in the window (zero if none). Caller
+// holds at least a read lock.
+func (db *DB) observationInto(dst []float64, t int64) error {
+	s := int64(db.cfg.StackTicks)
+	missing := 0
+	var lastGood Frame
+	for i := int64(0); i < s; i++ {
+		tick := t - s + 1 + i
+		f, ok := db.frames[tick]
+		if !ok {
+			missing++
+			f = lastGood // carry forward; nil means zero-fill below
+		} else {
+			lastGood = f
+		}
+		off := int(i) * db.cfg.FrameWidth
+		if f == nil {
+			for j := 0; j < db.cfg.FrameWidth; j++ {
+				dst[off+j] = 0
+			}
+		} else {
+			copy(dst[off:off+db.cfg.FrameWidth], f)
+		}
+	}
+	if float64(missing) > db.cfg.MissingTolerance*float64(s) {
+		return errTooManyMissing
+	}
+	return nil
+}
+
+// Observation returns the stacked observation ending at tick t, applying
+// the missing-entry tolerance. This is the same observation layout used
+// on the action path, "the same observation data format is used in both
+// training and action steps" (§3.7).
+func (db *DB) Observation(t int64) ([]float64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	dst := make([]float64, db.ObservationWidth())
+	if err := db.observationInto(dst, t); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Batch is one training minibatch: transitions w_t = (s_t, s_{t+1}, a_t,
+// r_t) with observations flattened row-wise.
+type Batch struct {
+	States     []float64 // n×ObservationWidth, row-major
+	NextStates []float64 // n×ObservationWidth, row-major
+	Actions    []int
+	Rewards    []float64
+	N          int
+	Width      int
+}
+
+// ErrInsufficientData is returned when the DB cannot possibly satisfy a
+// minibatch request (fewer valid timestamps than needed).
+var ErrInsufficientData = errors.New("replay: not enough data for a minibatch")
+
+// ConstructMinibatch implements Algorithm 1: repeatedly draw uniform
+// timestamps over the stored range, keep those with enough data (a valid
+// s_t, s_{t+1} and recorded action), compute rewards via rf, until n
+// transitions are gathered. maxAttempts bounds the retry loop so a sparse
+// DB returns ErrInsufficientData instead of spinning.
+func (db *DB) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.count == 0 {
+		return nil, ErrInsufficientData
+	}
+	lo := db.minTick + int64(db.cfg.StackTicks) - 1
+	hi := db.maxTick - 1 // need s_{t+1}
+	if hi < lo {
+		return nil, ErrInsufficientData
+	}
+	w := db.ObservationWidth()
+	b := &Batch{
+		States:     make([]float64, n*w),
+		NextStates: make([]float64, n*w),
+		Actions:    make([]int, 0, n),
+		Rewards:    make([]float64, 0, n),
+		Width:      w,
+	}
+	have := 0
+	maxAttempts := 50 * n
+	for attempts := 0; have < n && attempts < maxAttempts; attempts++ {
+		t := lo + rng.Int63n(hi-lo+1)
+		a, ok := db.actions[t]
+		if !ok {
+			continue
+		}
+		if err := db.observationInto(b.States[have*w:(have+1)*w], t); err != nil {
+			continue
+		}
+		if err := db.observationInto(b.NextStates[have*w:(have+1)*w], t+1); err != nil {
+			continue
+		}
+		cur, curOK := db.frames[t]
+		next, nextOK := db.frames[t+1]
+		if !curOK || !nextOK {
+			continue
+		}
+		b.Actions = append(b.Actions, a)
+		b.Rewards = append(b.Rewards, rf(cur, next))
+		have++
+	}
+	if have < n {
+		return nil, fmt.Errorf("%w: gathered %d of %d", ErrInsufficientData, have, n)
+	}
+	b.N = n
+	return b, nil
+}

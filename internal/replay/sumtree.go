@@ -1,0 +1,76 @@
+package replay
+
+import "fmt"
+
+// sumTree is a binary indexed segment tree over leaf weights supporting
+// O(log n) point updates and O(log n) sampling by prefix weight — the
+// standard backing structure for proportional prioritized experience
+// replay (Schaul et al., 2016), one of the §6 "new techniques".
+type sumTree struct {
+	cap  int       // number of leaves (power of two)
+	tree []float64 // 1-indexed; leaves at [cap, 2cap)
+}
+
+func newSumTree(minLeaves int) *sumTree {
+	cap := 1
+	for cap < minLeaves {
+		cap *= 2
+	}
+	return &sumTree{cap: cap, tree: make([]float64, 2*cap)}
+}
+
+// Set assigns weight w to leaf i, updating ancestors.
+func (s *sumTree) Set(i int, w float64) {
+	if i < 0 || i >= s.cap {
+		panic(fmt.Sprintf("replay: sumTree index %d out of range %d", i, s.cap))
+	}
+	if w < 0 {
+		panic("replay: sumTree weight must be non-negative")
+	}
+	node := s.cap + i
+	s.tree[node] = w
+	for node > 1 {
+		node /= 2
+		s.tree[node] = s.tree[2*node] + s.tree[2*node+1]
+	}
+}
+
+// Get returns leaf i's weight.
+func (s *sumTree) Get(i int) float64 { return s.tree[s.cap+i] }
+
+// Total returns the sum of all weights.
+func (s *sumTree) Total() float64 { return s.tree[1] }
+
+// Sample returns the leaf index whose cumulative-weight interval
+// contains u ∈ [0, Total).
+func (s *sumTree) Sample(u float64) int {
+	if s.Total() <= 0 {
+		panic("replay: sampling from empty sumTree")
+	}
+	node := 1
+	for node < s.cap {
+		left := 2 * node
+		if u < s.tree[left] {
+			node = left
+		} else {
+			u -= s.tree[left]
+			node = left + 1
+		}
+	}
+	return node - s.cap
+}
+
+// grow doubles capacity until it holds minLeaves, preserving weights.
+func (s *sumTree) grow(minLeaves int) {
+	if minLeaves <= s.cap {
+		return
+	}
+	old := s
+	n := newSumTree(minLeaves)
+	for i := 0; i < old.cap; i++ {
+		if w := old.Get(i); w > 0 {
+			n.Set(i, w)
+		}
+	}
+	*s = *n
+}

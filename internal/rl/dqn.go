@@ -1,0 +1,267 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"capes/internal/nn"
+	"capes/internal/replay"
+	"capes/internal/tensor"
+)
+
+// Config holds the DQN hyperparameters (Table 1).
+type Config struct {
+	Gamma           float64 // discount rate γ (0.99)
+	LearningRate    float64 // Adam learning rate (0.0001)
+	TargetUpdateα   float64 // target-network soft-update rate (0.01)
+	MinibatchSize   int     // observations per SGD update (32)
+	GradientClip    float64 // global-norm clip; 0 disables (stability aid)
+	UseTargetNet    bool    // disable for the ablation bench
+	HardUpdateEvery int64   // if >0, copy θ→θ⁻ every N steps instead of soft updates
+	// DoubleDQN decouples action selection from evaluation in the
+	// Bellman target: a' = argmax_a Q(s',a;θ) but the value comes from
+	// Q(s',a';θ⁻), reducing maximization bias (van Hasselt et al.). One
+	// of the "new deep learning techniques" §6 proposes evaluating.
+	DoubleDQN bool
+	// HuberDelta, when positive, swaps the Equation-1 MSE for a Huber
+	// loss with the given transition point, capping the gradient of
+	// outlier Bellman targets. 0 keeps the paper's plain MSE.
+	HuberDelta float64
+}
+
+// DefaultConfig returns Table 1's values.
+func DefaultConfig() Config {
+	return Config{
+		Gamma:         0.99,
+		LearningRate:  1e-4,
+		TargetUpdateα: 0.01,
+		MinibatchSize: 32,
+		GradientClip:  10,
+		UseTargetNet:  true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return fmt.Errorf("rl: gamma %v outside [0,1)", c.Gamma)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("rl: learning rate %v must be positive", c.LearningRate)
+	}
+	if c.TargetUpdateα <= 0 || c.TargetUpdateα > 1 {
+		return fmt.Errorf("rl: target update rate %v outside (0,1]", c.TargetUpdateα)
+	}
+	if c.MinibatchSize <= 0 {
+		return fmt.Errorf("rl: minibatch size %d must be positive", c.MinibatchSize)
+	}
+	return nil
+}
+
+// Agent is the deep Q-learning agent: an online Q-network, a target
+// network θ⁻, the Adam optimizer, and the ε-greedy policy.
+type Agent struct {
+	cfg     Config
+	Online  *nn.MLP
+	Target  *nn.MLP
+	Opt     *nn.Adam
+	Epsilon *EpsilonSchedule
+
+	nActions int
+	rng      *rand.Rand
+
+	steps     int64
+	lastLoss  float64
+	lossEWMA  float64
+	gradOut   *tensor.Matrix
+	randTaken int64
+	calcTaken int64
+}
+
+// NewAgent builds an agent for the given observation width and action
+// count, using the paper's network shape (two hidden layers the width of
+// the input, linear Q-value head).
+func NewAgent(cfg Config, eps *EpsilonSchedule, obsWidth, nActions int, rng *rand.Rand) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eps != nil {
+		if err := eps.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if obsWidth <= 0 || nActions <= 0 {
+		return nil, fmt.Errorf("rl: obsWidth %d / nActions %d must be positive", obsWidth, nActions)
+	}
+	online := nn.NewCAPESNetwork(rng, obsWidth, nActions)
+	// Zero the Q-head: every action starts with Q(s,a)=0, so the initial
+	// greedy argmax ties and resolves to action 0 (NULL in CAPES's
+	// action space) instead of an arbitrary direction baked in by random
+	// initialization. Exploration then comes solely from ε, which
+	// removes the "camp at a range corner before training catches up"
+	// failure mode of short sessions.
+	head := online.Params()[len(online.Params())-2:]
+	for _, p := range head {
+		p.Zero()
+	}
+	return &Agent{
+		cfg:      cfg,
+		Online:   online,
+		Target:   online.Clone(),
+		Opt:      nn.NewAdam(cfg.LearningRate),
+		Epsilon:  eps,
+		nActions: nActions,
+		rng:      rng,
+		gradOut:  tensor.New(cfg.MinibatchSize, nActions),
+	}, nil
+}
+
+// NewAgentWithNetwork wraps an existing network (checkpoint restore).
+func NewAgentWithNetwork(cfg Config, eps *EpsilonSchedule, online *nn.MLP, rng *rand.Rand) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg:      cfg,
+		Online:   online,
+		Target:   online.Clone(),
+		Opt:      nn.NewAdam(cfg.LearningRate),
+		Epsilon:  eps,
+		nActions: online.OutputSize(),
+		rng:      rng,
+		gradOut:  tensor.New(cfg.MinibatchSize, online.OutputSize()),
+	}, nil
+}
+
+// NumActions returns the size of the action space.
+func (a *Agent) NumActions() int { return a.nActions }
+
+// Config returns the agent's hyperparameters.
+func (a *Agent) Config() Config { return a.cfg }
+
+// SelectAction applies the ε-greedy policy at the given tick: with
+// probability ε a uniformly random action, otherwise argmax_a Q(obs,a)
+// from a single forward pass (the paper's "second type" Q-head, §3.4).
+func (a *Agent) SelectAction(obs []float64, tick int64) int {
+	eps := 0.0
+	if a.Epsilon != nil {
+		eps = a.Epsilon.At(tick)
+	}
+	if a.rng.Float64() < eps {
+		a.randTaken++
+		return a.rng.Intn(a.nActions)
+	}
+	a.calcTaken++
+	return tensor.ArgMax(a.Online.ForwardVec(obs))
+}
+
+// GreedyAction returns argmax_a Q(obs,a) ignoring ε (tuning phase).
+func (a *Agent) GreedyAction(obs []float64) int {
+	return tensor.ArgMax(a.Online.ForwardVec(obs))
+}
+
+// QValues returns the Q-value vector for an observation.
+func (a *Agent) QValues(obs []float64) []float64 {
+	return a.Online.ForwardVec(obs)
+}
+
+// ActionCounts reports how many random vs. calculated actions were taken.
+func (a *Agent) ActionCounts() (random, calculated int64) {
+	return a.randTaken, a.calcTaken
+}
+
+// TrainStep performs one SGD update on a replay minibatch, implementing
+// the loss of Equation 1:
+//
+//	Lᵢ(θᵢ) = E_D[(r + γ·max_a' Q(s',a';θ⁻) − Q(s,a;θ))²]
+//
+// followed by the target-network update θ⁻ = θ⁻(1−α) + θα. It returns the
+// minibatch loss — the "prediction error" plotted in Figure 5.
+func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
+	if b.N != a.cfg.MinibatchSize {
+		// Accept any batch size; resize scratch if needed.
+		if a.gradOut.Rows != b.N {
+			a.gradOut = tensor.New(b.N, a.nActions)
+		}
+	}
+	states := tensor.FromSlice(b.N, b.Width, b.States)
+	nextStates := tensor.FromSlice(b.N, b.Width, b.NextStates)
+
+	// Bellman targets from the target network (or online net in the
+	// no-target-net ablation).
+	tnet := a.Target
+	if !a.cfg.UseTargetNet {
+		tnet = a.Online
+	}
+	targets := make([]float64, b.N)
+	if a.cfg.DoubleDQN && a.cfg.UseTargetNet {
+		// Double DQN: pick a' with the online network, evaluate it with
+		// the target network. The online pass runs first; its argmax is
+		// captured before the target pass reuses the forward buffers.
+		onlineNext := a.Online.Forward(nextStates)
+		_, argmax := onlineNext.MaxPerRow()
+		targetNext := a.Target.Forward(nextStates)
+		for i := range targets {
+			targets[i] = b.Rewards[i] + a.cfg.Gamma*targetNext.At(i, argmax[i])
+		}
+	} else {
+		nextQ := tnet.Forward(nextStates)
+		maxNext, _ := nextQ.MaxPerRow()
+		for i := range targets {
+			targets[i] = b.Rewards[i] + a.cfg.Gamma*maxNext[i]
+		}
+	}
+
+	// Forward the online network *after* the target pass: both networks
+	// reuse internal buffers, and when tnet == Online the target pass
+	// would otherwise clobber the activations backprop needs.
+	pred := a.Online.Forward(states)
+	if a.gradOut.Rows != b.N {
+		a.gradOut = tensor.New(b.N, a.nActions)
+	}
+	var loss float64
+	if a.cfg.HuberDelta > 0 {
+		loss = nn.MaskedHuber(pred, b.Actions, targets, a.cfg.HuberDelta, a.gradOut)
+	} else {
+		loss = nn.MaskedMSE(pred, b.Actions, targets, a.gradOut)
+	}
+	a.Online.Backward(a.gradOut)
+	nn.ClipGradients(a.Online.Grads(), a.cfg.GradientClip)
+	a.Opt.Step(a.Online.Params(), a.Online.Grads())
+
+	a.steps++
+	if a.cfg.UseTargetNet {
+		if a.cfg.HardUpdateEvery > 0 {
+			if a.steps%a.cfg.HardUpdateEvery == 0 {
+				a.Target.CopyParamsFrom(a.Online)
+			}
+		} else {
+			a.Target.SoftUpdateFrom(a.Online, a.cfg.TargetUpdateα)
+		}
+	}
+
+	a.lastLoss = loss
+	if a.steps == 1 {
+		a.lossEWMA = loss
+	} else {
+		a.lossEWMA = a.lossEWMA*0.99 + loss*0.01
+	}
+	if a.steps%1000 == 0 {
+		if err := a.Online.CheckFinite(); err != nil {
+			return loss, fmt.Errorf("rl: network diverged after %d steps: %w", a.steps, err)
+		}
+	}
+	return loss, nil
+}
+
+// Steps returns the number of training steps performed.
+func (a *Agent) Steps() int64 { return a.steps }
+
+// LastLoss returns the most recent minibatch loss.
+func (a *Agent) LastLoss() float64 { return a.lastLoss }
+
+// SmoothedLoss returns an EWMA of the training loss (Figure 5's series).
+func (a *Agent) SmoothedLoss() float64 { return a.lossEWMA }
+
+// SetDoubleDQN toggles the Double-DQN target rule at runtime.
+func (a *Agent) SetDoubleDQN(on bool) { a.cfg.DoubleDQN = on }

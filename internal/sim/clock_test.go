@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %d", c.Now())
+	}
+	c.Advance(5)
+	if c.Now() != 5 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+	if got := c.Step(); got != 6 {
+		t.Fatalf("Step = %d", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if Seconds(7) != 7 {
+		t.Fatal("Seconds")
+	}
+	if Minutes(2) != 120 {
+		t.Fatal("Minutes")
+	}
+	if Hours(2) != 7200 {
+		t.Fatal("Hours")
+	}
+	if Hours(0.5) != 1800 {
+		t.Fatal("fractional Hours")
+	}
+}
+
+func TestLoopOrderAndCount(t *testing.T) {
+	l := NewLoop()
+	var order []string
+	var ticks []int64
+	l.Register(TickerFunc(func(now int64) {
+		order = append(order, "a")
+		ticks = append(ticks, now)
+	}))
+	l.Register(TickerFunc(func(now int64) {
+		order = append(order, "b")
+	}))
+	l.Run(3)
+	if len(order) != 6 {
+		t.Fatalf("order len = %d", len(order))
+	}
+	// Within a tick, registration order holds.
+	for i := 0; i < 6; i += 2 {
+		if order[i] != "a" || order[i+1] != "b" {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if ticks[0] != 1 || ticks[2] != 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	if l.Clock.Now() != 3 {
+		t.Fatalf("clock = %d", l.Clock.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	l := NewLoop()
+	n := 0
+	l.Register(TickerFunc(func(int64) { n++ }))
+	l.RunUntil(10)
+	if n != 10 || l.Clock.Now() != 10 {
+		t.Fatalf("n=%d now=%d", n, l.Clock.Now())
+	}
+	l.RunUntil(5) // already past; must be a no-op
+	if n != 10 {
+		t.Fatal("RunUntil went backwards")
+	}
+}

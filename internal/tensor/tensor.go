@@ -1,0 +1,379 @@
+// Package tensor implements the dense float64 matrix and vector math that
+// backs the neural-network code in internal/nn. It replaces the role
+// TensorFlow played in the original CAPES prototype: plain row-major
+// matrices, matrix multiplication (with transposed variants so backprop
+// never materializes explicit transposes), elementwise kernels, and
+// Xavier/Glorot random initialization.
+//
+// The package is deliberately small and allocation-conscious: every
+// operation has an "into destination" form so the training loop can reuse
+// buffers across steps.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a rows×cols matrix without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %d×%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.Data[i*m.Cols+j] = v
+}
+
+// Row returns the i-th row as a slice sharing storage with m.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(dimErr("CopyFrom", m, src))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Equal reports whether a and b have identical shape and elements.
+func Equal(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether a and b match within tol elementwise.
+func ApproxEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func dimErr(op string, a, b *Matrix) string {
+	return fmt.Sprintf("tensor: %s dimension mismatch %d×%d vs %d×%d", op, a.Rows, a.Cols, b.Rows, b.Cols)
+}
+
+// MulInto computes dst = a·b. dst must be a.Rows × b.Cols and must not
+// alias a or b. The inner loop is ordered (i,k,j) so it streams rows of b,
+// which is the cache-friendly order for row-major storage.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(dimErr("Mul", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Mul dst is %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Mul returns a·b in a fresh matrix.
+func Mul(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	MulInto(dst, a, b)
+	return dst
+}
+
+// MulTransAInto computes dst = aᵀ·b without materializing aᵀ.
+// dst must be a.Cols × b.Cols.
+func MulTransAInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(dimErr("MulTransA", a, b))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MulTransA dst is %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransBInto computes dst = a·bᵀ without materializing bᵀ.
+// dst must be a.Rows × b.Rows.
+func MulTransBInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(dimErr("MulTransB", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MulTransB dst is %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// Transpose returns mᵀ in a fresh matrix.
+func Transpose(m *Matrix) *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// AddInto computes dst = a + b elementwise; dst may alias a or b.
+func AddInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(dimErr("Add", a, b))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// SubInto computes dst = a - b elementwise; dst may alias a or b.
+func SubInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(dimErr("Sub", a, b))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled computes m += s·other in place (axpy).
+func (m *Matrix) AddScaled(other *Matrix, s float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(dimErr("AddScaled", m, other))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Lerp computes m = (1-α)·m + α·other in place. This is the target-network
+// soft update θ⁻ = θ⁻×(1−α) + θ×α from the paper (§3.4).
+func (m *Matrix) Lerp(other *Matrix, alpha float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(dimErr("Lerp", m, other))
+	}
+	for i, v := range other.Data {
+		m.Data[i] = m.Data[i]*(1-alpha) + v*alpha
+	}
+}
+
+// AddRowVector adds the 1×Cols row vector v to every row of m in place.
+// Used to apply layer biases to a whole minibatch.
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector len %d for %d cols", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range v {
+			row[j] += b
+		}
+	}
+}
+
+// ColSumsInto writes the per-column sums of m into dst (len m.Cols).
+// Used to accumulate bias gradients over a minibatch.
+func (m *Matrix) ColSumsInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSums dst len %d for %d cols", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
+// Apply sets each element to f(element) in place.
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// HadamardInto computes dst = a ⊙ b elementwise; dst may alias a or b.
+func HadamardInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(dimErr("Hadamard", a, b))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// MaxPerRow returns, for each row, the maximum value and its column index.
+// This is argmax_a Q(s,a) evaluated for a whole minibatch at once.
+func (m *Matrix) MaxPerRow() (vals []float64, idx []int) {
+	vals = make([]float64, m.Rows)
+	idx = make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		vals[i], idx[i] = best, bi
+	}
+	return vals, idx
+}
+
+// SumSquares returns Σ mᵢⱼ².
+func (m *Matrix) SumSquares() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return s
+}
+
+// NormL2 returns the Frobenius norm of m.
+func (m *Matrix) NormL2() float64 {
+	return math.Sqrt(m.SumSquares())
+}
+
+// XavierFill initializes m with the Glorot/Xavier uniform distribution
+// U(−√(6/(fanIn+fanOut)), +√(6/(fanIn+fanOut))), the standard choice for
+// tanh MLPs such as the CAPES Q-network.
+func (m *Matrix) XavierFill(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ErrNonFinite is returned by CheckFinite when a matrix contains NaN/Inf.
+var ErrNonFinite = errors.New("tensor: non-finite value")
+
+// CheckFinite returns ErrNonFinite if any element is NaN or ±Inf. Training
+// code calls this as a divergence guard (DQN with nonlinear approximators
+// is known to be unstable; the paper leans on replay + target networks,
+// we additionally fail fast on numeric blowup).
+func (m *Matrix) CheckFinite() error {
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w at flat index %d: %v", ErrNonFinite, i, v)
+		}
+	}
+	return nil
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix(%d×%d)[", m.Rows, m.Cols)
+	limit := 8
+	for i, v := range m.Data {
+		if i == limit {
+			s += " …"
+			break
+		}
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4g", v)
+	}
+	return s + "]"
+}

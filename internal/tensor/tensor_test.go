@@ -1,0 +1,335 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("New(3,4) = %d×%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(2, 3, 7.5)
+	if got := m.At(2, 3); got != 7.5 {
+		t.Fatalf("At(2,3) = %v, want 7.5", got)
+	}
+	if got := m.Row(2)[3]; got != 7.5 {
+		t.Fatalf("Row(2)[3] = %v, want 7.5", got)
+	}
+}
+
+func TestFromSliceSharesStorage(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	m := FromSlice(2, 2, d)
+	d[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+}
+
+func TestFromSlicePanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4)
+	a.XavierFill(rng, 4, 4)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if !ApproxEqual(Mul(a, id), a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !ApproxEqual(Mul(id, a), a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+// TestMulTransAMatchesExplicitTranspose checks MulTransAInto against
+// Transpose+Mul on random matrices (property-based).
+func TestMulTransAMatchesExplicitTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := New(r, c), New(r, n)
+		a.XavierFill(rng, r, c)
+		b.XavierFill(rng, r, n)
+		dst := New(c, n)
+		MulTransAInto(dst, a, b)
+		return ApproxEqual(dst, Mul(Transpose(a), b), 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulTransBMatchesExplicitTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := New(r, c), New(n, c)
+		a.XavierFill(rng, r, c)
+		b.XavierFill(rng, n, c)
+		dst := New(r, n)
+		MulTransBInto(dst, a, b)
+		return ApproxEqual(dst, Mul(a, Transpose(b)), 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := New(r, c)
+		m.XavierFill(rng, r, c)
+		return Equal(Transpose(Transpose(m)), m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{10, 20, 30})
+	sum := New(1, 3)
+	AddInto(sum, a, b)
+	if !Equal(sum, FromSlice(1, 3, []float64{11, 22, 33})) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff := New(1, 3)
+	SubInto(diff, b, a)
+	if !Equal(diff, FromSlice(1, 3, []float64{9, 18, 27})) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	diff.Scale(2)
+	if !Equal(diff, FromSlice(1, 3, []float64{18, 36, 54})) {
+		t.Fatalf("Scale = %v", diff)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 1})
+	b := FromSlice(1, 2, []float64{2, 4})
+	a.AddScaled(b, 0.5)
+	if !Equal(a, FromSlice(1, 2, []float64{2, 3})) {
+		t.Fatalf("AddScaled = %v", a)
+	}
+}
+
+// TestLerpSoftUpdate verifies the target-network soft update identity:
+// after Lerp(other, α) the result is (1−α)·m + α·other, and α=1 copies.
+func TestLerpSoftUpdate(t *testing.T) {
+	m := FromSlice(1, 2, []float64{0, 10})
+	o := FromSlice(1, 2, []float64{100, 20})
+	m.Lerp(o, 0.01)
+	want := FromSlice(1, 2, []float64{1, 10.1})
+	if !ApproxEqual(m, want, 1e-12) {
+		t.Fatalf("Lerp = %v, want %v", m, want)
+	}
+	m2 := FromSlice(1, 1, []float64{5})
+	m2.Lerp(FromSlice(1, 1, []float64{7}), 1)
+	if m2.At(0, 0) != 7 {
+		t.Fatal("Lerp with α=1 must copy")
+	}
+}
+
+// TestLerpConverges: repeated soft updates with α∈(0,1] converge to the
+// source parameters — the property that makes the target network track
+// the online network.
+func TestLerpConverges(t *testing.T) {
+	target := FromSlice(1, 1, []float64{0})
+	online := FromSlice(1, 1, []float64{1})
+	for i := 0; i < 2000; i++ {
+		target.Lerp(online, 0.01)
+	}
+	if math.Abs(target.At(0, 0)-1) > 1e-6 {
+		t.Fatalf("target did not converge: %v", target.At(0, 0))
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	m.AddRowVector([]float64{10, 20, 30})
+	want := FromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36})
+	if !Equal(m, want) {
+		t.Fatalf("AddRowVector = %v", m)
+	}
+	sums := make([]float64, 3)
+	m.ColSumsInto(sums)
+	if sums[0] != 25 || sums[1] != 47 || sums[2] != 69 {
+		t.Fatalf("ColSums = %v", sums)
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	dst := New(1, 3)
+	HadamardInto(dst, a, b)
+	if !Equal(dst, FromSlice(1, 3, []float64{4, 10, 18})) {
+		t.Fatalf("Hadamard = %v", dst)
+	}
+}
+
+func TestMaxPerRow(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 9, 3, -5, -2, -7})
+	vals, idx := m.MaxPerRow()
+	if vals[0] != 9 || idx[0] != 1 {
+		t.Fatalf("row0 max = %v@%d", vals[0], idx[0])
+	}
+	if vals[1] != -2 || idx[1] != 1 {
+		t.Fatalf("row1 max = %v@%d", vals[1], idx[1])
+	}
+}
+
+func TestXavierFillRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := New(50, 50)
+	m.XavierFill(rng, 50, 50)
+	limit := math.Sqrt(6.0 / 100.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+	}
+	// Not all zero and roughly mean-centered.
+	if math.Abs(Mean(m.Data)) > 0.05 {
+		t.Fatalf("Xavier mean too far from 0: %v", Mean(m.Data))
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	if err := m.CheckFinite(); err != nil {
+		t.Fatalf("finite matrix reported error: %v", err)
+	}
+	m.Set(0, 1, math.NaN())
+	if err := m.CheckFinite(); err == nil {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(0, 1, math.Inf(1))
+	if err := m.CheckFinite(); err == nil {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestSumSquaresAndNorm(t *testing.T) {
+	m := FromSlice(1, 2, []float64{3, 4})
+	if m.SumSquares() != 25 {
+		t.Fatalf("SumSquares = %v", m.SumSquares())
+	}
+	if m.NormL2() != 5 {
+		t.Fatalf("NormL2 = %v", m.NormL2())
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ
+func TestMulTransposeIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a, b := New(r, c), New(c, n)
+		a.XavierFill(rng, r, c)
+		b.XavierFill(rng, c, n)
+		lhs := Transpose(Mul(a, b))
+		rhs := Mul(Transpose(b), Transpose(a))
+		return ApproxEqual(lhs, rhs, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if Dot(a, a) != 30 {
+		t.Fatalf("Dot = %v", Dot(a, a))
+	}
+	if Sum(a) != 10 || Mean(a) != 2.5 {
+		t.Fatalf("Sum/Mean = %v/%v", Sum(a), Mean(a))
+	}
+	if ArgMax(a) != 3 || Max(a) != 4 || Min(a) != 1 {
+		t.Fatal("ArgMax/Max/Min wrong")
+	}
+	if v := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(v-4.571428571) > 1e-6 {
+		t.Fatalf("Variance = %v", v)
+	}
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp wrong")
+	}
+	if EWMA(10, 20, 0.5) != 15 {
+		t.Fatal("EWMA wrong")
+	}
+}
+
+func TestVarianceAndStddevDegenerate(t *testing.T) {
+	if Variance([]float64{5}) != 0 || Stddev(nil) != 0 {
+		t.Fatal("degenerate variance must be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) must be 0")
+	}
+}
+
+func TestScaleSlice(t *testing.T) {
+	a := Scale([]float64{1, 2}, 3)
+	if a[0] != 3 || a[1] != 6 {
+		t.Fatalf("Scale slice = %v", a)
+	}
+}
+
+func BenchmarkMul64(b *testing.B) { benchMul(b, 64) }
+
+func benchMul(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a, m := New(n, n), New(n, n)
+	a.XavierFill(rng, n, n)
+	m.XavierFill(rng, n, n)
+	dst := New(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, a, m)
+	}
+}

@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector helpers. Vectors are plain []float64; these free functions keep
+// the statistics and observation-assembly code out of hand-rolled loops.
+
+// Dot returns Σ aᵢ·bᵢ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Sum returns Σ aᵢ.
+func Sum(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of a, or 0 for an empty slice.
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a))
+}
+
+// Variance returns the unbiased sample variance of a (0 if len<2).
+func Variance(a []float64) float64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(a)
+	var s float64
+	for _, v := range a {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// Stddev returns the unbiased sample standard deviation of a.
+func Stddev(a []float64) float64 {
+	return math.Sqrt(Variance(a))
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+// Panics on an empty slice.
+func ArgMax(a []float64) int {
+	if len(a) == 0 {
+		panic("tensor: ArgMax of empty slice")
+	}
+	best, bi := math.Inf(-1), 0
+	for i, v := range a {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Max returns the largest element. Panics on an empty slice.
+func Max(a []float64) float64 {
+	return a[ArgMax(a)]
+}
+
+// Min returns the smallest element. Panics on an empty slice.
+func Min(a []float64) float64 {
+	if len(a) == 0 {
+		panic("tensor: Min of empty slice")
+	}
+	m := a[0]
+	for _, v := range a[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Clamp returns v limited to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// EWMA updates an exponentially weighted moving average: returns
+// (1-α)·prev + α·sample. The paper's Ack EWMA / Send EWMA secondary
+// performance indicators use this form.
+func EWMA(prev, sample, alpha float64) float64 {
+	return prev*(1-alpha) + sample*alpha
+}
+
+// Scale multiplies every element of a by s in place and returns a.
+func Scale(a []float64, s float64) []float64 {
+	for i := range a {
+		a[i] *= s
+	}
+	return a
+}

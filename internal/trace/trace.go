@@ -1,0 +1,158 @@
+// Package trace records named time series during experiments and writes
+// them as CSV, so figure data (throughput over a session, the Figure 5
+// prediction-error curve) can be exported for external plotting. It is a
+// deliberately small utility: append-only series keyed by name, a
+// common tick column, and an encoding/csv writer.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Recorder accumulates samples for any number of named series.
+type Recorder struct {
+	mu     sync.Mutex
+	series map[string]map[int64]float64
+	ticks  map[int64]struct{}
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		series: make(map[string]map[int64]float64),
+		ticks:  make(map[int64]struct{}),
+	}
+}
+
+// Record appends one sample to a series (overwrites the same tick).
+func (r *Recorder) Record(series string, tick int64, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[series]
+	if !ok {
+		s = make(map[int64]float64)
+		r.series[series] = s
+	}
+	s[tick] = value
+	r.ticks[tick] = struct{}{}
+}
+
+// Series returns the (tick-sorted) samples of one series.
+func (r *Recorder) Series(name string) (ticks []int64, values []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.series[name]
+	ticks = make([]int64, 0, len(s))
+	for t := range s {
+		ticks = append(ticks, t)
+	}
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+	values = make([]float64, len(ticks))
+	for i, t := range ticks {
+		values[i] = s[t]
+	}
+	return ticks, values
+}
+
+// Names returns the sorted series names.
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of distinct ticks recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ticks)
+}
+
+// WriteCSV emits "tick,series1,series2,…" rows; missing samples are
+// empty cells.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ticks := make([]int64, 0, len(r.ticks))
+	for t := range r.ticks {
+		ticks = append(ticks, t)
+	}
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"tick"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range ticks {
+		row[0] = strconv.FormatInt(t, 10)
+		for i, n := range names {
+			if v, ok := r.series[n][t]; ok {
+				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the CSV atomically to path.
+func (r *Recorder) WriteCSVFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Summary returns min, max and mean of a series (zeroes when empty).
+func (r *Recorder) Summary(name string) (min, max, mean float64, err error) {
+	_, vals := r.Series(name)
+	if len(vals) == 0 {
+		return 0, 0, 0, fmt.Errorf("trace: series %q is empty", name)
+	}
+	min, max = vals[0], vals[0]
+	var sum float64
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, sum / float64(len(vals)), nil
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndSeries(t *testing.T) {
+	r := NewRecorder()
+	r.Record("tput", 3, 30)
+	r.Record("tput", 1, 10)
+	r.Record("tput", 2, 20)
+	ticks, vals := r.Series("tput")
+	if len(ticks) != 3 || ticks[0] != 1 || ticks[2] != 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	if vals[0] != 10 || vals[1] != 20 || vals[2] != 30 {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Overwrite same tick.
+	r.Record("tput", 2, 25)
+	_, vals = r.Series("tput")
+	if vals[1] != 25 {
+		t.Fatal("overwrite failed")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Record("z", 1, 1)
+	r.Record("a", 1, 1)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("loss", 1, 0.5)
+	r.Record("tput", 1, 100)
+	r.Record("tput", 2, 110) // loss missing at tick 2
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "tick,loss,tput" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0.5,100" {
+		t.Fatalf("row1 = %q", lines[1])
+	}
+	if lines[2] != "2,,110" {
+		t.Fatalf("row2 = %q (missing cell must be empty)", lines[2])
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	r := NewRecorder()
+	r.Record("x", 1, 2)
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := r.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "tick,x") {
+		t.Fatalf("file content = %q", data)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder()
+	for i, v := range []float64{5, 1, 3} {
+		r.Record("s", int64(i), v)
+	}
+	min, max, mean, err := r.Summary("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 1 || max != 5 || mean != 3 {
+		t.Fatalf("summary = %v %v %v", min, max, mean)
+	}
+	if _, _, _, err := r.Summary("missing"); err == nil {
+		t.Fatal("empty series must error")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				r.Record("s", int64(i), float64(g))
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,224 @@
+// Package wire implements the CAPES network protocol between Monitoring
+// Agents, the Interface Daemon and Control Agents (§3.3): length-prefixed
+// frames over TCP carrying gob-encoded messages, with two bandwidth
+// optimizations the paper calls out — a differential encoding that only
+// transmits performance indicators whose values changed since the
+// previous sampling tick, and flate compression of every payload.
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType int
+
+// Protocol message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgIndicators
+	MsgAction
+	MsgAck
+	MsgWorkloadChange
+)
+
+// String names the message type.
+func (m MsgType) String() string {
+	switch m {
+	case MsgHello:
+		return "hello"
+	case MsgIndicators:
+		return "indicators"
+	case MsgAction:
+		return "action"
+	case MsgAck:
+		return "ack"
+	case MsgWorkloadChange:
+		return "workload-change"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(m))
+	}
+}
+
+// Hello registers an agent with the Interface Daemon.
+type Hello struct {
+	NodeID   int    // which target-system node this agent runs on
+	Role     string // "monitor", "control", or "monitor+control"
+	NumPIs   int    // indicators this node reports per sampling tick
+	Hostname string
+}
+
+// Indicators carries one node's sampling tick, differentially encoded:
+// only the indicators whose values changed are listed.
+type Indicators struct {
+	NodeID  int
+	Tick    int64
+	Indices []int     // which PI slots changed
+	Values  []float64 // their new values, aligned with Indices
+}
+
+// Action tells Control Agents to apply a parameter vector.
+type Action struct {
+	Tick   int64
+	Values []float64
+	ID     int // action id, for the replay record
+}
+
+// Ack confirms receipt/application.
+type Ack struct {
+	NodeID int
+	Tick   int64
+	OK     bool
+	Error  string
+}
+
+// WorkloadChange notifies the DRL engine that the job scheduler started a
+// new workload (triggers the ε bump, §3.6).
+type WorkloadChange struct {
+	Tick int64
+	Name string
+}
+
+// Envelope wraps a message with its type for transport.
+type Envelope struct {
+	Type           MsgType
+	Hello          *Hello
+	Indicators     *Indicators
+	Action         *Action
+	Ack            *Ack
+	WorkloadChange *WorkloadChange
+}
+
+// Encode serializes an envelope: gob → flate → 4-byte big-endian length
+// prefix. Returns the framed bytes.
+func Encode(env *Envelope) ([]byte, error) {
+	var gobBuf bytes.Buffer
+	if err := gob.NewEncoder(&gobBuf).Encode(env); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	var zBuf bytes.Buffer
+	zw, err := flate.NewWriter(&zBuf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(gobBuf.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+zBuf.Len())
+	binary.BigEndian.PutUint32(out[:4], uint32(zBuf.Len()))
+	copy(out[4:], zBuf.Bytes())
+	return out, nil
+}
+
+// MaxFrameBytes bounds a single protocol frame (defense against corrupt
+// length prefixes).
+const MaxFrameBytes = 16 << 20
+
+// WriteMsg frames and writes an envelope to w.
+func WriteMsg(w io.Writer, env *Envelope) error {
+	buf, err := Encode(env)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMsg reads one framed envelope from r.
+func ReadMsg(r io.Reader) (*Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > MaxFrameBytes {
+		return nil, fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	zr := flate.NewReader(bytes.NewReader(payload))
+	defer zr.Close()
+	var env Envelope
+	if err := gob.NewDecoder(zr).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// DiffEncoder produces differential Indicators messages: it remembers the
+// previous tick's values and emits only changed slots. "We use a
+// differential communication protocol designed to only send out a
+// performance indicator when its data is different from the value of the
+// previous sampling tick" (§3.3).
+type DiffEncoder struct {
+	nodeID int
+	prev   []float64
+	first  bool
+}
+
+// NewDiffEncoder creates an encoder for a node reporting numPIs values.
+func NewDiffEncoder(nodeID, numPIs int) *DiffEncoder {
+	return &DiffEncoder{nodeID: nodeID, prev: make([]float64, numPIs), first: true}
+}
+
+// Encode builds the differential message for this tick's full PI vector.
+func (d *DiffEncoder) Encode(tick int64, pis []float64) (*Indicators, error) {
+	if len(pis) != len(d.prev) {
+		return nil, fmt.Errorf("wire: diff encoder got %d PIs, want %d", len(pis), len(d.prev))
+	}
+	msg := &Indicators{NodeID: d.nodeID, Tick: tick}
+	for i, v := range pis {
+		if d.first || v != d.prev[i] {
+			msg.Indices = append(msg.Indices, i)
+			msg.Values = append(msg.Values, v)
+		}
+	}
+	copy(d.prev, pis)
+	d.first = false
+	return msg, nil
+}
+
+// DiffDecoder reconstructs full PI vectors from differential messages.
+type DiffDecoder struct {
+	cur []float64
+}
+
+// NewDiffDecoder creates a decoder for numPIs values.
+func NewDiffDecoder(numPIs int) *DiffDecoder {
+	return &DiffDecoder{cur: make([]float64, numPIs)}
+}
+
+// Apply merges a differential message and returns a copy of the full
+// vector.
+func (d *DiffDecoder) Apply(msg *Indicators) ([]float64, error) {
+	if len(msg.Indices) != len(msg.Values) {
+		return nil, fmt.Errorf("wire: indices/values length mismatch")
+	}
+	for k, idx := range msg.Indices {
+		if idx < 0 || idx >= len(d.cur) {
+			return nil, fmt.Errorf("wire: PI index %d out of range", idx)
+		}
+		d.cur[idx] = msg.Values[k]
+	}
+	return append([]float64(nil), d.cur...), nil
+}
+
+// MessageBytes returns the framed wire size of an envelope — the Table 2
+// "average message size per client" measurement hook.
+func MessageBytes(env *Envelope) (int, error) {
+	buf, err := Encode(env)
+	if err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}

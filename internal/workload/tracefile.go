@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"capes/internal/disk"
+)
+
+// TraceReplay replays recorded demand from a CSV trace — the substitution
+// hook for the production traces this environment does not have. The
+// trace format is one row per (tick, client):
+//
+//	tick,client,rand_read,rand_write,seq_read,seq_write,metadata_ops
+//
+// with bytes/s in the four I/O columns. Ticks beyond the trace wrap
+// around, so a short trace drives an arbitrarily long session (cyclical
+// workloads, §3.1's "date and time" discussion).
+type TraceReplay struct {
+	TraceName string
+	ticks     int64
+	clients   int
+	demands   map[traceKey]Demand
+}
+
+type traceKey struct {
+	tick   int64
+	client int
+}
+
+// LoadTrace parses a CSV trace.
+func LoadTrace(name string, r io.Reader) (*TraceReplay, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 7
+	t := &TraceReplay{TraceName: name, demands: make(map[traceKey]Demand)}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && rec[0] == "tick" {
+			continue // header
+		}
+		vals := make([]float64, 7)
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d col %d: %w", line, i+1, err)
+			}
+			if i >= 2 && v < 0 {
+				return nil, fmt.Errorf("workload: trace line %d: negative demand", line)
+			}
+			vals[i] = v
+		}
+		tick, client := int64(vals[0]), int(vals[1])
+		if tick < 0 || client < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative tick/client", line)
+		}
+		var d Demand
+		d.Bytes[disk.RandRead] = vals[2]
+		d.Bytes[disk.RandWrite] = vals[3]
+		d.Bytes[disk.SeqRead] = vals[4]
+		d.Bytes[disk.SeqWrite] = vals[5]
+		d.MetadataOps = vals[6]
+		t.demands[traceKey{tick, client}] = d
+		if tick+1 > t.ticks {
+			t.ticks = tick + 1
+		}
+		if client+1 > t.clients {
+			t.clients = client + 1
+		}
+	}
+	if t.ticks == 0 {
+		return nil, fmt.Errorf("workload: trace %q is empty", name)
+	}
+	return t, nil
+}
+
+// Name implements Generator.
+func (t *TraceReplay) Name() string {
+	if t.TraceName == "" {
+		return "trace"
+	}
+	return "trace:" + t.TraceName
+}
+
+// Len returns the trace length in ticks.
+func (t *TraceReplay) Len() int64 { return t.ticks }
+
+// Clients returns the number of distinct clients in the trace.
+func (t *TraceReplay) Clients() int { return t.clients }
+
+// Demand implements Generator: ticks wrap modulo the trace length, and
+// clients beyond the trace reuse it modulo the traced client count.
+func (t *TraceReplay) Demand(now int64, client int) Demand {
+	tick := now % t.ticks
+	if t.clients > 0 {
+		client = client % t.clients
+	}
+	return t.demands[traceKey{tick, client}]
+}
+
+// WriteTrace emits a generator's demand as a CSV trace — used to record
+// synthetic workloads into replayable files.
+func WriteTrace(w io.Writer, gen Generator, ticks int64, clients int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tick", "client", "rand_read", "rand_write", "seq_read", "seq_write", "metadata_ops"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for tick := int64(0); tick < ticks; tick++ {
+		for c := 0; c < clients; c++ {
+			d := gen.Demand(tick, c)
+			err := cw.Write([]string{
+				strconv.FormatInt(tick, 10),
+				strconv.Itoa(c),
+				f(d.Bytes[disk.RandRead]),
+				f(d.Bytes[disk.RandWrite]),
+				f(d.Bytes[disk.SeqRead]),
+				f(d.Bytes[disk.SeqWrite]),
+				f(d.MetadataOps),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
