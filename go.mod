@@ -1,0 +1,3 @@
+module capes
+
+go 1.24.0

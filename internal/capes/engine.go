@@ -67,6 +67,8 @@ type Engine struct {
 	actionCounts  []int64 // per action id
 	history       []ActionRecord
 	historyCap    int
+
+	batch replay.Batch // reusable minibatch; sampled into every train tick
 }
 
 // ActionRecord is one applied action (kept in a bounded ring for
@@ -186,11 +188,10 @@ func (e *Engine) Tick(now int64) {
 
 	// Training step.
 	if e.cfg.Training && now >= h.TrainStartTicks && now%h.TrainEvery == 0 {
-		batch, err := e.db.ConstructMinibatch(e.rng, h.MinibatchSize, e.rewardFn)
-		if err != nil {
+		if err := e.db.ConstructMinibatchInto(e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err != nil {
 			return // not enough data yet
 		}
-		if _, err := e.agent.TrainStep(batch); err != nil {
+		if _, err := e.agent.TrainStep(&e.batch); err != nil {
 			e.trainErrors++
 			return
 		}

@@ -73,6 +73,11 @@ type Options struct {
 	// TicksPerObservation/TrainEvery/LearningRate options are ignored in
 	// that case.
 	Hyper *capes.Hyperparameters
+	// PaperObsWidth overrides the observation width used for the Table 2
+	// paper-shape measurements (train-step timing, model size). 0 keeps
+	// the paper's 1760 (44 PIs × 4 OSCs × 10 ticks); the test suite's
+	// `go test -short` mode shrinks it so CI stays fast.
+	PaperObsWidth int
 }
 
 // DefaultOptions returns the CI-scale evaluation configuration.

@@ -291,7 +291,10 @@ func RunTable2(o Options) (*Table2, error) {
 	res := &Table2{PIsPerClient: storesim.NumClientPIs}
 
 	// Train-step duration for the paper-shaped network.
-	paperObs := 1760
+	paperObs := o.PaperObsWidth
+	if paperObs <= 0 {
+		paperObs = 1760
+	}
 	res.TrainStepSeconds = measureTrainStep(paperObs, 5, 32)
 
 	// Train-step duration at this reproduction's observation size.

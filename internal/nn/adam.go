@@ -18,6 +18,9 @@ type Adam struct {
 	step int
 	m    []*tensor.Matrix // first-moment estimates, aligned with params
 	v    []*tensor.Matrix // second-moment estimates
+
+	fm []float64 // flat first moments (StepFlat), aligned with the arena
+	fv []float64 // flat second moments
 }
 
 // NewAdam returns an Adam optimizer with the standard β/ε defaults.
@@ -55,6 +58,64 @@ func (a *Adam) Step(params, grads []*tensor.Matrix) {
 	}
 }
 
+// StepFlat applies one Adam update over a flat parameter arena (see
+// MLP.FlatParams/FlatGrads): the moment updates and the parameter step
+// are fused into a single pass over contiguous memory, with the moments
+// themselves stored flat. Use either Step or StepFlat/FusedStep on one
+// optimizer, not both — the two maintain separate moment buffers (the
+// shared step counter would skew bias correction if they were mixed).
+func (a *Adam) StepFlat(params, grads []float64) {
+	a.FusedStep(params, grads, 1, nil, 0)
+}
+
+// FusedStep is StepFlat with the rest of the per-step parameter traffic
+// folded into the same sweep: each gradient is scaled by gradScale as it
+// is read (global-norm clipping without a separate scale pass over the
+// arena — the grads slice itself is left unscaled), and when target is
+// non-nil the target-network soft update θ⁻ = θ⁻(1−α) + θα is applied to
+// the freshly stepped parameter in place. One pass touches all five
+// streams (params, grads, both moments, target) instead of three
+// separate kernels re-reading them, which keeps the training step's
+// working set from thrashing the cache between matmuls.
+func (a *Adam) FusedStep(params, grads []float64, gradScale float64, target []float64, alpha float64) {
+	if len(params) != len(grads) {
+		panic("nn: Adam params/grads length mismatch")
+	}
+	if target != nil && len(target) != len(params) {
+		panic("nn: Adam target length mismatch")
+	}
+	if a.fm == nil {
+		a.fm = make([]float64, len(params))
+		a.fv = make([]float64, len(params))
+	} else if len(a.fm) != len(params) {
+		panic("nn: Adam flat moment size mismatch")
+	}
+	a.step++
+	t := float64(a.step)
+	lrT := a.LR * math.Sqrt(1-math.Pow(a.Beta2, t)) / (1 - math.Pow(a.Beta1, t))
+	b1, b2, eps := a.Beta1, a.Beta2, a.Epsilon
+	fm, fv := a.fm, a.fv
+	if target == nil {
+		for j, gj := range grads {
+			gj *= gradScale
+			mj := b1*fm[j] + (1-b1)*gj
+			vj := b2*fv[j] + (1-b2)*gj*gj
+			fm[j], fv[j] = mj, vj
+			params[j] -= lrT * mj / (math.Sqrt(vj) + eps)
+		}
+		return
+	}
+	for j, gj := range grads {
+		gj *= gradScale
+		mj := b1*fm[j] + (1-b1)*gj
+		vj := b2*fv[j] + (1-b2)*gj*gj
+		fm[j], fv[j] = mj, vj
+		p := params[j] - lrT*mj/(math.Sqrt(vj)+eps)
+		params[j] = p
+		target[j] = target[j]*(1-alpha) + p*alpha
+	}
+}
+
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.step }
 
@@ -62,6 +123,7 @@ func (a *Adam) StepCount() int { return a.step }
 func (a *Adam) Reset() {
 	a.step = 0
 	a.m, a.v = nil, nil
+	a.fm, a.fv = nil, nil
 }
 
 // SGD is a plain stochastic-gradient-descent optimizer, kept as a baseline

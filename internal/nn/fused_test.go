@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"capes/internal/tensor"
+)
+
+// refStack composes a no-activation Dense with a standalone activation
+// layer — the package's original un-fused structure — as the golden
+// reference for the fused Dense forward/backward kernels.
+type refStack struct {
+	d   *Dense
+	act Layer
+}
+
+func (r *refStack) forward(in *tensor.Matrix) *tensor.Matrix {
+	out := r.d.Forward(in)
+	if r.act != nil {
+		out = r.act.Forward(out)
+	}
+	return out
+}
+
+func (r *refStack) backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	g := gradOut
+	if r.act != nil {
+		g = r.act.Backward(g)
+	}
+	return r.d.Backward(g)
+}
+
+// fusedShapes includes 1×N (the action path), ragged batches, and sizes
+// straddling the tensor kernels' unroll width and parallel threshold.
+var fusedShapes = []struct{ batch, in, out int }{
+	{1, 1, 1},
+	{1, 640, 5},
+	{3, 7, 5},
+	{32, 64, 64},
+	{32, 640, 640},
+	{33, 129, 65},
+}
+
+// TestFusedDenseMatchesReference holds the fused bias-add+activation
+// forward and the fused activation-derivative backward to the original
+// two-layer composition, for both activations, across ragged shapes.
+func TestFusedDenseMatchesReference(t *testing.T) {
+	const tol = 1e-9
+	for _, act := range []Activation{ActTanh, ActReLU, ActNone} {
+		for _, sh := range fusedShapes {
+			rng := rand.New(rand.NewSource(17))
+			fused := NewDense(sh.in, sh.out, rng)
+			fused.Act = act
+
+			ref := &refStack{d: NewDense(sh.in, sh.out, rand.New(rand.NewSource(99)))}
+			ref.d.W.CopyFrom(fused.W)
+			copy(ref.d.B, fused.B)
+			switch act {
+			case ActTanh:
+				ref.act = &Tanh{}
+			case ActReLU:
+				ref.act = &ReLU{}
+			}
+			// Nonzero biases so the fused bias-add is actually exercised.
+			for i := range fused.B {
+				fused.B[i] = rng.Float64() - 0.5
+				ref.d.B[i] = fused.B[i]
+			}
+
+			in := tensor.New(sh.batch, sh.in)
+			for i := range in.Data {
+				in.Data[i] = rng.Float64()*2 - 1
+			}
+			gotOut := fused.Forward(in)
+			wantOut := ref.forward(in)
+			if !tensor.ApproxEqual(gotOut, wantOut, tol) {
+				t.Fatalf("%v %dx%d->%d: fused forward deviates from reference", act, sh.batch, sh.in, sh.out)
+			}
+
+			gradOut := tensor.New(sh.batch, sh.out)
+			for i := range gradOut.Data {
+				gradOut.Data[i] = rng.Float64()*2 - 1
+			}
+			gotIn := fused.Backward(gradOut)
+			wantIn := ref.backward(gradOut)
+			if !tensor.ApproxEqual(gotIn, wantIn, tol) {
+				t.Fatalf("%v %dx%d->%d: fused backward ∂L/∂in deviates", act, sh.batch, sh.in, sh.out)
+			}
+			if !tensor.ApproxEqual(fused.GradW, ref.d.GradW, tol) {
+				t.Fatalf("%v %dx%d->%d: fused GradW deviates", act, sh.batch, sh.in, sh.out)
+			}
+			for j := range fused.GradB {
+				diff := fused.GradB[j] - ref.d.GradB[j]
+				if diff < -tol || diff > tol {
+					t.Fatalf("%v %dx%d->%d: fused GradB[%d] deviates", act, sh.batch, sh.in, sh.out, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatParamsAliasViews verifies the arena invariant everything relies
+// on: the matrices from Params()/Grads() are views into FlatParams()/
+// FlatGrads(), so flat passes and per-matrix code see the same memory.
+func TestFlatParamsAliasViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewMLP(rng, ActTanh, 4, 6, 3)
+	if got, want := len(m.FlatParams()), 4*6+6+6*3+3; got != want {
+		t.Fatalf("FlatParams len = %d, want %d", got, want)
+	}
+	m.Params()[0].Set(0, 0, 42)
+	if m.FlatParams()[0] != 42 {
+		t.Fatal("Params()[0] does not alias FlatParams")
+	}
+	m.FlatParams()[len(m.FlatParams())-1] = 7 // last bias element
+	ps := m.Params()
+	last := ps[len(ps)-1]
+	if last.At(0, last.Cols-1) != 7 {
+		t.Fatal("FlatParams tail does not alias the last bias view")
+	}
+	m.FlatGrads()[0] = 3
+	if m.Grads()[0].At(0, 0) != 3 {
+		t.Fatal("FlatGrads does not alias Grads views")
+	}
+}
+
+// TestStepFlatMatchesStep: the fused flat Adam pass must produce the
+// same trajectory as the per-matrix Step on identical inputs.
+func TestStepFlatMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := NewMLP(rng, ActTanh, 3, 5, 2)
+	b := a.Clone()
+	optA, optB := NewAdam(0.01), NewAdam(0.01)
+	for step := 0; step < 25; step++ {
+		for i := range a.FlatGrads() {
+			g := rng.Float64()*2 - 1
+			a.FlatGrads()[i] = g
+			b.FlatGrads()[i] = g
+		}
+		optA.Step(a.Params(), a.Grads())
+		optB.StepFlat(b.FlatParams(), b.FlatGrads())
+		for i, v := range a.FlatParams() {
+			diff := v - b.FlatParams()[i]
+			if diff < -1e-12 || diff > 1e-12 {
+				t.Fatalf("step %d: flat Adam deviates at %d: %g vs %g", step, i, v, b.FlatParams()[i])
+			}
+		}
+	}
+}
+
+// TestClipGradientsFlatMatchesMatrixClip checks the flat clip against the
+// per-matrix one on the same values.
+func TestClipGradientsFlatMatchesMatrixClip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	m := NewMLP(rng, ActTanh, 4, 4, 2)
+	ref := m.Clone()
+	for i := range m.FlatGrads() {
+		g := rng.Float64()*4 - 2
+		m.FlatGrads()[i] = g
+		ref.FlatGrads()[i] = g
+	}
+	n1 := ClipGradients(ref.Grads(), 0.5)
+	n2 := ClipGradientsFlat(m.FlatGrads(), 0.5)
+	if d := n1 - n2; d < -1e-12 || d > 1e-12 {
+		t.Fatalf("pre-clip norms differ: %g vs %g", n1, n2)
+	}
+	for i, v := range ref.FlatGrads() {
+		if d := v - m.FlatGrads()[i]; d < -1e-12 || d > 1e-12 {
+			t.Fatalf("clipped grad %d differs: %g vs %g", i, v, m.FlatGrads()[i])
+		}
+	}
+}
+
+// TestForwardVecIntoAllocFree: the action path must not allocate, and the
+// batch-1 buffers must survive interleaved minibatch forwards (the tick
+// loop alternates SelectAction with TrainStep).
+func TestForwardVecIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := NewCAPESNetwork(rng, 64, 5)
+	obs := make([]float64, 64)
+	for i := range obs {
+		obs[i] = rng.Float64()
+	}
+	dst := make([]float64, 5)
+	batch := tensor.New(32, 64)
+	batch.XavierFill(rng, 64, 64)
+
+	m.ForwardVecInto(dst, obs) // warm the batch-1 buffers
+	m.Forward(batch)           // warm the batch-32 buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		m.Forward(batch)
+		m.ForwardVecInto(dst, obs)
+	})
+	if allocs != 0 {
+		t.Fatalf("interleaved Forward/ForwardVecInto allocates %v per run", allocs)
+	}
+
+	// And interleaving must not change results vs. a fresh forward.
+	want := m.ForwardVec(obs)
+	for i := range want {
+		if want[i] != dst[i] {
+			t.Fatalf("interleaved ForwardVecInto diverges at %d: %g vs %g", i, dst[i], want[i])
+		}
+	}
+}

@@ -7,6 +7,16 @@
 // batch×in matrix to a batch×out matrix, and Backward propagates the
 // output-side gradient back while accumulating parameter gradients, the
 // exact structure TensorFlow provided in the original prototype.
+//
+// Dense layers fuse their activation: the forward pass applies
+// bias-add and the nonlinearity in one sweep over the affine output, and
+// the backward pass folds the activation derivative into the incoming
+// gradient before the matrix products — there are no separate
+// activation-layer passes (or buffers) on the training hot path. An
+// MLP's parameters, gradients, and the optimizer's moments each live in
+// one contiguous backing slice (see mlp.go), so whole-model passes such
+// as Adam, gradient clipping, and target-network updates are single
+// loops over flat memory.
 package nn
 
 import (
@@ -17,82 +27,177 @@ import (
 	"capes/internal/tensor"
 )
 
-// Dense is a fully connected layer: out = in·W + b, with W of shape
-// in×out and bias b of length out.
+// denseScratch is one set of forward/backward buffers for a fixed batch
+// size. A Dense keeps two: one pinned to batch 1 so the action path
+// (SelectAction's 1×N forward every tick) never evicts — or reallocates —
+// the training-batch buffers it interleaves with.
+type denseScratch struct {
+	out     *tensor.Matrix // activated forward output
+	gradIn  *tensor.Matrix // ∂L/∂input
+	gradPre *tensor.Matrix // ∂L/∂(pre-activation); nil when Act == ActNone
+}
+
+// Dense is a fully connected layer with a fused activation:
+// out = act(in·W + b), with W of shape in×out and bias b of length out.
+// Act == ActNone gives the plain affine layer (the Q-value head).
 type Dense struct {
 	In, Out int
 	W       *tensor.Matrix
 	B       []float64
+	Act     Activation
 
 	// Gradients accumulated by Backward.
 	GradW *tensor.Matrix
 	GradB []float64
 
-	// Scratch buffers sized for the last batch seen.
-	input  *tensor.Matrix // saved forward input (not owned)
-	output *tensor.Matrix
-	gradIn *tensor.Matrix
+	// Parameter/gradient views handed out by Params/Grads, built once.
+	pviews [2]*tensor.Matrix
+	gviews [2]*tensor.Matrix
+
+	input    *tensor.Matrix // saved forward input (not owned)
+	scratch1 denseScratch   // batch == 1 (action path)
+	scratchN denseScratch   // training batches
+	cur      *denseScratch  // scratch used by the last Forward
 }
 
-// NewDense creates an in×out dense layer with Xavier-initialized weights.
+// NewDense creates an in×out dense layer with Xavier-initialized weights
+// and no activation (set Act, or use NewMLP, for fused nonlinearities).
 func NewDense(in, out int, rng *rand.Rand) *Dense {
+	n := in*out + out
+	return newDenseArena(in, out, ActNone, make([]float64, n), make([]float64, n), rng)
+}
+
+// newDenseArena builds a Dense whose parameters and gradients are views
+// into caller-provided backing slices of length in*out+out (weights
+// first, then bias). NewMLP passes segments of its contiguous arenas so
+// a whole network's parameters are one allocation.
+func newDenseArena(in, out int, act Activation, params, grads []float64, rng *rand.Rand) *Dense {
+	if len(params) != in*out+out || len(grads) != in*out+out {
+		panic(fmt.Sprintf("nn: dense arena got %d/%d values for %d×%d+%d", len(params), len(grads), in, out, out))
+	}
+	wN := in * out
 	d := &Dense{
 		In:    in,
 		Out:   out,
-		W:     tensor.New(in, out),
-		B:     make([]float64, out),
-		GradW: tensor.New(in, out),
-		GradB: make([]float64, out),
+		Act:   act,
+		W:     tensor.FromSlice(in, out, params[:wN:wN]),
+		B:     params[wN : wN+out : wN+out],
+		GradW: tensor.FromSlice(in, out, grads[:wN:wN]),
+		GradB: grads[wN : wN+out : wN+out],
 	}
 	d.W.XavierFill(rng, in, out)
+	d.pviews = [2]*tensor.Matrix{d.W, tensor.FromSlice(1, out, d.B)}
+	d.gviews = [2]*tensor.Matrix{d.GradW, tensor.FromSlice(1, out, d.GradB)}
 	return d
 }
 
-func (d *Dense) ensure(batch int) {
-	if d.output == nil || d.output.Rows != batch {
-		d.output = tensor.New(batch, d.Out)
-		d.gradIn = tensor.New(batch, d.In)
+// ensure returns scratch buffers for the batch size, reallocating only
+// when a non-unit batch size changes.
+func (d *Dense) ensure(batch int) *denseScratch {
+	s := &d.scratchN
+	if batch == 1 {
+		s = &d.scratch1
 	}
+	if s.out == nil || s.out.Rows != batch {
+		s.out = tensor.New(batch, d.Out)
+		s.gradIn = tensor.New(batch, d.In)
+		if d.Act != ActNone {
+			s.gradPre = tensor.New(batch, d.Out)
+		}
+	}
+	d.cur = s
+	return s
 }
 
-// Forward computes in·W + b for a batch. The returned matrix is owned by
-// the layer and valid until the next Forward call.
+// Forward computes act(in·W + b) for a batch: one matrix product, then a
+// single fused bias-add+activation sweep. The returned matrix is owned
+// by the layer and valid until the next Forward call at the same batch
+// size (batch-1 and batch-N buffers are independent).
 func (d *Dense) Forward(in *tensor.Matrix) *tensor.Matrix {
 	if in.Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense forward got %d features, want %d", in.Cols, d.In))
 	}
-	d.ensure(in.Rows)
+	s := d.ensure(in.Rows)
 	d.input = in
-	tensor.MulInto(d.output, in, d.W)
-	d.output.AddRowVector(d.B)
-	return d.output
+	tensor.MulInto(s.out, in, d.W)
+	cols := d.Out
+	switch d.Act {
+	case ActTanh:
+		for r := 0; r < s.out.Rows; r++ {
+			row := s.out.Data[r*cols : (r+1)*cols]
+			for j, bias := range d.B {
+				row[j] = math.Tanh(row[j] + bias)
+			}
+		}
+	case ActReLU:
+		for r := 0; r < s.out.Rows; r++ {
+			row := s.out.Data[r*cols : (r+1)*cols]
+			for j, bias := range d.B {
+				if v := row[j] + bias; v > 0 {
+					row[j] = v
+				} else {
+					row[j] = 0
+				}
+			}
+		}
+	default:
+		s.out.AddRowVector(d.B)
+	}
+	return s.out
 }
 
 // Backward takes ∂L/∂out and returns ∂L/∂in, accumulating ∂L/∂W and
 // ∂L/∂b into GradW/GradB (overwriting them — one minibatch per step).
+// The activation derivative is folded in with one fused sweep: tanh'
+// is recovered from the cached activated output as 1−y², ReLU' as the
+// sign of the output.
 func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	// ∂L/∂W = inᵀ · gradOut
-	tensor.MulTransAInto(d.GradW, d.input, gradOut)
-	// ∂L/∂b = column sums of gradOut
-	gradOut.ColSumsInto(d.GradB)
-	// ∂L/∂in = gradOut · Wᵀ
-	tensor.MulTransBInto(d.gradIn, gradOut, d.W)
-	return d.gradIn
+	s := d.cur
+	g := gradOut
+	switch d.Act {
+	case ActTanh:
+		gp := s.gradPre
+		for i, y := range s.out.Data {
+			gp.Data[i] = gradOut.Data[i] * (1 - y*y)
+		}
+		g = gp
+	case ActReLU:
+		gp := s.gradPre
+		for i, y := range s.out.Data {
+			if y > 0 {
+				gp.Data[i] = gradOut.Data[i]
+			} else {
+				gp.Data[i] = 0
+			}
+		}
+		g = gp
+	}
+	// ∂L/∂W = inᵀ · g
+	tensor.MulTransAInto(d.GradW, d.input, g)
+	// ∂L/∂b = column sums of g
+	g.ColSumsInto(d.GradB)
+	// ∂L/∂in = g · Wᵀ
+	tensor.MulTransBInto(s.gradIn, g, d.W)
+	return s.gradIn
 }
 
-// Params returns the layer's parameter matrices flattened as a list; the
-// bias is exposed as a 1×Out matrix view for uniform optimizer handling.
+// Params returns the layer's parameter matrices; the bias is exposed as
+// a 1×Out matrix view for uniform optimizer handling. The views share
+// storage with the layer (and its arena), so mutations through them are
+// seen by the flat-parameter fast paths too.
 func (d *Dense) Params() []*tensor.Matrix {
-	return []*tensor.Matrix{d.W, tensor.FromSlice(1, d.Out, d.B)}
+	return d.pviews[:]
 }
 
 // Grads returns the gradient matrices aligned with Params.
 func (d *Dense) Grads() []*tensor.Matrix {
-	return []*tensor.Matrix{d.GradW, tensor.FromSlice(1, d.Out, d.GradB)}
+	return d.gviews[:]
 }
 
-// Tanh is the hyperbolic-tangent activation layer used for both hidden
-// layers of the CAPES Q-network.
+// Tanh is a standalone hyperbolic-tangent activation layer. The MLP
+// fuses tanh into its Dense layers; this layer type remains for
+// composing custom stacks (and as the reference implementation the
+// fused-kernel equivalence tests compare against).
 type Tanh struct {
 	output *tensor.Matrix
 	gradIn *tensor.Matrix
@@ -119,8 +224,8 @@ func (t *Tanh) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	return t.gradIn
 }
 
-// ReLU is provided for the ablation benches comparing activation choices;
-// the paper's network uses tanh.
+// ReLU is the standalone rectifier layer, kept for the ablation benches
+// comparing activation choices; the paper's network uses tanh.
 type ReLU struct {
 	output *tensor.Matrix
 	gradIn *tensor.Matrix

@@ -74,6 +74,32 @@ func ClipGradients(grads []*tensor.Matrix, maxNorm float64) float64 {
 	return norm
 }
 
+// FlatNorm returns the L2 norm of a flat gradient arena in one pass.
+// The training step uses it to derive the global-norm clip scale that
+// Adam.FusedStep applies while reading gradients, so the arena itself
+// is never rescaled.
+func FlatNorm(grads []float64) float64 {
+	var ss float64
+	for _, g := range grads {
+		ss += g * g
+	}
+	return math.Sqrt(ss)
+}
+
+// ClipGradientsFlat is ClipGradients over a flat gradient arena (see
+// MLP.FlatGrads): one pass for the norm, one conditional pass to scale.
+// Returns the pre-clip norm.
+func ClipGradientsFlat(grads []float64, maxNorm float64) float64 {
+	norm := FlatNorm(grads)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for i := range grads {
+			grads[i] *= scale
+		}
+	}
+	return norm
+}
+
 // MaskedHuber is the Huber-loss variant of MaskedMSE: quadratic within
 // ±delta of the target and linear beyond, which caps the gradient
 // magnitude of outlier Bellman targets (the classic DQN stabilizer; kept

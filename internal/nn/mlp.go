@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"capes/internal/tensor"
@@ -10,10 +11,13 @@ import (
 // Activation selects the hidden-layer nonlinearity.
 type Activation int
 
-// Supported activations. ActTanh is the paper's choice (§3.4).
+// Supported activations. ActTanh is the paper's choice (§3.4). ActNone
+// marks a plain affine layer (the linear Q-value head).
 const (
 	ActTanh Activation = iota
 	ActReLU
+
+	ActNone Activation = -1
 )
 
 func (a Activation) String() string {
@@ -22,29 +26,43 @@ func (a Activation) String() string {
 		return "tanh"
 	case ActReLU:
 		return "relu"
+	case ActNone:
+		return "none"
 	default:
 		return fmt.Sprintf("Activation(%d)", int(a))
 	}
 }
 
-func (a Activation) newLayer() Layer {
-	switch a {
-	case ActReLU:
-		return &ReLU{}
-	default:
-		return &Tanh{}
-	}
-}
-
-// MLP is a multi-layer perceptron: a stack of Dense layers with an
-// activation after every layer except the last, whose output is linear
-// (one scalar per action for a Q-network).
+// MLP is a multi-layer perceptron: a stack of Dense layers with a fused
+// activation on every layer except the last, whose output is linear (one
+// scalar per action for a Q-network).
+//
+// All parameters live in one contiguous flat arena, all gradients in a
+// second, laid out layer by layer (weights, then bias). FlatParams and
+// FlatGrads expose them so the optimizer, gradient clipping, and
+// target-network updates run as single passes over flat memory instead
+// of per-matrix loops.
 type MLP struct {
 	Sizes      []int // layer widths: input, hidden..., output
 	Activation Activation
 
-	layers []Layer  // interleaved Dense/activation
-	dense  []*Dense // the Dense layers only, in order
+	dense  []*Dense         // the layers, in order
+	params []*tensor.Matrix // cached per-matrix views into paramData
+	grads  []*tensor.Matrix // cached per-matrix views into gradData
+
+	paramData []float64 // flat parameter arena
+	gradData  []float64 // flat gradient arena
+
+	vecIn tensor.Matrix // reusable 1×in header for the vector paths
+}
+
+// arenaLen returns the flat parameter count for the given layer widths.
+func arenaLen(sizes []int) int {
+	n := 0
+	for i := 0; i+1 < len(sizes); i++ {
+		n += sizes[i]*sizes[i+1] + sizes[i+1]
+	}
+	return n
 }
 
 // NewMLP builds an MLP with the given layer widths. The CAPES network is
@@ -56,13 +74,23 @@ func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
 		panic("nn: MLP needs at least input and output sizes")
 	}
 	m := &MLP{Sizes: append([]int(nil), sizes...), Activation: act}
+	total := arenaLen(sizes)
+	m.paramData = make([]float64, total)
+	m.gradData = make([]float64, total)
+	off := 0
 	for i := 0; i+1 < len(sizes); i++ {
-		d := NewDense(sizes[i], sizes[i+1], rng)
-		m.dense = append(m.dense, d)
-		m.layers = append(m.layers, d)
-		if i+2 < len(sizes) { // no activation after the output layer
-			m.layers = append(m.layers, act.newLayer())
+		in, out := sizes[i], sizes[i+1]
+		layerAct := act
+		if i+2 == len(sizes) { // no activation on the output layer
+			layerAct = ActNone
 		}
+		n := in*out + out
+		d := newDenseArena(in, out, layerAct,
+			m.paramData[off:off+n:off+n], m.gradData[off:off+n:off+n], rng)
+		off += n
+		m.dense = append(m.dense, d)
+		m.params = append(m.params, d.Params()...)
+		m.grads = append(m.grads, d.Grads()...)
 	}
 	return m
 }
@@ -80,62 +108,64 @@ func (m *MLP) InputSize() int { return m.Sizes[0] }
 func (m *MLP) OutputSize() int { return m.Sizes[len(m.Sizes)-1] }
 
 // Forward runs a minibatch through the network. The result is owned by
-// the network and valid until the next Forward.
+// the network and valid until the next Forward at the same batch size
+// (single-observation and minibatch forwards use independent buffers).
 func (m *MLP) Forward(in *tensor.Matrix) *tensor.Matrix {
 	out := in
-	for _, l := range m.layers {
-		out = l.Forward(out)
+	for _, d := range m.dense {
+		out = d.Forward(out)
 	}
 	return out
 }
 
 // ForwardVec runs a single observation (len == InputSize) and returns a
-// fresh copy of the output vector. Used on the action path where the
-// caller keeps the Q-values around.
+// fresh copy of the output vector.
 func (m *MLP) ForwardVec(obs []float64) []float64 {
-	in := tensor.FromSlice(1, len(obs), obs)
-	out := m.Forward(in)
-	res := make([]float64, out.Cols)
-	copy(res, out.Row(0))
-	return res
+	return m.ForwardVecInto(make([]float64, m.OutputSize()), obs)
+}
+
+// ForwardVecInto is ForwardVec writing the Q-values into dst (len ==
+// OutputSize), which is also returned. It allocates nothing: the input
+// header and every layer buffer on the 1×N path are reused across calls,
+// so the per-tick action path stays off the garbage collector entirely.
+func (m *MLP) ForwardVecInto(dst, obs []float64) []float64 {
+	if len(dst) != m.OutputSize() {
+		panic(fmt.Sprintf("nn: ForwardVecInto dst len %d, want %d", len(dst), m.OutputSize()))
+	}
+	m.vecIn.Rows, m.vecIn.Cols, m.vecIn.Data = 1, len(obs), obs
+	out := m.Forward(&m.vecIn)
+	copy(dst, out.Data[:out.Cols])
+	return dst
 }
 
 // Backward propagates ∂L/∂out back through the network, leaving parameter
-// gradients in each Dense layer.
+// gradients in each Dense layer (and hence in FlatGrads).
 func (m *MLP) Backward(gradOut *tensor.Matrix) {
 	g := gradOut
-	for i := len(m.layers) - 1; i >= 0; i-- {
-		g = m.layers[i].Backward(g)
+	for i := len(m.dense) - 1; i >= 0; i-- {
+		g = m.dense[i].Backward(g)
 	}
 }
 
-// Params returns all parameter matrices in a stable order.
-func (m *MLP) Params() []*tensor.Matrix {
-	var ps []*tensor.Matrix
-	for _, d := range m.dense {
-		ps = append(ps, d.Params()...)
-	}
-	return ps
-}
+// Params returns all parameter matrices in a stable order. The slice and
+// its views are cached — repeated calls allocate nothing — and the views
+// alias FlatParams.
+func (m *MLP) Params() []*tensor.Matrix { return m.params }
 
 // Grads returns all gradient matrices aligned with Params.
-func (m *MLP) Grads() []*tensor.Matrix {
-	var gs []*tensor.Matrix
-	for _, d := range m.dense {
-		gs = append(gs, d.Grads()...)
-	}
-	return gs
-}
+func (m *MLP) Grads() []*tensor.Matrix { return m.grads }
+
+// FlatParams returns the network's parameters as one contiguous slice,
+// laid out layer by layer (weights row-major, then bias). It aliases the
+// matrices returned by Params.
+func (m *MLP) FlatParams() []float64 { return m.paramData }
+
+// FlatGrads returns the gradient arena aligned with FlatParams.
+func (m *MLP) FlatGrads() []float64 { return m.gradData }
 
 // NumParams returns the total trainable parameter count (Table 2's
 // "size of the DNN model" is NumParams × 8 bytes, reported by Bytes).
-func (m *MLP) NumParams() int {
-	n := 0
-	for _, p := range m.Params() {
-		n += len(p.Data)
-	}
-	return n
-}
+func (m *MLP) NumParams() int { return len(m.paramData) }
 
 // Bytes returns the in-memory size of the model parameters.
 func (m *MLP) Bytes() int { return m.NumParams() * 8 }
@@ -149,34 +179,34 @@ func (m *MLP) Clone() *MLP {
 	return c
 }
 
-// CopyParamsFrom copies all parameters from src (hard target update).
+// CopyParamsFrom copies all parameters from src (hard target update) in
+// one flat pass.
 func (m *MLP) CopyParamsFrom(src *MLP) {
-	dst, s := m.Params(), src.Params()
-	if len(dst) != len(s) {
+	if len(m.paramData) != len(src.paramData) {
 		panic("nn: CopyParamsFrom shape mismatch")
 	}
-	for i := range dst {
-		dst[i].CopyFrom(s[i])
-	}
+	copy(m.paramData, src.paramData)
 }
 
-// SoftUpdateFrom applies θ⁻ = θ⁻×(1−α) + θ×α parameter-wise — the target
-// network update rule from Table 1 (α = 0.01).
+// SoftUpdateFrom applies θ⁻ = θ⁻×(1−α) + θ×α — the target-network update
+// rule from Table 1 (α = 0.01) — as a single fused pass over the flat
+// parameter arenas.
 func (m *MLP) SoftUpdateFrom(src *MLP, alpha float64) {
-	dst, s := m.Params(), src.Params()
-	if len(dst) != len(s) {
+	if len(m.paramData) != len(src.paramData) {
 		panic("nn: SoftUpdateFrom shape mismatch")
 	}
-	for i := range dst {
-		dst[i].Lerp(s[i], alpha)
+	p, s := m.paramData, src.paramData
+	for i, v := range s {
+		p[i] = p[i]*(1-alpha) + v*alpha
 	}
 }
 
-// CheckFinite returns an error if any parameter is NaN/Inf.
+// CheckFinite returns an error if any parameter is NaN/Inf, scanning the
+// flat arena in one allocation-free pass.
 func (m *MLP) CheckFinite() error {
-	for i, p := range m.Params() {
-		if err := p.CheckFinite(); err != nil {
-			return fmt.Errorf("nn: param %d: %w", i, err)
+	for i, v := range m.paramData {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("nn: flat param %d: %w: %v", i, tensor.ErrNonFinite, v)
 		}
 	}
 	return nil

@@ -240,23 +240,41 @@ var ErrInsufficientData = errors.New("replay: not enough data for a minibatch")
 // transitions are gathered. maxAttempts bounds the retry loop so a sparse
 // DB returns ErrInsufficientData instead of spinning.
 func (db *DB) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch, error) {
+	b := new(Batch)
+	if err := db.ConstructMinibatchInto(rng, n, rf, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ConstructMinibatchInto is ConstructMinibatch sampling into a
+// caller-owned batch, growing its buffers only when n or the observation
+// width changes — the steady-state training loop reuses one batch with
+// zero allocations per step. On error the batch contents are undefined.
+func (db *DB) ConstructMinibatchInto(rng *rand.Rand, n int, rf RewardFunc, b *Batch) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.count == 0 {
-		return nil, ErrInsufficientData
+		return ErrInsufficientData
 	}
 	lo := db.minTick + int64(db.cfg.StackTicks) - 1
 	hi := db.maxTick - 1 // need s_{t+1}
 	if hi < lo {
-		return nil, ErrInsufficientData
+		return ErrInsufficientData
 	}
 	w := db.ObservationWidth()
-	b := &Batch{
-		States:     make([]float64, n*w),
-		NextStates: make([]float64, n*w),
-		Actions:    make([]int, 0, n),
-		Rewards:    make([]float64, 0, n),
-		Width:      w,
+	b.N, b.Width = 0, w
+	b.States = resizeFloats(b.States, n*w)
+	b.NextStates = resizeFloats(b.NextStates, n*w)
+	if cap(b.Actions) >= n {
+		b.Actions = b.Actions[:0]
+	} else {
+		b.Actions = make([]int, 0, n)
+	}
+	if cap(b.Rewards) >= n {
+		b.Rewards = b.Rewards[:0]
+	} else {
+		b.Rewards = make([]float64, 0, n)
 	}
 	have := 0
 	maxAttempts := 50 * n
@@ -282,8 +300,16 @@ func (db *DB) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch, 
 		have++
 	}
 	if have < n {
-		return nil, fmt.Errorf("%w: gathered %d of %d", ErrInsufficientData, have, n)
+		return fmt.Errorf("%w: gathered %d of %d", ErrInsufficientData, have, n)
 	}
 	b.N = n
-	return b, nil
+	return nil
+}
+
+// resizeFloats returns s with length n, reallocating only on growth.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }

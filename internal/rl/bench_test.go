@@ -1,0 +1,111 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"capes/internal/replay"
+)
+
+// makeBenchBatch fills a replay.Batch directly so the benchmark isolates
+// TrainStep from the sampler.
+func makeBenchBatch(rng *rand.Rand, n, width, nActions int) *replay.Batch {
+	b := &replay.Batch{
+		States:     make([]float64, n*width),
+		NextStates: make([]float64, n*width),
+		Actions:    make([]int, n),
+		Rewards:    make([]float64, n),
+		N:          n,
+		Width:      width,
+	}
+	for i := range b.States {
+		b.States[i] = rng.Float64()*2 - 1
+		b.NextStates[i] = rng.Float64()*2 - 1
+	}
+	for i := 0; i < n; i++ {
+		b.Actions[i] = rng.Intn(nActions)
+		b.Rewards[i] = rng.Float64()
+	}
+	return b
+}
+
+func benchAgent(b *testing.B, obsWidth, nActions int) *Agent {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	agent, err := NewAgent(DefaultConfig(), nil, obsWidth, nActions, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return agent
+}
+
+// BenchmarkTrainStep is the Table-2 "CPU time of one training step" cost:
+// one 32-observation minibatch through the paper-shaped Q-network
+// (two hidden layers the width of the observation).
+func BenchmarkTrainStep(b *testing.B) {
+	for _, w := range []int{64, 256} {
+		w := w
+		b.Run(map[int]string{64: "obs64", 256: "obs256"}[w], func(b *testing.B) {
+			const nActions = 5
+			agent := benchAgent(b, w, nActions)
+			batch := makeBenchBatch(rand.New(rand.NewSource(2)), agent.Config().MinibatchSize, w, nActions)
+			// Warm the one-time buffers (optimizer moments, layer
+			// scratch) so -benchmem reports the steady state.
+			if _, err := agent.TrainStep(batch); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := agent.TrainStep(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestTrainStepAllocFree pins the zero-steady-state-allocation property
+// of the training and action hot paths (the benchmarks report it, but a
+// test fails CI if it regresses). The two are interleaved deliberately:
+// the batch-1 action forward must not evict the minibatch buffers.
+func TestTrainStepAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	agent, err := NewAgent(DefaultConfig(), nil, 64, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := makeBenchBatch(rand.New(rand.NewSource(6)), agent.Config().MinibatchSize, 64, 5)
+	obs := batch.States[:64]
+	if _, err := agent.TrainStep(batch); err != nil { // warm one-time buffers
+		t.Fatal(err)
+	}
+	agent.SelectAction(obs, 0)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := agent.TrainStep(batch); err != nil {
+			t.Fatal(err)
+		}
+		agent.SelectAction(obs, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("TrainStep+SelectAction allocate %v per step in steady state", allocs)
+	}
+}
+
+// BenchmarkSelectAction measures the 1×N greedy action path (ε=0, so
+// every iteration runs the forward pass).
+func BenchmarkSelectAction(b *testing.B) {
+	const obsWidth, nActions = 256, 5
+	agent := benchAgent(b, obsWidth, nActions)
+	rng := rand.New(rand.NewSource(3))
+	obs := make([]float64, obsWidth)
+	for i := range obs {
+		obs[i] = rng.Float64()*2 - 1
+	}
+	agent.SelectAction(obs, 0) // warm the batch-1 forward buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.SelectAction(obs, int64(i))
+	}
+}

@@ -73,9 +73,19 @@ type Agent struct {
 	steps     int64
 	lastLoss  float64
 	lossEWMA  float64
-	gradOut   *tensor.Matrix
 	randTaken int64
 	calcTaken int64
+
+	// Reusable training-step scratch, sized by ensureScratch. Together
+	// with the flat-parameter passes in internal/nn these keep TrainStep
+	// and SelectAction allocation-free in steady state.
+	gradOut    *tensor.Matrix
+	states     tensor.Matrix // header over the batch's flattened states
+	nextStates tensor.Matrix
+	targets    []float64
+	maxNext    []float64
+	argmaxNext []int
+	qScratch   []float64 // Q-values for the ε-greedy action path
 }
 
 // NewAgent builds an agent for the given observation width and action
@@ -104,16 +114,7 @@ func NewAgent(cfg Config, eps *EpsilonSchedule, obsWidth, nActions int, rng *ran
 	for _, p := range head {
 		p.Zero()
 	}
-	return &Agent{
-		cfg:      cfg,
-		Online:   online,
-		Target:   online.Clone(),
-		Opt:      nn.NewAdam(cfg.LearningRate),
-		Epsilon:  eps,
-		nActions: nActions,
-		rng:      rng,
-		gradOut:  tensor.New(cfg.MinibatchSize, nActions),
-	}, nil
+	return newAgent(cfg, eps, online, rng), nil
 }
 
 // NewAgentWithNetwork wraps an existing network (checkpoint restore).
@@ -121,7 +122,16 @@ func NewAgentWithNetwork(cfg Config, eps *EpsilonSchedule, online *nn.MLP, rng *
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Agent{
+	if eps != nil {
+		if err := eps.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return newAgent(cfg, eps, online, rng), nil
+}
+
+func newAgent(cfg Config, eps *EpsilonSchedule, online *nn.MLP, rng *rand.Rand) *Agent {
+	a := &Agent{
 		cfg:      cfg,
 		Online:   online,
 		Target:   online.Clone(),
@@ -129,8 +139,23 @@ func NewAgentWithNetwork(cfg Config, eps *EpsilonSchedule, online *nn.MLP, rng *
 		Epsilon:  eps,
 		nActions: online.OutputSize(),
 		rng:      rng,
-		gradOut:  tensor.New(cfg.MinibatchSize, online.OutputSize()),
-	}, nil
+		qScratch: make([]float64, online.OutputSize()),
+	}
+	a.ensureScratch(cfg.MinibatchSize)
+	return a
+}
+
+// ensureScratch (re)sizes the per-minibatch buffers. Normally this runs
+// once — every batch is MinibatchSize — but callers may train on other
+// sizes (the ablation benches do), and the scratch follows the batch.
+func (a *Agent) ensureScratch(n int) {
+	if a.gradOut != nil && a.gradOut.Rows == n {
+		return
+	}
+	a.gradOut = tensor.New(n, a.nActions)
+	a.targets = make([]float64, n)
+	a.maxNext = make([]float64, n)
+	a.argmaxNext = make([]int, n)
 }
 
 // NumActions returns the size of the action space.
@@ -152,12 +177,12 @@ func (a *Agent) SelectAction(obs []float64, tick int64) int {
 		return a.rng.Intn(a.nActions)
 	}
 	a.calcTaken++
-	return tensor.ArgMax(a.Online.ForwardVec(obs))
+	return tensor.ArgMax(a.Online.ForwardVecInto(a.qScratch, obs))
 }
 
 // GreedyAction returns argmax_a Q(obs,a) ignoring ε (tuning phase).
 func (a *Agent) GreedyAction(obs []float64) int {
-	return tensor.ArgMax(a.Online.ForwardVec(obs))
+	return tensor.ArgMax(a.Online.ForwardVecInto(a.qScratch, obs))
 }
 
 // QValues returns the Q-value vector for an observation.
@@ -178,14 +203,11 @@ func (a *Agent) ActionCounts() (random, calculated int64) {
 // followed by the target-network update θ⁻ = θ⁻(1−α) + θα. It returns the
 // minibatch loss — the "prediction error" plotted in Figure 5.
 func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
-	if b.N != a.cfg.MinibatchSize {
-		// Accept any batch size; resize scratch if needed.
-		if a.gradOut.Rows != b.N {
-			a.gradOut = tensor.New(b.N, a.nActions)
-		}
-	}
-	states := tensor.FromSlice(b.N, b.Width, b.States)
-	nextStates := tensor.FromSlice(b.N, b.Width, b.NextStates)
+	// Accept any batch size; the scratch set resizes only when it changes.
+	a.ensureScratch(b.N)
+	states, nextStates := &a.states, &a.nextStates
+	states.Rows, states.Cols, states.Data = b.N, b.Width, b.States
+	nextStates.Rows, nextStates.Cols, nextStates.Data = b.N, b.Width, b.NextStates
 
 	// Bellman targets from the target network (or online net in the
 	// no-target-net ablation).
@@ -193,22 +215,22 @@ func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
 	if !a.cfg.UseTargetNet {
 		tnet = a.Online
 	}
-	targets := make([]float64, b.N)
+	targets := a.targets
 	if a.cfg.DoubleDQN && a.cfg.UseTargetNet {
 		// Double DQN: pick a' with the online network, evaluate it with
 		// the target network. The online pass runs first; its argmax is
 		// captured before the target pass reuses the forward buffers.
 		onlineNext := a.Online.Forward(nextStates)
-		_, argmax := onlineNext.MaxPerRow()
+		onlineNext.MaxPerRowInto(a.maxNext, a.argmaxNext)
 		targetNext := a.Target.Forward(nextStates)
 		for i := range targets {
-			targets[i] = b.Rewards[i] + a.cfg.Gamma*targetNext.At(i, argmax[i])
+			targets[i] = b.Rewards[i] + a.cfg.Gamma*targetNext.At(i, a.argmaxNext[i])
 		}
 	} else {
 		nextQ := tnet.Forward(nextStates)
-		maxNext, _ := nextQ.MaxPerRow()
+		nextQ.MaxPerRowInto(a.maxNext, a.argmaxNext)
 		for i := range targets {
-			targets[i] = b.Rewards[i] + a.cfg.Gamma*maxNext[i]
+			targets[i] = b.Rewards[i] + a.cfg.Gamma*a.maxNext[i]
 		}
 	}
 
@@ -216,9 +238,6 @@ func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
 	// reuse internal buffers, and when tnet == Online the target pass
 	// would otherwise clobber the activations backprop needs.
 	pred := a.Online.Forward(states)
-	if a.gradOut.Rows != b.N {
-		a.gradOut = tensor.New(b.N, a.nActions)
-	}
 	var loss float64
 	if a.cfg.HuberDelta > 0 {
 		loss = nn.MaskedHuber(pred, b.Actions, targets, a.cfg.HuberDelta, a.gradOut)
@@ -226,18 +245,26 @@ func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
 		loss = nn.MaskedMSE(pred, b.Actions, targets, a.gradOut)
 	}
 	a.Online.Backward(a.gradOut)
-	nn.ClipGradients(a.Online.Grads(), a.cfg.GradientClip)
-	a.Opt.Step(a.Online.Params(), a.Online.Grads())
+	// The optimizer pass fuses in the global-norm gradient clip (as a
+	// scale applied while gradients are read) and the target-network
+	// soft update, so the whole parameter working set is touched once.
+	gradScale := 1.0
+	if a.cfg.GradientClip > 0 {
+		if norm := nn.FlatNorm(a.Online.FlatGrads()); norm > a.cfg.GradientClip {
+			gradScale = a.cfg.GradientClip / norm
+		}
+	}
+	var target []float64
+	alpha := 0.0
+	if a.cfg.UseTargetNet && a.cfg.HardUpdateEvery == 0 {
+		target = a.Target.FlatParams()
+		alpha = a.cfg.TargetUpdateα
+	}
+	a.Opt.FusedStep(a.Online.FlatParams(), a.Online.FlatGrads(), gradScale, target, alpha)
 
 	a.steps++
-	if a.cfg.UseTargetNet {
-		if a.cfg.HardUpdateEvery > 0 {
-			if a.steps%a.cfg.HardUpdateEvery == 0 {
-				a.Target.CopyParamsFrom(a.Online)
-			}
-		} else {
-			a.Target.SoftUpdateFrom(a.Online, a.cfg.TargetUpdateα)
-		}
+	if a.cfg.UseTargetNet && a.cfg.HardUpdateEvery > 0 && a.steps%a.cfg.HardUpdateEvery == 0 {
+		a.Target.CopyParamsFrom(a.Online)
 	}
 
 	a.lastLoss = loss

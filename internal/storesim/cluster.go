@@ -166,6 +166,14 @@ type Cluster struct {
 	totalReadBytes  float64
 	totalWriteBytes float64
 	shedBytes       float64
+
+	// Per-tick scratch, reused so Tick allocates nothing in steady
+	// state: the dense (client, server) completion table (indexed
+	// i*Servers+s), the per-client byte demand handed to the fabric,
+	// and the per-client rate-limit budgets.
+	completions []([disk.NumClasses]float64)
+	wantBytes   []float64
+	budgets     []float64
 }
 
 // New builds a cluster running the given workload generator.
@@ -185,13 +193,16 @@ func New(p Params, gen workload.Generator) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		P:       p,
-		dev:     dev,
-		fabric:  fab,
-		rng:     rand.New(rand.NewSource(p.Seed)),
-		clients: make([]clientState, p.Clients),
-		servers: make([]serverState, p.Servers),
-		gen:     gen,
+		P:           p,
+		dev:         dev,
+		fabric:      fab,
+		rng:         rand.New(rand.NewSource(p.Seed)),
+		clients:     make([]clientState, p.Clients),
+		servers:     make([]serverState, p.Servers),
+		gen:         gen,
+		completions: make([][disk.NumClasses]float64, p.Clients*p.Servers),
+		wantBytes:   make([]float64, p.Clients),
+		budgets:     make([]float64, p.Clients),
 	}
 	for i := range c.clients {
 		cs := &c.clients[i]
@@ -349,8 +360,14 @@ func (c *Cluster) Tick(now int64) {
 	// requests completed per tick comes from the service rate, with
 	// drained requests replenished from the client backlog (subject to
 	// the rate limit) — a closed-loop flow approximation.
-	type compKey struct{ client, server int }
-	completions := make(map[compKey][disk.NumClasses]float64)
+	// Dense (client, server) completion table: indexed i*Servers+s.
+	// A slice rather than a map so the accumulation loops below visit
+	// entries in a fixed order — float sums depend on order, and map
+	// iteration would make same-seed runs diverge in the last bits.
+	completions := c.completions
+	for i := range completions {
+		completions[i] = [disk.NumClasses]float64{}
+	}
 	for s := 0; s < p.Servers; s++ {
 		// Aggregate queue per class and total.
 		var classQ [disk.NumClasses]float64
@@ -436,10 +453,7 @@ func (c *Cluster) Tick(now int64) {
 				if got > supply {
 					got = supply
 				}
-				key := compKey{i, s}
-				arr := completions[key]
-				arr[cl] += got
-				completions[key] = arr
+				completions[i*p.Servers+s][cl] += got
 			}
 		}
 		if servedReqs > 0 {
@@ -454,10 +468,14 @@ func (c *Cluster) Tick(now int64) {
 	}
 
 	// 4. Network admission: bytes each client moves this tick.
-	wantBytes := make([]float64, p.Clients)
-	for key, arr := range completions {
+	wantBytes := c.wantBytes
+	for i := range wantBytes {
+		wantBytes[i] = 0
+	}
+	for idx, arr := range completions {
+		client := idx / p.Servers
 		for cl := disk.Class(0); cl < disk.NumClasses; cl++ {
-			wantBytes[key.client] += arr[cl] * p.Disk.BytesPerRequest(cl)
+			wantBytes[client] += arr[cl] * p.Disk.BytesPerRequest(cl)
 		}
 	}
 	scales := c.fabric.Admit(wantBytes)
@@ -473,16 +491,17 @@ func (c *Cluster) Tick(now int64) {
 			c.clients[i].oscWrite[s] = 0
 		}
 	}
-	budgets := make([]float64, p.Clients)
+	budgets := c.budgets
 	for i := range c.clients {
 		budgets[i] = c.clients[i].rateLimit - c.clients[i].sendRate
 		if budgets[i] < 0 {
 			budgets[i] = 0
 		}
 	}
-	for key, arr := range completions {
-		cs := &c.clients[key.client]
-		sc := scales[key.client]
+	for idx, arr := range completions {
+		client, server := idx/p.Servers, idx%p.Servers
+		cs := &c.clients[client]
+		sc := scales[client]
 		var acks float64
 		for cl := disk.Class(0); cl < disk.NumClasses; cl++ {
 			done := arr[cl] * sc
@@ -490,10 +509,10 @@ func (c *Cluster) Tick(now int64) {
 				continue
 			}
 			reqBytes := p.Disk.BytesPerRequest(cl)
-			fromQueue := minf(done, cs.queued[key.server][cl])
-			cs.queued[key.server][cl] -= fromQueue
+			fromQueue := minf(done, cs.queued[server][cl])
+			cs.queued[server][cl] -= fromQueue
 			rest := done - fromQueue
-			replenished := minf(rest, budgets[key.client], cs.backlog[cl]/reqBytes)
+			replenished := minf(rest, budgets[client], cs.backlog[cl]/reqBytes)
 			if replenished < 0 {
 				replenished = 0
 			}
@@ -501,17 +520,17 @@ func (c *Cluster) Tick(now int64) {
 			if cs.backlog[cl] < 0 {
 				cs.backlog[cl] = 0
 			}
-			budgets[key.client] -= replenished
+			budgets[client] -= replenished
 			cs.sendRate += replenished
 			total := fromQueue + replenished
 			bytes := total * reqBytes
 			if cl.IsRead() {
 				cs.readBps += bytes
-				cs.oscRead[key.server] += bytes
+				cs.oscRead[server] += bytes
 				c.totalReadBytes += bytes
 			} else {
 				cs.writeBps += bytes
-				cs.oscWrite[key.server] += bytes
+				cs.oscWrite[server] += bytes
 				c.totalWriteBytes += bytes
 			}
 			acks += total

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Persistent worker pool for the matrix kernels. The pool is started
+// lazily on the first large multiplication and shards contiguous
+// row-blocks of the destination matrix across GOMAXPROCS goroutines.
+// Small products (in particular the 1×N action-path matmuls) never touch
+// the pool: the dispatchers in matmul.go fall back to the serial kernels
+// below the size thresholds, so there is no goroutine or channel overhead
+// on the latency-critical path.
+//
+// The job plumbing is allocation-free in steady state: job descriptors
+// are plain structs sent by value on the channel and the per-call task
+// headers are recycled through a sync.Pool, so a parallel multiplication
+// does not allocate (a property the rl.TrainStep zero-allocation
+// benchmarks assert end to end).
+
+// mmKind selects the kernel a worker runs for a row range.
+type mmKind int8
+
+const (
+	mmMul       mmKind = iota // dst = a·b, sharded over rows of a
+	mmMulTransA               // dst = aᵀ·b, sharded over columns of a
+	mmMulTransB               // dst = a·bᵀ, sharded over rows of a
+)
+
+// mmTask is one parallel multiplication: the operands plus a WaitGroup
+// the submitting goroutine blocks on. Recycled via taskPool.
+type mmTask struct {
+	kind      mmKind
+	dst, a, b *Matrix
+	wg        sync.WaitGroup
+}
+
+// mmJob is one row-block of a task. Sent by value: channel sends of
+// structs do not allocate.
+type mmJob struct {
+	task   *mmTask
+	lo, hi int
+}
+
+var taskPool = sync.Pool{New: func() any { return new(mmTask) }}
+
+type workerPool struct {
+	workers int
+	jobs    chan mmJob
+}
+
+// pool holds the current worker pool. Swaps (SetWorkers) take the full
+// poolMu lock; dispatchers hold the read lock while submitting jobs, so
+// a pool's job channel is never closed while a send is in flight.
+var (
+	poolMu sync.RWMutex
+	pool   atomic.Pointer[workerPool]
+)
+
+func getPool() *workerPool {
+	if p := pool.Load(); p != nil {
+		return p
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if p := pool.Load(); p != nil {
+		return p
+	}
+	p := newWorkerPool(runtime.GOMAXPROCS(0))
+	pool.Store(p)
+	return p
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool{workers: workers, jobs: make(chan mmJob, 8*workers)}
+	// Spawn workers-1 helpers: the submitting goroutine always executes
+	// one block itself, so `workers` blocks run concurrently in total.
+	for i := 1; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for j := range p.jobs {
+		runRange(j.task, j.lo, j.hi)
+		j.task.wg.Done()
+	}
+}
+
+func runRange(t *mmTask, lo, hi int) {
+	switch t.kind {
+	case mmMul:
+		mulRows(t.dst, t.a, t.b, lo, hi)
+	case mmMulTransA:
+		mulTransARows(t.dst, t.a, t.b, lo, hi)
+	case mmMulTransB:
+		mulTransBRows(t.dst, t.a, t.b, lo, hi)
+	}
+}
+
+// Workers reports how many goroutines large multiplications shard over.
+func Workers() int { return getPool().workers }
+
+// SetWorkers resizes the kernel worker pool (a test hook; also lets an
+// embedding daemon cap tensor parallelism). n == 1 forces every kernel
+// serial; n < 1 resets to a GOMAXPROCS-sized pool. Safe to call while
+// multiplications are in flight: the swap waits for submitters to
+// release the read lock, and the retired pool's workers drain any
+// queued row-blocks before exiting.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	poolMu.Lock()
+	old := pool.Load()
+	pool.Store(newWorkerPool(n))
+	poolMu.Unlock()
+	if old != nil {
+		// No submitter can hold the old pool past the swap above, so
+		// closing is race-free; buffered jobs are still received and
+		// completed by the exiting workers.
+		close(old.jobs)
+	}
+}
+
+// minShardRows is the smallest row-block worth shipping to a worker.
+const minShardRows = 8
+
+// dispatch runs the kernel for rows [0, n) of dst, sharding across the
+// pool when the caller judged the product large enough. The final block
+// runs on the calling goroutine.
+func dispatch(kind mmKind, dst, a, b *Matrix, n int) {
+	getPool() // bootstrap on first use (takes the write lock if needed)
+	// Hold the read lock from pool selection through the last send, so
+	// SetWorkers can neither close this pool's job channel mid-
+	// submission nor shrink the worker count after sharding is decided.
+	poolMu.RLock()
+	p := pool.Load()
+	shards := p.workers
+	if max := n / minShardRows; shards > max {
+		shards = max
+	}
+	if shards <= 1 {
+		poolMu.RUnlock()
+		t := mmTask{kind: kind, dst: dst, a: a, b: b}
+		runRange(&t, 0, n)
+		return
+	}
+	t := taskPool.Get().(*mmTask)
+	t.kind, t.dst, t.a, t.b = kind, dst, a, b
+	// Even-sized blocks keep the kernels' row-pairing aligned with a
+	// serial run, so sharding never changes results bit-for-bit.
+	chunk := (n + shards - 1) / shards
+	chunk = (chunk + 1) &^ 1
+	lo := 0
+	for ; lo+chunk < n; lo += chunk {
+		t.wg.Add(1)
+		p.jobs <- mmJob{task: t, lo: lo, hi: lo + chunk}
+	}
+	poolMu.RUnlock()
+	runRange(t, lo, n) // caller chews the last block
+	t.wg.Wait()
+	t.dst, t.a, t.b = nil, nil, nil
+	taskPool.Put(t)
+}

@@ -113,89 +113,6 @@ func dimErr(op string, a, b *Matrix) string {
 	return fmt.Sprintf("tensor: %s dimension mismatch %d×%d vs %d×%d", op, a.Rows, a.Cols, b.Rows, b.Cols)
 }
 
-// MulInto computes dst = a·b. dst must be a.Rows × b.Cols and must not
-// alias a or b. The inner loop is ordered (i,k,j) so it streams rows of b,
-// which is the cache-friendly order for row-major storage.
-func MulInto(dst, a, b *Matrix) {
-	if a.Cols != b.Rows {
-		panic(dimErr("Mul", a, b))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: Mul dst is %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
-	}
-	dst.Zero()
-	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*n : (i+1)*n]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-}
-
-// Mul returns a·b in a fresh matrix.
-func Mul(a, b *Matrix) *Matrix {
-	dst := New(a.Rows, b.Cols)
-	MulInto(dst, a, b)
-	return dst
-}
-
-// MulTransAInto computes dst = aᵀ·b without materializing aᵀ.
-// dst must be a.Cols × b.Cols.
-func MulTransAInto(dst, a, b *Matrix) {
-	if a.Rows != b.Rows {
-		panic(dimErr("MulTransA", a, b))
-	}
-	if dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MulTransA dst is %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
-	}
-	dst.Zero()
-	n := b.Cols
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*n : (k+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-}
-
-// MulTransBInto computes dst = a·bᵀ without materializing bᵀ.
-// dst must be a.Rows × b.Rows.
-func MulTransBInto(dst, a, b *Matrix) {
-	if a.Cols != b.Cols {
-		panic(dimErr("MulTransB", a, b))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MulTransB dst is %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var sum float64
-			for k, av := range arow {
-				sum += av * brow[k]
-			}
-			drow[j] = sum
-		}
-	}
-}
-
 // Transpose returns mᵀ in a fresh matrix.
 func Transpose(m *Matrix) *Matrix {
 	t := New(m.Cols, m.Rows)
@@ -308,6 +225,16 @@ func HadamardInto(dst, a, b *Matrix) {
 func (m *Matrix) MaxPerRow() (vals []float64, idx []int) {
 	vals = make([]float64, m.Rows)
 	idx = make([]int, m.Rows)
+	m.MaxPerRowInto(vals, idx)
+	return vals, idx
+}
+
+// MaxPerRowInto is MaxPerRow writing into caller-owned slices (each of
+// len m.Rows), for allocation-free training steps.
+func (m *Matrix) MaxPerRowInto(vals []float64, idx []int) {
+	if len(vals) != m.Rows || len(idx) != m.Rows {
+		panic(fmt.Sprintf("tensor: MaxPerRowInto got len %d/%d for %d rows", len(vals), len(idx), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		best, bi := math.Inf(-1), 0
@@ -318,7 +245,6 @@ func (m *Matrix) MaxPerRow() (vals []float64, idx []int) {
 		}
 		vals[i], idx[i] = best, bi
 	}
-	return vals, idx
 }
 
 // SumSquares returns Σ mᵢⱼ².
