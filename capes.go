@@ -59,6 +59,8 @@ type (
 	Collector = icapes.Collector
 	// Controller applies a parameter-value vector to the target system.
 	Controller = icapes.Controller
+	// ActionHook observes applied actions (tick, id, values).
+	ActionHook = icapes.ActionHook
 	// Config assembles an Engine.
 	Config = icapes.Config
 	// Engine is the DRL engine + Interface-Daemon bookkeeping.
@@ -79,6 +81,11 @@ const (
 
 // NullAction is the action id that changes nothing.
 const NullAction = icapes.NullAction
+
+// ErrNoSession reports a checkpoint directory with no saved session —
+// RestoreSession errors wrapping it mean "first boot", anything else
+// means a corrupt or mismatched checkpoint.
+var ErrNoSession = icapes.ErrNoSession
 
 // Core constructors and helpers.
 var (

@@ -8,6 +8,13 @@
 //	capes-sim -daemon 127.0.0.1:7070 -workload randrw-1:9 -tick-ms 5
 //
 // -tick-ms compresses time: each real 5 ms is one simulated second.
+//
+// With -sessions, one capes-sim process exercises several capesd
+// sessions at once — one independent simulated cluster per address,
+// each seeded differently:
+//
+//	capesd    -config capesd.json &   # sessions on :7070 and :7071
+//	capes-sim -sessions 127.0.0.1:7070,127.0.0.1:7071 -ticks 3600
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -41,49 +49,54 @@ func parseWorkload(name string, seed int64) (workload.Generator, error) {
 	}
 }
 
-func main() {
-	var (
-		daemon  = flag.String("daemon", "127.0.0.1:7070", "capesd address")
-		wl      = flag.String("workload", "randrw-1:9", "workload (randrw-R:W | fileserver | seqwrite)")
-		clients = flag.Int("clients", 5, "simulated clients")
-		servers = flag.Int("servers", 4, "simulated servers")
-		tickMs  = flag.Int("tick-ms", 10, "real milliseconds per simulated second")
-		ticks   = flag.Int64("ticks", 0, "stop after this many ticks (0 = run until signal)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		report  = flag.Int64("report-every", 600, "print throughput every N ticks")
-	)
-	flag.Parse()
+// clusterOpts configures one simulated cluster attached to one capesd
+// session address.
+type clusterOpts struct {
+	daemon  string
+	label   string // log prefix; "" in single-cluster mode
+	wl      string
+	clients int
+	servers int
+	tickMs  int
+	ticks   int64
+	seed    int64
+	report  int64
+}
 
-	gen, err := parseWorkload(*wl, *seed)
+// runCluster builds a cluster + its node agents and drives ticks until
+// stop closes or opts.ticks is reached.
+func runCluster(opts clusterOpts, stop <-chan struct{}) error {
+	gen, err := parseWorkload(opts.wl, opts.seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p := storesim.DefaultParams()
-	p.Clients = *clients
-	p.Servers = *servers
-	p.Seed = *seed
+	p.Clients = opts.clients
+	p.Servers = opts.servers
+	p.Seed = opts.seed
 	cluster, err := storesim.New(p, gen)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	// One agent per simulated client; client 0 doubles as the control
 	// agent that applies broadcast parameter changes cluster-wide (the
 	// evaluation tunes all clients to the same values).
-	agents := make([]*agent.NodeAgent, *clients)
-	for i := 0; i < *clients; i++ {
+	agents := make([]*agent.NodeAgent, opts.clients)
+	for i := 0; i < opts.clients; i++ {
 		role := "monitor"
 		if i == 0 {
 			role = "monitor+control"
 		}
-		a, err := agent.Dial(*daemon, i, storesim.NumClientPIs, role)
+		a, err := agent.Dial(opts.daemon, i, storesim.NumClientPIs, role)
 		if err != nil {
-			fatal(fmt.Errorf("connecting node %d to %s: %w", i, *daemon, err))
+			return fmt.Errorf("connecting node %d to %s: %w", i, opts.daemon, err)
 		}
 		defer a.Close()
 		agents[i] = a
 	}
-	fmt.Printf("capes-sim: %d clients connected to %s, workload %s\n", *clients, *daemon, *wl)
+	fmt.Printf("capes-sim: %s%d clients connected to %s, workload %s\n",
+		opts.label, opts.clients, opts.daemon, opts.wl)
 
 	// Apply actions from capesd as they arrive.
 	go func() {
@@ -95,9 +108,7 @@ func main() {
 		}
 	}()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	ticker := time.NewTicker(time.Duration(*tickMs) * time.Millisecond)
+	ticker := time.NewTicker(time.Duration(opts.tickMs) * time.Millisecond)
 	defer ticker.Stop()
 
 	pis := make([]float64, storesim.NumClientPIs)
@@ -105,35 +116,107 @@ func main() {
 	var sumTput float64
 	for {
 		select {
-		case <-sig:
-			fmt.Printf("capes-sim: stopped at tick %d\n", tick)
-			return
+		case <-stop:
+			fmt.Printf("capes-sim: %sstopped at tick %d\n", opts.label, tick)
+			return nil
 		case <-ticker.C:
 			tick++
 			cluster.Tick(tick)
 			for i, a := range agents {
 				cluster.ClientPIs(i, pis)
 				if err := a.SendIndicators(tick, pis); err != nil {
-					fatal(fmt.Errorf("node %d send: %w", i, err))
+					return fmt.Errorf("node %d send: %w", i, err)
 				}
 			}
 			sumTput += cluster.AggregateThroughput()
-			if *report > 0 && tick%*report == 0 {
+			if opts.report > 0 && tick%opts.report == 0 {
 				bytes, msgs := agents[0].TrafficStats()
 				avg := int64(0)
 				if msgs > 0 {
 					avg = bytes / msgs
 				}
-				fmt.Printf("capes-sim: tick %d  window=%.0f rate=%.0f  tput=%.2f MB/s (avg %.2f)  msg=%d B\n",
-					tick, cluster.Window(0), cluster.RateLimit(0),
+				fmt.Printf("capes-sim: %stick %d  window=%.0f rate=%.0f  tput=%.2f MB/s (avg %.2f)  msg=%d B\n",
+					opts.label, tick, cluster.Window(0), cluster.RateLimit(0),
 					cluster.AggregateThroughput()/1e6, sumTput/float64(tick)/1e6, avg)
 			}
-			if *ticks > 0 && tick >= *ticks {
-				fmt.Printf("capes-sim: done after %d ticks, mean throughput %.2f MB/s\n",
-					tick, sumTput/float64(tick)/1e6)
-				return
+			if opts.ticks > 0 && tick >= opts.ticks {
+				fmt.Printf("capes-sim: %sdone after %d ticks, mean throughput %.2f MB/s\n",
+					opts.label, tick, sumTput/float64(tick)/1e6)
+				return nil
 			}
 		}
+	}
+}
+
+func main() {
+	var (
+		daemon   = flag.String("daemon", "127.0.0.1:7070", "capesd address")
+		sessions = flag.String("sessions", "", "comma-separated capesd session addresses; one independent cluster per address (overrides -daemon)")
+		wl       = flag.String("workload", "randrw-1:9", "workload (randrw-R:W | fileserver | seqwrite)")
+		clients  = flag.Int("clients", 5, "simulated clients per cluster")
+		servers  = flag.Int("servers", 4, "simulated servers per cluster")
+		tickMs   = flag.Int("tick-ms", 10, "real milliseconds per simulated second")
+		ticks    = flag.Int64("ticks", 0, "stop after this many ticks (0 = run until signal)")
+		seed     = flag.Int64("seed", 1, "random seed (cluster i uses seed+i)")
+		report   = flag.Int64("report-every", 600, "print throughput every N ticks")
+	)
+	flag.Parse()
+
+	addrs := []string{*daemon}
+	if *sessions != "" {
+		addrs = addrs[:0]
+		for _, a := range strings.Split(*sessions, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			fatal(fmt.Errorf("-sessions lists no addresses"))
+		}
+	}
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		halt()
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(addrs))
+	for i, addr := range addrs {
+		opts := clusterOpts{
+			daemon:  addr,
+			wl:      *wl,
+			clients: *clients,
+			servers: *servers,
+			tickMs:  *tickMs,
+			ticks:   *ticks,
+			seed:    *seed + int64(i),
+			report:  *report,
+		}
+		if len(addrs) > 1 {
+			opts.label = fmt.Sprintf("[%s] ", addr)
+		}
+		wg.Add(1)
+		go func(opts clusterOpts) {
+			defer wg.Done()
+			if err := runCluster(opts, stop); err != nil {
+				// Fail fast: report now and stop the sibling clusters
+				// rather than simulating half a deployment until signal.
+				fmt.Fprintf(os.Stderr, "capes-sim: %s: %v\n", opts.daemon, err)
+				errs <- err
+				halt()
+			}
+		}(opts)
+	}
+	wg.Wait()
+	close(errs)
+	if len(errs) > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,129 +1,132 @@
-// capesd is the CAPES control node: the Interface Daemon plus the DRL
-// engine (Figure 1). It listens for Monitoring Agents (see
-// cmd/capes-agent and cmd/capes-sim), relays their performance
-// indicators into the Replay DB, trains the deep Q-network, and
-// broadcasts parameter-change actions to Control Agents.
+// capesd is the CAPES control node: it hosts one or more tuning
+// sessions, each an Interface Daemon + DRL engine pair (Figure 1) with
+// its own action space, objective and checkpoint directory, all sharing
+// the process-wide tensor worker pool. Sessions are declared in a JSON
+// config file and managed at runtime over an HTTP/JSON control plane
+// (see internal/capesd for the config format and endpoints).
 //
-// The engine advances one tick per fully assembled cluster frame, so
-// time is driven by the agents' sampling cadence — real time on a real
-// deployment, accelerated time against cmd/capes-sim.
+// Multi-session usage:
 //
-// Usage:
+//	capesd -config capesd.json
+//
+// with capesd.json like:
+//
+//	{
+//	  "http": "127.0.0.1:8080",
+//	  "sessions": [
+//	    {"name": "alpha", "listen": "127.0.0.1:7070", "clients": 5,
+//	     "checkpoint_dir": "/var/lib/capes/alpha"},
+//	    {"name": "beta", "listen": "127.0.0.1:7071", "clients": 3}
+//	  ]
+//	}
+//
+// The legacy single-session flags still work and synthesize a
+// one-session config:
 //
 //	capesd -listen :7070 -clients 5 -session /var/lib/capes/session
+//
+// On SIGINT/SIGTERM every running session is checkpointed concurrently
+// before the process exits.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 
-	"capes/internal/agent"
-	"capes/internal/capes"
-	"capes/internal/replay"
-	"capes/internal/storesim"
+	"capes/internal/capesd"
 )
 
 func main() {
-	var (
-		listen   = flag.String("listen", "127.0.0.1:7070", "address to listen for agents")
-		clients  = flag.Int("clients", 5, "number of monitored client nodes")
-		obsTicks = flag.Int("obs-ticks", 5, "sampling ticks per observation")
-		session  = flag.String("session", "", "session directory for checkpoint save/restore")
-		noTune   = flag.Bool("monitor-only", false, "collect and train but never issue actions")
-		exploit  = flag.Bool("exploit", false, "greedy policy, no training (measured tuning phase)")
-	)
-	flag.Parse()
-
-	frameWidth := *clients * storesim.NumClientPIs
-	space, err := capes.NewActionSpace(capes.LustreTunables()...)
+	cfg, err := buildConfig(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
 	if err != nil {
 		fatal(err)
 	}
-
-	hyper := capes.DefaultHyperparameters()
-	hyper.TicksPerObservation = *obsTicks
-
-	// Mailbox between the daemon's frame-assembly callback and the
-	// engine's Collector.
-	var mu sync.Mutex
-	var latest replay.Frame
-
-	var d *agent.Daemon
-	cfg := capes.Config{
-		Hyper:      hyper,
-		Space:      space,
-		Objective:  capes.ThroughputObjective(*clients, storesim.NumClientPIs, 2, 3),
-		RewardMode: capes.RewardDelta,
-		FrameWidth: frameWidth,
-		Seed:       1,
-		Training:   !*exploit,
-		Tuning:     !*noTune,
-	}
-	var eng *capes.Engine
-	eng, err = capes.NewEngine(cfg,
-		func() (replay.Frame, error) {
-			mu.Lock()
-			defer mu.Unlock()
-			if latest == nil {
-				return nil, fmt.Errorf("no frame yet")
-			}
-			return latest, nil
-		},
-		func(vals []float64) error {
-			if d == nil {
-				return fmt.Errorf("daemon not ready")
-			}
-			d.BroadcastAction(0, eng.LastAction(), vals)
-			return nil
-		})
+	mgr, err := capesd.Boot(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	if *exploit {
-		eng.SetExploit(true)
-	}
-	if *session != "" {
-		if err := eng.RestoreSession(*session); err == nil {
-			fmt.Println("capesd: restored session from", *session)
+	for _, s := range mgr.Sessions() {
+		st := s.Stats()
+		restored := ""
+		if st.Restored {
+			restored = " (restored from " + st.CheckpointDir + ")"
 		}
+		fmt.Printf("capesd: session %s listening on %s for %d clients%s\n",
+			st.Name, st.Addr, st.Clients, restored)
 	}
-
-	d, err = agent.NewDaemon(*listen, *clients, storesim.NumClientPIs,
-		func(tick int64, frame []float64) {
-			mu.Lock()
-			latest = frame
-			mu.Unlock()
-			eng.Tick(tick)
-		},
-		func(tick int64, name string) {
-			fmt.Printf("capesd: workload change to %q at tick %d, bumping epsilon\n", name, tick)
-			eng.NotifyWorkloadChange(tick)
-		})
-	if err != nil {
-		fatal(err)
+	if addr := mgr.HTTPAddr(); addr != "" {
+		fmt.Printf("capesd: control plane on http://%s\n", addr)
 	}
-	fmt.Printf("capesd: listening on %s for %d clients (%d PIs each)\n",
-		d.Addr(), *clients, storesim.NumClientPIs)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 
-	if *session != "" {
-		if err := eng.SaveSession(*session); err != nil {
-			fmt.Fprintln(os.Stderr, "capesd: checkpoint failed:", err)
-		} else {
-			fmt.Println("capesd: session saved to", *session)
+	// Snapshot stats before Shutdown tears the sessions down; shutdown
+	// checkpoints every session concurrently.
+	agg := mgr.AggregateStats()
+	if errs := mgr.Shutdown(); len(errs) != 0 {
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "capesd: shutdown:", err)
 		}
 	}
-	st := eng.Stats()
-	fmt.Printf("capesd: shutting down (train steps %d, replay records %d, vetoes %d)\n",
-		st.TrainSteps, st.ReplayRecords, st.Vetoes)
-	d.Close()
+	for _, st := range agg.Sessions {
+		fmt.Printf("capesd: session %s: train steps %d, replay records %d, vetoes %d\n",
+			st.Name, st.Engine.TrainSteps, st.Engine.ReplayRecords, st.Engine.Vetoes)
+	}
+	fmt.Printf("capesd: shutting down (%d sessions, %d total train steps)\n",
+		agg.Totals.Sessions, agg.Totals.TrainSteps)
+}
+
+// buildConfig resolves flags into a capesd.Config: either a declarative
+// -config file (optionally overridden by -http), or a single session
+// synthesized from the legacy flags.
+func buildConfig(args []string, errOut *os.File) (capesd.Config, error) {
+	fs := flag.NewFlagSet("capesd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		config   = fs.String("config", "", "multi-session JSON config file (see internal/capesd)")
+		httpAddr = fs.String("http", "", "control-plane listen address (overrides the config's)")
+		listen   = fs.String("listen", "127.0.0.1:7070", "address to listen for agents (single-session mode)")
+		clients  = fs.Int("clients", 5, "number of monitored client nodes (single-session mode)")
+		obsTicks = fs.Int("obs-ticks", 5, "sampling ticks per observation (single-session mode)")
+		session  = fs.String("session", "", "session directory for checkpoint save/restore (single-session mode)")
+		noTune   = fs.Bool("monitor-only", false, "collect and train but never issue actions")
+		exploit  = fs.Bool("exploit", false, "greedy policy, no training (measured tuning phase)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return capesd.Config{}, err
+	}
+	if *config != "" {
+		cfg, err := capesd.LoadConfig(*config)
+		if err != nil {
+			return capesd.Config{}, err
+		}
+		if *httpAddr != "" {
+			cfg.HTTP = *httpAddr
+		}
+		return cfg, nil
+	}
+	cfg := capesd.Config{
+		HTTP: *httpAddr,
+		Sessions: []capesd.SessionConfig{{
+			Name:          "default",
+			Listen:        *listen,
+			Clients:       *clients,
+			ObsTicks:      *obsTicks,
+			CheckpointDir: *session,
+			MonitorOnly:   *noTune,
+			Exploit:       *exploit,
+		}},
+	}
+	return cfg, cfg.Validate()
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"capes/internal/wire"
 )
@@ -32,7 +33,8 @@ type Daemon struct {
 	decoders map[int]*wire.DiffDecoder
 	latest   map[int][]float64 // most recent full PI vector per node
 	seen     map[int64]map[int]bool
-	controls map[int]net.Conn // control-agent connections by node
+	controls map[int]net.Conn      // control-agent connections by node
+	conns    map[net.Conn]struct{} // every live connection (monitor + control)
 	closed   bool
 
 	wg sync.WaitGroup
@@ -61,6 +63,7 @@ func NewDaemon(addr string, nodes, pisPerNode int, onFrame FrameSink, onChange f
 		latest:     make(map[int][]float64),
 		seen:       make(map[int64]map[int]bool),
 		controls:   make(map[int]net.Conn),
+		conns:      make(map[net.Conn]struct{}),
 	}
 	d.wg.Add(1)
 	go d.acceptLoop()
@@ -85,6 +88,21 @@ func (d *Daemon) acceptLoop() {
 func (d *Daemon) serveConn(conn net.Conn) {
 	defer d.wg.Done()
 	defer conn.Close()
+	// Register so Close can terminate this connection even if it is a
+	// monitor blocked in ReadMsg (control conns alone are not enough —
+	// an unclosed monitor would hang Close in wg.Wait forever).
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.conns[conn] = struct{}{}
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
 	// First message must be Hello.
 	env, err := wire.ReadMsg(conn)
 	if err != nil || env.Type != wire.MsgHello || env.Hello == nil {
@@ -165,7 +183,9 @@ func (d *Daemon) handleIndicators(msg *wire.Indicators) {
 }
 
 // BroadcastAction sends the parameter vector to every connected Control
-// Agent. Returns the number of agents reached.
+// Agent. Returns the number of agents reached. Each write carries a
+// deadline so one stalled agent (full TCP window, hung host) cannot
+// wedge the broadcast path forever.
 func (d *Daemon) BroadcastAction(tick int64, id int, values []float64) int {
 	env := &wire.Envelope{Type: wire.MsgAction, Action: &wire.Action{
 		Tick: tick, ID: id, Values: append([]float64(nil), values...),
@@ -178,12 +198,21 @@ func (d *Daemon) BroadcastAction(tick int64, id int, values []float64) int {
 	d.mu.Unlock()
 	sent := 0
 	for _, c := range conns {
+		c.SetWriteDeadline(time.Now().Add(broadcastWriteTimeout))
 		if err := wire.WriteMsg(c, env); err == nil {
 			sent++
+		} else {
+			// A failed (possibly partial) write leaves the length-framed
+			// stream unrecoverable — close so the agent reconnects with
+			// a clean stream; serveConn deregisters the dead conn.
+			c.Close()
 		}
 	}
 	return sent
 }
+
+// broadcastWriteTimeout bounds one action write to a control agent.
+const broadcastWriteTimeout = 10 * time.Second
 
 // NumControlAgents returns how many control agents are registered.
 func (d *Daemon) NumControlAgents() int {
@@ -193,6 +222,8 @@ func (d *Daemon) NumControlAgents() int {
 }
 
 // Close stops the daemon and waits for connection goroutines to finish.
+// Every live agent connection — monitor and control alike — is closed,
+// so Close returns promptly even while agents are still streaming.
 func (d *Daemon) Close() error {
 	d.mu.Lock()
 	if d.closed {
@@ -200,8 +231,8 @@ func (d *Daemon) Close() error {
 		return nil
 	}
 	d.closed = true
-	conns := make([]net.Conn, 0, len(d.controls))
-	for _, c := range d.controls {
+	conns := make([]net.Conn, 0, len(d.conns))
+	for c := range d.conns {
 		conns = append(conns, c)
 	}
 	d.mu.Unlock()

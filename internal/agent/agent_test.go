@@ -195,6 +195,31 @@ func TestAgentCloseStopsActions(t *testing.T) {
 	}
 }
 
+func TestDaemonCloseUnblocksMonitorAgents(t *testing.T) {
+	// Regression: Close used to terminate only control connections, so a
+	// connected monitor-only agent left its serveConn goroutine blocked
+	// in ReadMsg and Close hung forever in wg.Wait.
+	d, _ := startDaemon(t, 2, 2)
+	mon, err := Dial(d.Addr(), 0, 2, "monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if err := mon.SendIndicators(1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		d.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a monitor agent connected")
+	}
+}
+
 func TestDaemonCloseIsIdempotent(t *testing.T) {
 	d, _ := startDaemon(t, 1, 1)
 	if err := d.Close(); err != nil {

@@ -3,6 +3,7 @@ package capes
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"capes/internal/replay"
 	"capes/internal/rl"
@@ -12,12 +13,22 @@ import (
 // system — the adapter "for collecting the observation from the target
 // system" (§A.1). In-process deployments read the simulator directly;
 // distributed deployments receive frames from Monitoring Agents.
+//
+// Collectors, Controllers, ActionHooks, Checkers and Objectives run
+// inside Tick with the engine lock held: they must not call back into
+// the engine (use the values they are handed instead).
 type Collector func() (replay.Frame, error)
 
 // Controller applies a parameter-value vector (aligned with the
 // ActionSpace tunables) to the target system — the adapter "for setting
 // the parameters to the target system".
 type Controller func(values []float64) error
+
+// ActionHook observes every successfully applied (non-NULL) action:
+// the tick it happened on, the action id, and the resulting parameter
+// vector. Session managers use it to broadcast parameter changes to
+// Control Agents without re-entering the engine.
+type ActionHook func(tick int64, action int, values []float64)
 
 // Config assembles an Engine.
 type Config struct {
@@ -45,7 +56,16 @@ type LossPoint struct {
 // in-process deployment: it relays frames into the Replay DB, selects
 // and applies actions, and runs training steps, all on the shared
 // virtual clock.
+//
+// Engine is safe for concurrent use: Tick, Stats, SaveSession and the
+// setters serialize on an internal mutex, so a session manager may
+// snapshot or checkpoint an engine while agent goroutines drive ticks.
+// The DB() and Agent() escape hatches bypass that mutex and are only
+// safe when nothing else is ticking the engine.
 type Engine struct {
+	mu      sync.Mutex
+	stopped bool
+
 	cfg   Config
 	db    *replay.DB
 	agent *rl.Agent
@@ -56,8 +76,9 @@ type Engine struct {
 	rewardFn   replay.RewardFunc
 	checker    ActionChecker
 
-	current []float64
-	exploit bool // greedy-only mode (evaluation phase)
+	current  []float64
+	exploit  bool       // greedy-only mode (evaluation phase)
+	onAction ActionHook // optional observer of applied actions
 
 	missedSamples int64
 	vetoes        int64
@@ -152,8 +173,14 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 }
 
 // Tick implements sim.Ticker: one sampling tick, one action tick (when
-// due) and one training step (when due).
+// due) and one training step (when due). After Stop, Tick is a no-op so
+// in-flight agent callbacks drain harmlessly.
 func (e *Engine) Tick(now int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
 	h := &e.cfg.Hyper
 
 	// Sampling tick: collect a frame and relay it to the Replay DB.
@@ -182,6 +209,9 @@ func (e *Engine) Tick(now int64) {
 			if err := e.controller(proposed); err == nil {
 				e.current = proposed
 				e.recordAction(now, action)
+				if e.onAction != nil {
+					e.onAction(now, action, proposed)
+				}
 			}
 		}
 	}
@@ -229,12 +259,16 @@ func (e *Engine) recordAction(now int64, action int) {
 // ActionHistory returns the most recent applied actions (oldest first),
 // up to the engine's history capacity.
 func (e *Engine) ActionHistory() []ActionRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]ActionRecord(nil), e.history...)
 }
 
 // ActionDistribution returns how often each action id was chosen,
 // indexed by action id (NULL included).
 func (e *Engine) ActionDistribution() []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]int64(nil), e.actionCounts...)
 }
 
@@ -242,28 +276,75 @@ func (e *Engine) ActionDistribution() []int64 {
 // Whenever a new workload is started on the system, the Interface Daemon
 // notifies the DRL Engine to bump up ε".
 func (e *Engine) NotifyWorkloadChange(now int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.agent.Epsilon.Bump(now)
 }
 
 // SetTraining toggles training steps.
-func (e *Engine) SetTraining(on bool) { e.cfg.Training = on }
+func (e *Engine) SetTraining(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.Training = on
+}
 
 // SetTuning toggles action issuance.
-func (e *Engine) SetTuning(on bool) { e.cfg.Tuning = on }
+func (e *Engine) SetTuning(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.Tuning = on
+}
 
 // SetExploit switches between ε-greedy (false; training sessions) and
 // pure greedy (true; measured tuning sessions).
-func (e *Engine) SetExploit(on bool) { e.exploit = on }
+func (e *Engine) SetExploit(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.exploit = on
+}
+
+// SetActionHook installs an observer invoked after every applied action
+// (see ActionHook). Pass nil to remove it.
+func (e *Engine) SetActionHook(h ActionHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onAction = h
+}
+
+// Stop drains the engine: every subsequent Tick is a no-op, so agent
+// callbacks still in flight cannot race a final checkpoint or teardown.
+// Stop is idempotent and does not release any resources itself.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stopped = true
+}
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped
+}
 
 // CurrentValues returns a copy of the parameter vector CAPES believes is
 // applied.
 func (e *Engine) CurrentValues() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]float64(nil), e.current...)
 }
 
 // SetCurrentValues overrides the engine's view of the applied parameters
 // (used when the operator resets the target system between sessions).
 func (e *Engine) SetCurrentValues(vals []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.setCurrentValues(vals)
+}
+
+// setCurrentValues is SetCurrentValues with e.mu held.
+func (e *Engine) setCurrentValues(vals []float64) error {
 	if len(vals) != len(e.cfg.Space.Tunables) {
 		return fmt.Errorf("capes: got %d values for %d tunables", len(vals), len(e.cfg.Space.Tunables))
 	}
@@ -272,7 +353,11 @@ func (e *Engine) SetCurrentValues(vals []float64) error {
 }
 
 // LastAction returns the most recent action id.
-func (e *Engine) LastAction() int { return e.lastAction }
+func (e *Engine) LastAction() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastAction
+}
 
 // DB exposes the Replay Database (read-mostly; the Interface Daemon path
 // is the writer).
@@ -283,6 +368,8 @@ func (e *Engine) Agent() *rl.Agent { return e.agent }
 
 // LossTrace returns the recorded prediction-error series (Figure 5).
 func (e *Engine) LossTrace() []LossPoint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]LossPoint(nil), e.lossTrace...)
 }
 
@@ -299,6 +386,8 @@ type Stats struct {
 
 // Stats returns the engine's counters.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	random, calc := e.agent.ActionCounts()
 	return Stats{
 		TrainSteps:    e.agent.Steps(),

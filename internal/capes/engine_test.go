@@ -3,6 +3,9 @@ package capes
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"capes/internal/replay"
@@ -374,8 +377,163 @@ func TestSessionRestoreMissingDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.RestoreSession("/nonexistent/dir"); err == nil {
+	err = eng.RestoreSession("/nonexistent/dir")
+	if err == nil {
 		t.Fatal("missing session dir must fail")
+	}
+	// A missing checkpoint is the distinguishable "first boot" case —
+	// callers must be able to proceed quietly on it and fail loudly on
+	// anything else (e.g. the mismatched-shape error above).
+	if !errors.Is(err, ErrNoSession) {
+		t.Fatalf("missing dir error %v does not wrap ErrNoSession", err)
+	}
+}
+
+func TestSessionRestoreCorruptManifestIsNotErrNoSession(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "session.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = eng.RestoreSession(dir)
+	if err == nil {
+		t.Fatal("corrupt manifest must fail")
+	}
+	if errors.Is(err, ErrNoSession) {
+		t.Fatal("corrupt manifest must not be reported as ErrNoSession")
+	}
+}
+
+func TestEngineStopDrainsTicks(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 50; tick++ {
+		eng.Tick(tick)
+	}
+	before := eng.Stats()
+	eng.Stop()
+	if !eng.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	for tick := int64(51); tick <= 100; tick++ {
+		eng.Tick(tick)
+	}
+	after := eng.Stats()
+	if after.ReplayRecords != before.ReplayRecords || after.TrainSteps != before.TrainSteps {
+		t.Fatalf("stopped engine advanced: %+v -> %+v", before, after)
+	}
+	eng.Stop() // idempotent
+}
+
+func TestEngineActionHookSeesAppliedActions(t *testing.T) {
+	cfg, _ := smallConfig(t, true, false)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	type hookCall struct {
+		tick   int64
+		action int
+		values []float64
+	}
+	var calls []hookCall
+	eng.SetActionHook(func(tick int64, action int, values []float64) {
+		calls = append(calls, hookCall{tick, action, append([]float64(nil), values...)})
+	})
+	for tick := int64(1); tick <= 200; tick++ {
+		eng.Tick(tick)
+	}
+	if len(calls) == 0 {
+		t.Fatal("hook never fired over 200 ε-greedy ticks")
+	}
+	for _, c := range calls {
+		if c.action == NullAction {
+			t.Fatal("hook fired for the NULL action")
+		}
+		if len(c.values) != 1 {
+			t.Fatalf("hook values = %v", c.values)
+		}
+	}
+	// The hook's last call matches the engine's applied state.
+	last := calls[len(calls)-1]
+	if got := eng.ActionHistory(); got[len(got)-1].Tick != last.tick {
+		t.Fatalf("hook tick %d != history tick %d", last.tick, got[len(got)-1].Tick)
+	}
+	eng.SetActionHook(nil) // removable
+	n := len(calls)
+	for tick := int64(201); tick <= 260; tick++ {
+		eng.Tick(tick)
+	}
+	if len(calls) != n {
+		t.Fatal("hook fired after removal")
+	}
+}
+
+// TestEngineConcurrentStatsAndCheckpoint is the session-manager
+// contract: readers and checkpoints may race agent-driven ticks. Run
+// with -race to make it meaningful.
+func TestEngineConcurrentStatsAndCheckpoint(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for tick := int64(1); tick <= 400; tick++ {
+			eng.Tick(tick)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			eng.Stats()
+			eng.CurrentValues()
+			eng.ActionHistory()
+			eng.LossTrace()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := eng.SaveSession(dir); err != nil {
+				t.Errorf("concurrent SaveSession: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := eng.SaveSession(dir); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := NewEngine(cfg,
+		func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil },
+		func([]float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.RestoreSession(dir); err != nil {
+		t.Fatalf("checkpoint taken under concurrency does not restore: %v", err)
 	}
 }
 

@@ -37,7 +37,8 @@ func ThroughputObjective(clients, pisPerClient, readOff, writeOff int) Objective
 		var s float64
 		for c := 0; c < clients; c++ {
 			base := c * pisPerClient
-			if base+writeOff < len(f) {
+			if base+readOff >= 0 && base+readOff < len(f) &&
+				base+writeOff >= 0 && base+writeOff < len(f) {
 				s += f[base+readOff] + f[base+writeOff]
 			}
 		}

@@ -2,6 +2,7 @@ package capes
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,6 +23,13 @@ const (
 	manifestFile = "session.json"
 )
 
+// ErrNoSession reports that a session directory holds no checkpoint at
+// all (first boot, or a fresh checkpoint dir). Callers should treat it
+// as "start from scratch"; any other RestoreSession error means a
+// checkpoint exists but could not be loaded — corrupt or mismatched —
+// and must not be silently ignored.
+var ErrNoSession = errors.New("capes: no saved session")
+
 type sessionManifest struct {
 	Version       int       `json:"version"`
 	FrameWidth    int       `json:"frame_width"`
@@ -31,8 +39,11 @@ type sessionManifest struct {
 }
 
 // SaveSession writes the engine's model, replay DB and state to dir
-// (created if needed).
+// (created if needed). It holds the engine lock for the duration, so a
+// checkpoint taken while agents are ticking is internally consistent.
 func (e *Engine) SaveSession(dir string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -46,7 +57,7 @@ func (e *Engine) SaveSession(dir string) error {
 		Version:       1,
 		FrameWidth:    e.cfg.FrameWidth,
 		NumActions:    e.cfg.Space.NumActions(),
-		CurrentValues: e.CurrentValues(),
+		CurrentValues: append([]float64(nil), e.current...),
 		TrainSteps:    e.agent.Steps(),
 	}
 	buf, err := json.MarshalIndent(m, "", "  ")
@@ -60,9 +71,18 @@ func (e *Engine) SaveSession(dir string) error {
 // engine built with the same Config. The model weights and current
 // parameter values are restored; the replay DB snapshot replaces the
 // engine's empty DB.
+//
+// When dir holds no checkpoint at all the returned error wraps
+// ErrNoSession — a normal first boot. Every other error means a
+// checkpoint exists but is corrupt or shaped for a different engine.
 func (e *Engine) RestoreSession(dir string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	buf, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w in %s", ErrNoSession, dir)
+		}
 		return err
 	}
 	var m sessionManifest
@@ -93,7 +113,7 @@ func (e *Engine) RestoreSession(dir string) error {
 		return err
 	}
 	if m.CurrentValues != nil {
-		if err := e.SetCurrentValues(m.CurrentValues); err != nil {
+		if err := e.setCurrentValues(m.CurrentValues); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,184 @@
+package capesd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// The HTTP/JSON control plane. Endpoints:
+//
+//	GET    /healthz                      liveness + session count
+//	GET    /stats                        aggregate stats across sessions
+//	POST   /checkpoint                   checkpoint every enabled session
+//	GET    /sessions                     list session stats
+//	POST   /sessions                     create a session (SessionConfig body)
+//	GET    /sessions/{name}              one session's stats
+//	GET    /sessions/{name}/stats        same (explicit form)
+//	POST   /sessions/{name}/pause        stop ticking, keep agents
+//	POST   /sessions/{name}/resume       resume ticking
+//	POST   /sessions/{name}/checkpoint   save to the session's checkpoint dir
+//	DELETE /sessions/{name}              drain, final-checkpoint and remove
+//
+// Every response is JSON; errors are {"error": "..."} with 4xx/5xx.
+
+// Handler returns the control-plane handler (useful for tests and for
+// embedding capesd into a larger server).
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":       true,
+			"sessions": len(m.Sessions()),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.AggregateStats())
+	})
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		saved, errs := m.CheckpointAll()
+		body := map[string]any{"checkpointed": saved}
+		status := http.StatusOK
+		if len(errs) > 0 {
+			failed := make(map[string]string, len(errs))
+			for name, err := range errs {
+				failed[name] = err.Error()
+			}
+			body["errors"] = failed
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, body)
+	})
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		stats := []SessionStats{}
+		for _, s := range m.Sessions() {
+			stats = append(stats, s.Stats())
+		}
+		writeJSON(w, http.StatusOK, stats)
+	})
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var cfg SessionConfig
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad session config: %w", err))
+			return
+		}
+		s, err := m.Create(cfg)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrSessionExists):
+				status = http.StatusConflict
+			case errors.Is(err, ErrInvalidSession):
+				status = http.StatusBadRequest
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Stats())
+	})
+	mux.HandleFunc("GET /sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		withSession(m, w, r, func(s *Session) {
+			writeJSON(w, http.StatusOK, s.Stats())
+		})
+	})
+	mux.HandleFunc("GET /sessions/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
+		withSession(m, w, r, func(s *Session) {
+			writeJSON(w, http.StatusOK, s.Stats())
+		})
+	})
+	mux.HandleFunc("POST /sessions/{name}/pause", func(w http.ResponseWriter, r *http.Request) {
+		withSession(m, w, r, func(s *Session) {
+			if err := s.Pause(); err != nil {
+				writeError(w, http.StatusConflict, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, s.Stats())
+		})
+	})
+	mux.HandleFunc("POST /sessions/{name}/resume", func(w http.ResponseWriter, r *http.Request) {
+		withSession(m, w, r, func(s *Session) {
+			if err := s.Resume(); err != nil {
+				writeError(w, http.StatusConflict, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, s.Stats())
+		})
+	})
+	mux.HandleFunc("POST /sessions/{name}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		withSession(m, w, r, func(s *Session) {
+			if err := s.Checkpoint(); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, s.Stats())
+		})
+	})
+	mux.HandleFunc("DELETE /sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if _, ok := m.Get(name); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", name))
+			return
+		}
+		if err := m.Delete(name); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+	})
+	return mux
+}
+
+// StartHTTP binds the control plane and serves it in the background,
+// returning the bound address (resolves ":0" for tests).
+func (m *Manager) StartHTTP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("capesd: control plane listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("capesd: manager is shut down")
+	}
+	m.httpLn, m.httpSrv = ln, srv
+	m.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// HTTPAddr returns the control plane's bound address ("" when not
+// started).
+func (m *Manager) HTTPAddr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.httpLn == nil {
+		return ""
+	}
+	return m.httpLn.Addr().String()
+}
+
+func withSession(m *Manager, w http.ResponseWriter, r *http.Request, fn func(*Session)) {
+	name := r.PathValue("name")
+	s, ok := m.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", name))
+		return
+	}
+	fn(s)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,230 @@
+package capesd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rdr *bytes.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(buf)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestControlPlaneLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	// Empty manager: healthy, zero sessions.
+	var health map[string]any
+	if code := doJSON(t, "GET", srv.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if health["ok"] != true || health["sessions"] != float64(0) {
+		t.Fatalf("health = %v", health)
+	}
+
+	// Create a session over HTTP.
+	var created SessionStats
+	if code := doJSON(t, "POST", srv.URL+"/sessions", testSession("web", dir), &created); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	if created.Name != "web" || created.Addr == "" || created.State != StateRunning {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Duplicate name → 409; invalid body → 400; unknown field → 400.
+	if code := doJSON(t, "POST", srv.URL+"/sessions", testSession("web", ""), nil); code != http.StatusConflict {
+		t.Fatalf("duplicate create = %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/sessions", map[string]any{"name": ""}, nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid create = %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/sessions", map[string]any{"name": "x", "bogus": 1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown-field create = %d", code)
+	}
+
+	// Drive some ticks through the real agent port, then read stats.
+	pump(t, created.Addr, 2, 4, 1, 120)
+	waitFor(t, func() bool {
+		var st SessionStats
+		doJSON(t, "GET", srv.URL+"/sessions/web/stats", nil, &st)
+		return st.Engine.TrainSteps > 0
+	}, "train steps visible over HTTP")
+
+	var st SessionStats
+	if code := doJSON(t, "GET", srv.URL+"/sessions/web", nil, &st); code != http.StatusOK {
+		t.Fatalf("get = %d", code)
+	}
+	if st.Engine.ReplayRecords == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	var list []SessionStats
+	if code := doJSON(t, "GET", srv.URL+"/sessions", nil, &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list = %d, %d sessions", len(list), len(list))
+	}
+	var agg AggregateStats
+	if code := doJSON(t, "GET", srv.URL+"/stats", nil, &agg); code != http.StatusOK {
+		t.Fatal("aggregate stats failed")
+	}
+	if agg.Totals.Sessions != 1 || agg.Totals.TrainSteps == 0 {
+		t.Fatalf("aggregate = %+v", agg.Totals)
+	}
+
+	// Pause / resume.
+	if code := doJSON(t, "POST", srv.URL+"/sessions/web/pause", nil, &st); code != http.StatusOK || st.State != StatePaused {
+		t.Fatalf("pause = %d, state %s", code, st.State)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/sessions/web/resume", nil, &st); code != http.StatusOK || st.State != StateRunning {
+		t.Fatalf("resume = %d, state %s", code, st.State)
+	}
+
+	// Checkpoint writes the session directory.
+	if code := doJSON(t, "POST", srv.URL+"/sessions/web/checkpoint", nil, &st); code != http.StatusOK {
+		t.Fatalf("checkpoint = %d", code)
+	}
+	if st.LastCheckpoint == "" {
+		t.Fatal("no checkpoint timestamp")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "session.json")); err != nil {
+		t.Fatalf("checkpoint manifest missing: %v", err)
+	}
+
+	// Unknown session → 404 on every verb.
+	for _, probe := range [][2]string{
+		{"GET", "/sessions/ghost"},
+		{"POST", "/sessions/ghost/pause"},
+		{"POST", "/sessions/ghost/checkpoint"},
+		{"DELETE", "/sessions/ghost"},
+	} {
+		if code := doJSON(t, probe[0], srv.URL+probe[1], nil, nil); code != http.StatusNotFound {
+			t.Fatalf("%s %s = %d, want 404", probe[0], probe[1], code)
+		}
+	}
+
+	// Delete drains and removes.
+	if code := doJSON(t, "DELETE", srv.URL+"/sessions/web", nil, nil); code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	if code := doJSON(t, "GET", srv.URL+"/sessions/web", nil, nil); code != http.StatusNotFound {
+		t.Fatal("deleted session still resolves")
+	}
+}
+
+func TestCheckpointAllEndpoint(t *testing.T) {
+	dirA := filepath.Join(t.TempDir(), "a")
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	// One checkpoint-enabled session, one without: /checkpoint saves the
+	// first and skips (not fails) the second.
+	if code := doJSON(t, "POST", srv.URL+"/sessions", testSession("ck", dirA), nil); code != http.StatusCreated {
+		t.Fatal("create ck failed")
+	}
+	if code := doJSON(t, "POST", srv.URL+"/sessions", testSession("nock", ""), nil); code != http.StatusCreated {
+		t.Fatal("create nock failed")
+	}
+	var body struct {
+		Checkpointed []string          `json:"checkpointed"`
+		Errors       map[string]string `json:"errors"`
+	}
+	if code := doJSON(t, "POST", srv.URL+"/checkpoint", nil, &body); code != http.StatusOK {
+		t.Fatalf("checkpoint-all = %d", code)
+	}
+	if len(body.Checkpointed) != 1 || body.Checkpointed[0] != "ck" || len(body.Errors) != 0 {
+		t.Fatalf("checkpoint-all body = %+v", body)
+	}
+	if _, err := os.Stat(filepath.Join(dirA, "session.json")); err != nil {
+		t.Fatalf("ck checkpoint missing: %v", err)
+	}
+}
+
+func TestCreateOperationalFailureIs500(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	var created SessionStats
+	if code := doJSON(t, "POST", srv.URL+"/sessions", testSession("first", ""), &created); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	// Same listen address as the live session: bind fails — a server
+	// problem, not a config problem, so 500 rather than 400.
+	clash := testSession("second", "")
+	clash.Listen = created.Addr
+	if code := doJSON(t, "POST", srv.URL+"/sessions", clash, nil); code != http.StatusInternalServerError {
+		t.Fatalf("bind clash = %d, want 500", code)
+	}
+}
+
+func TestCheckpointWithoutDirFails(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	if code := doJSON(t, "POST", srv.URL+"/sessions", testSession("nock", ""), nil); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	var errBody map[string]string
+	if code := doJSON(t, "POST", srv.URL+"/sessions/nock/checkpoint", nil, &errBody); code != http.StatusInternalServerError {
+		t.Fatalf("checkpoint without dir = %d", code)
+	}
+	if errBody["error"] == "" {
+		t.Fatal("error body missing")
+	}
+}
+
+func TestStartHTTPBindsAndServes(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	addr, err := m.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HTTPAddr() != addr {
+		t.Fatalf("HTTPAddr %q != %q", m.HTTPAddr(), addr)
+	}
+	var health map[string]any
+	if code := doJSON(t, "GET", fmt.Sprintf("http://%s/healthz", addr), nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz over real socket = %d", code)
+	}
+	// Shutdown closes the control plane.
+	m.Shutdown()
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("control plane still serving after shutdown")
+	}
+}

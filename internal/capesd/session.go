@@ -1,0 +1,290 @@
+package capesd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capes/internal/agent"
+	"capes/internal/capes"
+	"capes/internal/replay"
+)
+
+// State is a session's lifecycle state.
+type State string
+
+const (
+	// StateRunning: the daemon is accepting agents and frames drive the
+	// engine.
+	StateRunning State = "running"
+	// StatePaused: frames are still assembled but the engine is not
+	// ticked — no sampling, actions or training until Resume.
+	StatePaused State = "paused"
+	// StateStopped: the engine is drained and the daemon closed; the
+	// session only remains visible for a final Stats read.
+	StateStopped State = "stopped"
+)
+
+// Session is one named tuning target: a capes.Engine fed by its own
+// agent.Daemon, with an independent action space, objective, checkpoint
+// directory and lifecycle. All sessions in a process share the
+// process-wide tensor worker pool, so N sessions cost N replay buffers
+// and networks but one set of compute workers.
+type Session struct {
+	cfg SessionConfig
+	eng *capes.Engine
+	dmn *agent.Daemon
+
+	paused atomic.Bool
+	bcast  chan broadcastMsg
+
+	frameMu sync.Mutex
+	latest  replay.Frame
+
+	mu             sync.Mutex
+	state          State
+	restored       bool
+	lastCheckpoint time.Time
+	workloadBumps  int64
+}
+
+// broadcastMsg is one applied action queued for Control Agents.
+type broadcastMsg struct {
+	tick   int64
+	action int
+	values []float64
+}
+
+// newSession builds, restores (when a checkpoint exists) and starts a
+// session. cfg must already be validated; defaults are applied here.
+func newSession(cfg SessionConfig) (*Session, error) {
+	cfg = cfg.withDefaults()
+	engCfg, err := cfg.engineConfig()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidSession, err)
+	}
+	s := &Session{cfg: cfg, state: StateRunning}
+
+	eng, err := capes.NewEngine(engCfg,
+		func() (replay.Frame, error) {
+			s.frameMu.Lock()
+			defer s.frameMu.Unlock()
+			if s.latest == nil {
+				return nil, fmt.Errorf("no frame yet")
+			}
+			return s.latest, nil
+		},
+		// The engine holds its lock while applying actions, so the
+		// controller must not call back into it; the ActionHook below
+		// carries the tick and action id to the broadcast instead.
+		func([]float64) error { return nil })
+	if err != nil {
+		// NewEngine only rejects bad configuration (hyper, space, …).
+		return nil, fmt.Errorf("%w: session %s: %w", ErrInvalidSession, cfg.Name, err)
+	}
+	if cfg.Exploit {
+		eng.SetExploit(true)
+	}
+	s.eng = eng
+
+	if cfg.CheckpointDir != "" {
+		switch err := eng.RestoreSession(cfg.CheckpointDir); {
+		case err == nil:
+			s.restored = true
+		case errors.Is(err, capes.ErrNoSession):
+			// First boot: nothing to restore, start fresh.
+		default:
+			// A checkpoint exists but cannot be loaded — corrupt or
+			// shaped for a different session. Failing loudly beats
+			// silently retraining from scratch over it.
+			return nil, fmt.Errorf("session %s: restoring %s: %w", cfg.Name, cfg.CheckpointDir, err)
+		}
+	}
+
+	dmn, err := agent.NewDaemon(cfg.Listen, cfg.Clients, cfg.PIsPerClient,
+		func(tick int64, frame []float64) {
+			if s.paused.Load() {
+				return
+			}
+			s.frameMu.Lock()
+			s.latest = frame
+			s.frameMu.Unlock()
+			eng.Tick(tick)
+		},
+		func(tick int64, name string) {
+			eng.NotifyWorkloadChange(tick)
+			s.mu.Lock()
+			s.workloadBumps++
+			s.mu.Unlock()
+		})
+	if err != nil {
+		return nil, fmt.Errorf("session %s: listen %s: %w", cfg.Name, cfg.Listen, err)
+	}
+	s.dmn = dmn
+
+	// Broadcast applied actions from a dedicated goroutine: the hook
+	// runs under the engine lock, so it must never touch the network —
+	// a stalled control-agent connection would otherwise freeze Tick,
+	// Stats and the whole control plane. The channel is installed after
+	// s.dmn so the hook can never observe a nil daemon (SetActionHook's
+	// lock is the happens-before edge), and a full channel drops the
+	// oldest semantics-free way: the next action supersedes.
+	s.bcast = make(chan broadcastMsg, 16)
+	go func() {
+		for msg := range s.bcast {
+			dmn.BroadcastAction(msg.tick, msg.action, msg.values)
+		}
+	}()
+	eng.SetActionHook(func(tick int64, action int, values []float64) {
+		msg := broadcastMsg{tick, action, append([]float64(nil), values...)}
+		for {
+			select {
+			case s.bcast <- msg:
+				return
+			default:
+			}
+			// Full: evict the oldest queued action and retry — the new
+			// action supersedes stale ones, never the other way around.
+			// The hook is the only producer (it runs under the engine
+			// lock), so this cannot spin against another sender.
+			select {
+			case <-s.bcast:
+			default:
+			}
+		}
+	})
+	return s, nil
+}
+
+// Name returns the session's control-plane identifier.
+func (s *Session) Name() string { return s.cfg.Name }
+
+// Addr returns the agent-facing listen address actually bound (resolves
+// ":0" configs).
+func (s *Session) Addr() string { return s.dmn.Addr() }
+
+// Engine exposes the session's engine (safe: the engine serializes
+// internally).
+func (s *Session) Engine() *capes.Engine { return s.eng }
+
+// State returns the lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Pause stops ticking the engine; agents stay connected and frames are
+// discarded until Resume.
+func (s *Session) Pause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateStopped {
+		return fmt.Errorf("session %s is stopped", s.cfg.Name)
+	}
+	s.paused.Store(true)
+	s.state = StatePaused
+	return nil
+}
+
+// Resume restarts ticking after Pause.
+func (s *Session) Resume() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateStopped {
+		return fmt.Errorf("session %s is stopped", s.cfg.Name)
+	}
+	s.paused.Store(false)
+	s.state = StateRunning
+	return nil
+}
+
+// Checkpoint saves the session to its configured checkpoint directory.
+// The engine lock makes the snapshot consistent even mid-training.
+func (s *Session) Checkpoint() error {
+	if s.cfg.CheckpointDir == "" {
+		return fmt.Errorf("session %s has no checkpoint_dir", s.cfg.Name)
+	}
+	if err := s.eng.SaveSession(s.cfg.CheckpointDir); err != nil {
+		return fmt.Errorf("session %s: %w", s.cfg.Name, err)
+	}
+	s.mu.Lock()
+	s.lastCheckpoint = time.Now()
+	s.mu.Unlock()
+	return nil
+}
+
+// Stop drains and tears the session down: the engine stops accepting
+// ticks, the daemon closes every agent connection, and — when a
+// checkpoint directory is configured — a final checkpoint is written.
+// Stop is idempotent.
+func (s *Session) Stop() error { return s.stop(true) }
+
+// stop is Stop with the final checkpoint optional (the Delete path
+// checkpoints up front so a save failure can abort the delete; a second
+// save here would be redundant).
+func (s *Session) stop(finalCheckpoint bool) error {
+	s.mu.Lock()
+	if s.state == StateStopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.state = StateStopped
+	s.mu.Unlock()
+
+	// Engine first: Stop blocks until any in-flight Tick (and thus any
+	// hook call) completes, after which closing the broadcast channel
+	// cannot race a send.
+	s.eng.Stop()
+	close(s.bcast)
+	err := s.dmn.Close()
+	if finalCheckpoint && s.cfg.CheckpointDir != "" {
+		if cerr := s.Checkpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// SessionStats is the control-plane view of one session.
+type SessionStats struct {
+	Name           string      `json:"name"`
+	State          State       `json:"state"`
+	Addr           string      `json:"addr"`
+	Clients        int         `json:"clients"`
+	CheckpointDir  string      `json:"checkpoint_dir,omitempty"`
+	Restored       bool        `json:"restored"`
+	LastCheckpoint string      `json:"last_checkpoint,omitempty"`
+	ControlAgents  int         `json:"control_agents"`
+	WorkloadBumps  int64       `json:"workload_bumps"`
+	CurrentValues  []float64   `json:"current_values"`
+	Engine         capes.Stats `json:"engine"`
+}
+
+// Stats snapshots the session (safe while agents are ticking it).
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	state := s.state
+	restored := s.restored
+	last := s.lastCheckpoint
+	bumps := s.workloadBumps
+	s.mu.Unlock()
+	st := SessionStats{
+		Name:          s.cfg.Name,
+		State:         state,
+		Addr:          s.dmn.Addr(),
+		Clients:       s.cfg.Clients,
+		CheckpointDir: s.cfg.CheckpointDir,
+		Restored:      restored,
+		ControlAgents: s.dmn.NumControlAgents(),
+		WorkloadBumps: bumps,
+		CurrentValues: s.eng.CurrentValues(),
+		Engine:        s.eng.Stats(),
+	}
+	if !last.IsZero() {
+		st.LastCheckpoint = last.UTC().Format(time.RFC3339)
+	}
+	return st
+}
