@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# bench-gate.sh <baseline.txt> <current.txt>
+#
+# Fails the bench job when a gated hot-path benchmark regressed more
+# than 10% against the committed baseline (.github/bench-baseline.txt).
+# Both files are raw `go test -bench` output with -count >= 2; the gate
+# compares the mean ns/op per benchmark, which together with benchstat's
+# report (run alongside for the human-readable deltas) keeps single-run
+# noise from tripping the gate.
+#
+# The baseline is host-sensitive: refresh it (run the bench job, commit
+# the uploaded bench.txt as .github/bench-baseline.txt) whenever the
+# runner hardware class changes, and whenever a PR intentionally changes
+# train-step performance. On shared-fleet runners the absolute numbers
+# can drift run to run with zero code change, so a second,
+# host-independent gate also runs: the float32 train step must stay
+# ≥1.4× faster than the float64 reference *within the same run* (the
+# PERF.md acceptance ratio) — a float32-path regression trips it on any
+# hardware, fast or slow.
+set -euo pipefail
+
+base="$1"
+cur="$2"
+fail=0
+
+mean() { # mean ns/op of every -count repetition of one benchmark
+  # $1 is the bare name on GOMAXPROCS=1 hosts, name-N elsewhere.
+  awk -v n="$1" '($1 == n || index($1, n "-") == 1) && $4 == "ns/op" {s += $3; c++} END {if (c) printf "%.0f", s / c}' "$2"
+}
+
+check() {
+  local name="$1" old new
+  old=$(mean "$name" "$base")
+  new=$(mean "$name" "$cur")
+  if [ -z "$old" ] || [ -z "$new" ]; then
+    echo "bench-gate: benchmark $name missing from baseline or current run"
+    fail=1
+    return
+  fi
+  if ! awk -v o="$old" -v n="$new" -v name="$name" 'BEGIN {
+    r = n / o
+    printf "bench-gate: %-34s baseline %11.0f ns/op, current %11.0f ns/op (%.2fx)\n", name, o, n, r
+    exit (r > 1.10) ? 1 : 0
+  }'; then
+    echo "bench-gate: REGRESSION: $name is >10% slower than the committed baseline"
+    fail=1
+  fi
+}
+
+# ratio gates current-run f32 against current-run f64 of the same
+# benchmark — immune to runner-to-runner hardware drift.
+ratio() {
+  local f32name="$1" f64name="$2" minSpeedup="$3" f32 f64
+  f32=$(mean "$f32name" "$cur")
+  f64=$(mean "$f64name" "$cur")
+  if [ -z "$f32" ] || [ -z "$f64" ]; then
+    echo "bench-gate: ratio pair $f32name / $f64name missing from current run"
+    fail=1
+    return
+  fi
+  if ! awk -v a="$f32" -v b="$f64" -v m="$minSpeedup" -v n="$f32name" 'BEGIN {
+    s = b / a
+    printf "bench-gate: %-34s f32 is %.2fx the f64 reference this run (floor %.2fx)\n", n, s, m
+    exit (s < m) ? 1 : 0
+  }'; then
+    echo "bench-gate: REGRESSION: $f32name lost its float32 speedup over float64"
+    fail=1
+  fi
+}
+
+# The control loop's two latencies (paper §3.4, PERF.md), at the
+# deployed float32 precision and the float64 reference.
+check "BenchmarkTrainStep/obs256/f32"
+check "BenchmarkTrainStep/obs64/f32"
+check "BenchmarkTrainStep/obs256/f64"
+check "BenchmarkSelectAction/f32"
+
+# Host-independent: the PERF.md acceptance ratios, with headroom for
+# noise (measured 2.5× / 3.1× on the reference host).
+ratio "BenchmarkTrainStep/obs256/f32" "BenchmarkTrainStep/obs256/f64" 1.4
+ratio "BenchmarkSelectAction/f32" "BenchmarkSelectAction/f64" 1.4
+
+exit "$fail"

@@ -136,13 +136,13 @@ func BenchmarkFig6TrainingImpact(b *testing.B) {
 // network (1760-wide observations) on the CPU.
 func BenchmarkTable2TrainStepCPU(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	net := nn.NewCAPESNetwork(rng, 1760, 5)
-	opt := nn.NewAdam(1e-4)
-	in := tensor.New(32, 1760)
+	net := nn.NewCAPESNetwork[float64](rng, 1760, 5)
+	opt := nn.NewAdam[float64](1e-4)
+	in := tensor.New[float64](32, 1760)
 	in.XavierFill(rng, 1760, 1760)
 	actions := make([]int, 32)
 	targets := make([]float64, 32)
-	grad := tensor.New(32, 5)
+	grad := tensor.New[float64](32, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := net.Forward(in)
@@ -213,7 +213,7 @@ func ablationRun(b *testing.B, seed int64, mutate func(*rl.Config), stack int, u
 	if err != nil {
 		b.Fatal(err)
 	}
-	net := nn.NewMLP(rng, nn.ActTanh, 2*stack, 24, 24, 3)
+	net := nn.NewMLP[float64](rng, nn.ActTanh, 2*stack, 24, 24, 3)
 	eps := rl.NewEpsilonSchedule(ticks / 2)
 	agent, err := rl.NewAgentWithNetwork(cfg, eps, net, rng)
 	if err != nil {
@@ -235,7 +235,7 @@ func ablationRun(b *testing.B, seed int64, mutate func(*rl.Config), stack int, u
 		p += step * float64(act-1)
 		p = tensor.Clamp(p, 0, 1)
 		if tick > 64 && tick%2 == 0 {
-			var batch *replay.Batch
+			var batch *replay.Batch[float64]
 			var err error
 			if useReplay {
 				batch, err = db.ConstructMinibatch(rng, 16, rf)
@@ -271,9 +271,9 @@ func ablationRun(b *testing.B, seed int64, mutate func(*rl.Config), stack int, u
 	return d
 }
 
-func sequentialBatch(db *replay.DB, end int64, n int, rf replay.RewardFunc) (*replay.Batch, error) {
+func sequentialBatch(db *replay.DB, end int64, n int, rf replay.RewardFunc) (*replay.Batch[float64], error) {
 	w := db.ObservationWidth()
-	b := &replay.Batch{
+	b := &replay.Batch[float64]{
 		States:     make([]float64, n*w),
 		NextStates: make([]float64, n*w),
 		N:          n,
@@ -385,9 +385,9 @@ func BenchmarkAblationEpsilonBump(b *testing.B) {
 func BenchmarkAblationQHead(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	const obsW, nActions = 250, 5
-	multi := nn.NewCAPESNetwork(rng, obsW, nActions)
+	multi := nn.NewCAPESNetwork[float64](rng, obsW, nActions)
 	// Pair network: observation + one-hot action → scalar.
-	pair := nn.NewMLP(rng, nn.ActTanh, obsW+nActions, obsW, obsW, 1)
+	pair := nn.NewMLP[float64](rng, nn.ActTanh, obsW+nActions, obsW, obsW, 1)
 	obs := make([]float64, obsW)
 	for i := range obs {
 		obs[i] = rng.Float64()

@@ -34,8 +34,9 @@ func main() {
 		inspectSession(path)
 		return
 	}
-	// Try model first, then replay snapshot.
-	if m, err := nn.LoadFile(path); err == nil {
+	// Try model first, then replay snapshot. Checkpoints of either
+	// precision are inspected through a float64 view (widening is exact).
+	if m, err := nn.LoadFile[float64](path); err == nil {
 		inspectModel(path, m)
 		return
 	}
@@ -46,13 +47,24 @@ func main() {
 	fatal(fmt.Errorf("%s is neither a model checkpoint nor a replay snapshot", path))
 }
 
-func inspectModel(path string, m *nn.MLP) {
+func inspectModel(path string, m *nn.MLP[float64]) {
 	fmt.Printf("%s: CAPES DNN checkpoint\n", path)
 	fmt.Printf("  layer sizes:   %v\n", m.Sizes)
 	fmt.Printf("  activation:    %s\n", m.Activation)
-	fmt.Printf("  parameters:    %d (%.2f MB in memory)\n", m.NumParams(), float64(m.Bytes())/1e6)
-	if n, err := m.CheckpointBytes(); err == nil {
-		fmt.Printf("  on disk:       %.2f MB (compressed)\n", float64(n)/1e6)
+	// The model is loaded through a float64 view (widening is exact),
+	// so memory/disk sizes must come from the checkpoint's own
+	// precision tag and the actual file — not from the widened copy.
+	elemSize := 8
+	if prec, _, err := nn.CheckpointInfoFile(path); err == nil {
+		fmt.Printf("  precision:     %s\n", prec)
+		if prec == "float32" {
+			elemSize = 4
+		}
+	}
+	fmt.Printf("  parameters:    %d (%.2f MB in memory)\n",
+		m.NumParams(), float64(m.NumParams()*elemSize)/1e6)
+	if fi, err := os.Stat(path); err == nil {
+		fmt.Printf("  on disk:       %.2f MB (compressed)\n", float64(fi.Size())/1e6)
 	}
 	if err := m.CheckFinite(); err != nil {
 		fmt.Printf("  WARNING:       %v\n", err)
@@ -96,7 +108,7 @@ func inspectSession(dir string) {
 			fmt.Printf("  manifest:      %v\n", compactJSON(m))
 		}
 	}
-	if m, err := nn.LoadFile(filepath.Join(dir, "model.ckpt")); err == nil {
+	if m, err := nn.LoadFile[float64](filepath.Join(dir, "model.ckpt")); err == nil {
 		fmt.Println()
 		inspectModel(filepath.Join(dir, "model.ckpt"), m)
 	}

@@ -12,12 +12,12 @@ import (
 func TestInspectorsDoNotPanic(t *testing.T) {
 	dir := t.TempDir()
 
-	m := nn.NewCAPESNetwork(rand.New(rand.NewSource(1)), 8, 3)
+	m := nn.NewCAPESNetwork[float64](rand.New(rand.NewSource(1)), 8, 3)
 	modelPath := filepath.Join(dir, "model.ckpt")
 	if err := m.SaveFile(modelPath); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := nn.LoadFile(modelPath)
+	loaded, err := nn.LoadFile[float64](modelPath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,6 +52,14 @@ type LossPoint struct {
 	Loss float64 // EWMA-smoothed prediction error
 }
 
+// EnginePrecision is the numeric element type of the deployed DQN path:
+// float32. The train step is memory-bandwidth-bound against the flat
+// parameter working set, so halving the element size is the dominant
+// latency lever (see PERF.md); float64 remains the reference precision
+// in internal/tensor and internal/nn, and checkpoints from either
+// precision restore into the engine (the format is precision-tagged).
+type EnginePrecision = float32
+
 // Engine is the DRL Engine plus the Interface-Daemon bookkeeping for an
 // in-process deployment: it relays frames into the Replay DB, selects
 // and applies actions, and runs training steps, all on the shared
@@ -68,7 +76,7 @@ type Engine struct {
 
 	cfg   Config
 	db    *replay.DB
-	agent *rl.Agent
+	agent *rl.Agent[EnginePrecision]
 	rng   *rand.Rand
 
 	collector  Collector
@@ -89,7 +97,13 @@ type Engine struct {
 	history       []ActionRecord
 	historyCap    int
 
-	batch replay.Batch // reusable minibatch; sampled into every train tick
+	// Hot-path scratch: the reusable minibatch every train tick samples
+	// into, and the observation buffer the action path fills. Both are
+	// at the engine precision, so frames convert float64→float32 exactly
+	// once as they are copied in — no float64 temporaries between the
+	// Replay DB and the network.
+	batch      replay.Batch[EnginePrecision]
+	obsScratch []EnginePrecision
 }
 
 // ActionRecord is one applied action (kept in a bounded ring for
@@ -148,7 +162,7 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 		GradientClip:  cfg.Hyper.GradientClip,
 		UseTargetNet:  true,
 	}
-	agent, err := rl.NewAgent(agentCfg, eps, db.ObservationWidth(), cfg.Space.NumActions(), rng)
+	agent, err := rl.NewAgent[EnginePrecision](agentCfg, eps, db.ObservationWidth(), cfg.Space.NumActions(), rng)
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +183,7 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 		lastAction:   NullAction,
 		actionCounts: make([]int64, cfg.Space.NumActions()),
 		historyCap:   256,
+		obsScratch:   make([]EnginePrecision, db.ObservationWidth()),
 	}, nil
 }
 
@@ -218,7 +233,7 @@ func (e *Engine) Tick(now int64) {
 
 	// Training step.
 	if e.cfg.Training && now >= h.TrainStartTicks && now%h.TrainEvery == 0 {
-		if err := e.db.ConstructMinibatchInto(e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err != nil {
+		if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err != nil {
 			return // not enough data yet
 		}
 		if _, err := e.agent.TrainStep(&e.batch); err != nil {
@@ -233,16 +248,17 @@ func (e *Engine) Tick(now int64) {
 
 // chooseAction applies the policy: random while the DB cannot form an
 // observation (cold start), otherwise ε-greedy (or pure greedy in
-// exploit mode).
+// exploit mode). The observation is assembled straight into the
+// engine-precision scratch buffer — one conversion per value, no
+// allocation, no float64 staging.
 func (e *Engine) chooseAction(now int64) int {
-	obs, err := e.db.Observation(now)
-	if err != nil {
+	if err := replay.ObservationInto(e.db, e.obsScratch, now); err != nil {
 		return e.rng.Intn(e.cfg.Space.NumActions())
 	}
 	if e.exploit {
-		return e.agent.GreedyAction(obs)
+		return e.agent.GreedyAction(e.obsScratch)
 	}
-	return e.agent.SelectAction(obs, now)
+	return e.agent.SelectAction(e.obsScratch, now)
 }
 
 // recordAction appends to the bounded action history.
@@ -363,8 +379,8 @@ func (e *Engine) LastAction() int {
 // is the writer).
 func (e *Engine) DB() *replay.DB { return e.db }
 
-// Agent exposes the Q-learning agent.
-func (e *Engine) Agent() *rl.Agent { return e.agent }
+// Agent exposes the Q-learning agent (at the engine precision).
+func (e *Engine) Agent() *rl.Agent[EnginePrecision] { return e.agent }
 
 // LossTrace returns the recorded prediction-error series (Figure 5).
 func (e *Engine) LossTrace() []LossPoint {

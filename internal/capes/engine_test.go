@@ -329,7 +329,7 @@ func TestSessionSaveRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Model weights restored: identical Q-values on a fixed observation.
-	obs := make([]float64, eng.DB().ObservationWidth())
+	obs := make([]EnginePrecision, eng.DB().ObservationWidth())
 	q1, q2 := eng.Agent().QValues(obs), eng2.Agent().QValues(obs)
 	for i := range q1 {
 		if q1[i] != q2[i] {

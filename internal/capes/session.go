@@ -95,7 +95,11 @@ func (e *Engine) RestoreSession(dir string) error {
 	if m.NumActions != e.cfg.Space.NumActions() {
 		return fmt.Errorf("capes: session has %d actions, engine %d", m.NumActions, e.cfg.Space.NumActions())
 	}
-	model, err := nn.LoadFile(filepath.Join(dir, modelFile))
+	// The loader converts from whatever precision the checkpoint was
+	// written at: a float64 checkpoint from an older session narrows
+	// into the float32 engine (one rounding per parameter), a float32
+	// checkpoint restores bit-exactly.
+	model, err := nn.LoadFile[EnginePrecision](filepath.Join(dir, modelFile))
 	if err != nil {
 		return fmt.Errorf("capes: load model: %w", err)
 	}

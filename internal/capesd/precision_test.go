@@ -1,0 +1,101 @@
+package capesd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"capes/internal/nn"
+)
+
+// TestFloat64CheckpointRestoresIntoFloat32Session is the cross-precision
+// restore e2e: a session directory whose model was written at float64
+// (the pre-generic-core format every old deployment has on disk) must
+// restore into today's float32 engine through the capesd control plane,
+// train further, and re-checkpoint at float32.
+func TestFloat64CheckpointRestoresIntoFloat32Session(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	// Phase 1: run a fresh session, train it a little, checkpoint over
+	// HTTP, and tear it down. The directory now holds a live session
+	// checkpoint (model at float32).
+	var created SessionStats
+	if code := doJSON(t, "POST", srv.URL+"/sessions", testSession("xp", dir), &created); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	pump(t, created.Addr, 2, 4, 1, 160)
+	waitFor(t, func() bool {
+		var st SessionStats
+		doJSON(t, "GET", srv.URL+"/sessions/xp/stats", nil, &st)
+		return st.Engine.TrainSteps > 0
+	}, "first session trains")
+	if code := doJSON(t, "POST", srv.URL+"/sessions/xp/checkpoint", nil, nil); code != http.StatusOK {
+		t.Fatalf("checkpoint = %d", code)
+	}
+	if code := doJSON(t, "DELETE", srv.URL+"/sessions/xp", nil, nil); code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+
+	// Phase 2: rewrite the model as a float64 checkpoint (exact
+	// widening), emulating a directory saved by an old float64 build.
+	modelPath := filepath.Join(dir, "model.ckpt")
+	m64, err := nn.LoadFile[float64](modelPath)
+	if err != nil {
+		t.Fatalf("widening load: %v", err)
+	}
+	if err := m64.SaveFile(modelPath); err != nil {
+		t.Fatalf("rewrite as float64: %v", err)
+	}
+	if prec, _, err := nn.CheckpointInfoFile(modelPath); err != nil || prec != "float64" {
+		t.Fatalf("rewritten checkpoint precision = %q, %v", prec, err)
+	}
+
+	// Phase 3: boot the session again through the control plane. The
+	// float64 checkpoint must restore into the float32 engine.
+	var restored SessionStats
+	if code := doJSON(t, "POST", srv.URL+"/sessions", testSession("xp", dir), &restored); code != http.StatusCreated {
+		t.Fatalf("re-create = %d", code)
+	}
+	if !restored.Restored {
+		t.Fatal("session did not report restoring the float64 checkpoint")
+	}
+
+	// The restored engine's weights are the float64 checkpoint narrowed
+	// once per parameter: its Q-values must match the float64 model's
+	// output bit-for-bit after the same narrowing pipeline — spot-check
+	// the restored network parameters directly.
+	sess, ok := m.Get("xp")
+	if !ok {
+		t.Fatal("session not resolvable")
+	}
+	onlineParams := sess.Engine().Agent().Online.FlatParams()
+	want := m64.FlatParams()
+	if len(onlineParams) != len(want) {
+		t.Fatalf("restored arena %d params, want %d", len(onlineParams), len(want))
+	}
+	for i, v := range want {
+		if onlineParams[i] != float32(v) {
+			t.Fatalf("param %d: restored %v, want narrowed %v", i, onlineParams[i], float32(v))
+		}
+	}
+
+	// Phase 4: it keeps training, and a fresh checkpoint is written back
+	// at the engine precision.
+	pump(t, restored.Addr, 2, 4, 161, 320)
+	waitFor(t, func() bool {
+		var st SessionStats
+		doJSON(t, "GET", srv.URL+"/sessions/xp/stats", nil, &st)
+		return st.Engine.TrainSteps > 0
+	}, "restored session trains")
+	if code := doJSON(t, "POST", srv.URL+"/sessions/xp/checkpoint", nil, nil); code != http.StatusOK {
+		t.Fatal("re-checkpoint failed")
+	}
+	if prec, _, err := nn.CheckpointInfoFile(modelPath); err != nil || prec != "float32" {
+		t.Fatalf("re-checkpointed precision = %q, %v (want float32)", prec, err)
+	}
+}

@@ -302,9 +302,10 @@ func RunTable2(o Options) (*Table2, error) {
 	res.ObservationSize = expObs
 	res.TrainStepSecondsExp = measureTrainStep(expObs, 5, 32)
 
-	// Model size at the paper shape.
+	// Model size at the paper shape, at the engine's deployed precision
+	// (float32 since the generic-precision numeric core landed).
 	rng := rand.New(rand.NewSource(1))
-	model := nn.NewCAPESNetwork(rng, paperObs, 5)
+	model := nn.NewCAPESNetwork[capes.EnginePrecision](rng, paperObs, 5)
 	res.ModelBytes = model.Bytes()
 
 	// Replay DB sizes from a populated session (a scaled 12-hour run's
@@ -365,15 +366,17 @@ func RunTable2(o Options) (*Table2, error) {
 	return res, nil
 }
 
+// measureTrainStep times the deployed float32 training path (the engine
+// precision) so the Table 2 row reflects what a session actually costs.
 func measureTrainStep(obsWidth, nActions, batch int) float64 {
 	rng := rand.New(rand.NewSource(2))
-	net := nn.NewCAPESNetwork(rng, obsWidth, nActions)
-	opt := nn.NewAdam(1e-4)
-	in := tensor.New(batch, obsWidth)
+	net := nn.NewCAPESNetwork[capes.EnginePrecision](rng, obsWidth, nActions)
+	opt := nn.NewAdam[capes.EnginePrecision](1e-4)
+	in := tensor.New[capes.EnginePrecision](batch, obsWidth)
 	in.XavierFill(rng, obsWidth, obsWidth)
 	actions := make([]int, batch)
-	targets := make([]float64, batch)
-	grad := tensor.New(batch, nActions)
+	targets := make([]capes.EnginePrecision, batch)
+	grad := tensor.New[capes.EnginePrecision](batch, nActions)
 	// Warm up once, then time a handful of steps.
 	step := func() {
 		out := net.Forward(in)

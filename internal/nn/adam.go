@@ -8,52 +8,58 @@ import (
 
 // Adam implements the Adam stochastic-gradient optimizer (Kingma & Ba,
 // 2015), the optimizer the paper selects for training the Q-network with
-// learning rate 0.0001 (Table 1).
-type Adam struct {
+// learning rate 0.0001 (Table 1). The moments are kept at the model's
+// element precision E; the bias-correction factors are computed in
+// float64 every step and rounded once.
+type Adam[E tensor.Element] struct {
 	LR      float64 // learning rate (Table 1: 0.0001)
 	Beta1   float64 // first-moment decay, default 0.9
 	Beta2   float64 // second-moment decay, default 0.999
 	Epsilon float64 // numerical-stability constant, default 1e-8
 
 	step int
-	m    []*tensor.Matrix // first-moment estimates, aligned with params
-	v    []*tensor.Matrix // second-moment estimates
+	m    []*tensor.Matrix[E] // first-moment estimates, aligned with params
+	v    []*tensor.Matrix[E] // second-moment estimates
 
-	fm []float64 // flat first moments (StepFlat), aligned with the arena
-	fv []float64 // flat second moments
+	fm []E // flat first moments (StepFlat/FusedStep), aligned with the arena
+	fv []E // flat second moments
+
+	task fusedTask[E] // persistent sweep descriptor (pool sharding)
 }
 
-// NewAdam returns an Adam optimizer with the standard β/ε defaults.
-func NewAdam(lr float64) *Adam {
-	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+// NewAdam returns an Adam optimizer with the standard β/ε defaults. The
+// type parameter selects the precision of the parameters it will step.
+func NewAdam[E tensor.Element](lr float64) *Adam[E] {
+	return &Adam[E]{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
 }
 
 // Step applies one Adam update: params[i] -= lr · m̂/(√v̂+ε) using the
 // gradients in grads. Moment buffers are lazily allocated to match the
 // parameter shapes on the first call.
-func (a *Adam) Step(params, grads []*tensor.Matrix) {
+func (a *Adam[E]) Step(params, grads []*tensor.Matrix[E]) {
 	if len(params) != len(grads) {
 		panic("nn: Adam params/grads length mismatch")
 	}
 	if a.m == nil {
-		a.m = make([]*tensor.Matrix, len(params))
-		a.v = make([]*tensor.Matrix, len(params))
+		a.m = make([]*tensor.Matrix[E], len(params))
+		a.v = make([]*tensor.Matrix[E], len(params))
 		for i, p := range params {
-			a.m[i] = tensor.New(p.Rows, p.Cols)
-			a.v[i] = tensor.New(p.Rows, p.Cols)
+			a.m[i] = tensor.New[E](p.Rows, p.Cols)
+			a.v[i] = tensor.New[E](p.Rows, p.Cols)
 		}
 	}
 	a.step++
 	// Bias-corrected learning rate: lr·√(1−β₂ᵗ)/(1−β₁ᵗ).
 	t := float64(a.step)
-	lrT := a.LR * math.Sqrt(1-math.Pow(a.Beta2, t)) / (1 - math.Pow(a.Beta1, t))
+	lrT := E(a.LR * math.Sqrt(1-math.Pow(a.Beta2, t)) / (1 - math.Pow(a.Beta1, t)))
+	b1, b2, eps := E(a.Beta1), E(a.Beta2), E(a.Epsilon)
 	for i, p := range params {
 		g := grads[i]
 		mi, vi := a.m[i], a.v[i]
 		for j, gj := range g.Data {
-			mi.Data[j] = a.Beta1*mi.Data[j] + (1-a.Beta1)*gj
-			vi.Data[j] = a.Beta2*vi.Data[j] + (1-a.Beta2)*gj*gj
-			p.Data[j] -= lrT * mi.Data[j] / (math.Sqrt(vi.Data[j]) + a.Epsilon)
+			mi.Data[j] = b1*mi.Data[j] + (1-b1)*gj
+			vi.Data[j] = b2*vi.Data[j] + (1-b2)*gj*gj
+			p.Data[j] -= lrT * mi.Data[j] / (tensor.Sqrt(vi.Data[j]) + eps)
 		}
 	}
 }
@@ -64,20 +70,88 @@ func (a *Adam) Step(params, grads []*tensor.Matrix) {
 // themselves stored flat. Use either Step or StepFlat/FusedStep on one
 // optimizer, not both — the two maintain separate moment buffers (the
 // shared step counter would skew bias correction if they were mixed).
-func (a *Adam) StepFlat(params, grads []float64) {
+func (a *Adam[E]) StepFlat(params, grads []E) {
 	a.FusedStep(params, grads, 1, nil, 0)
 }
+
+// Fused-sweep target modes.
+const (
+	fusedNoTarget = iota // plain Adam step
+	fusedSoft            // + soft update: target = target(1−α) + p·α
+	fusedHard            // + hard update: target = p (double-buffer fill)
+)
+
+// fusedTask is the sharded form of the fused Adam/clip/update sweep: a
+// persistent descriptor handed to tensor.ParallelFor, so a multi-worker
+// sweep allocates nothing. Every element of the arena is touched by
+// exactly one shard and the update is element-independent, so results
+// are bit-identical at any worker count.
+type fusedTask[E tensor.Element] struct {
+	params, grads, fm, fv, target []E
+	lrT, b1, b2, eps, scale, al   E
+	mode                          int8
+}
+
+// RunRange implements tensor.Ranger over [lo, hi) of the flat arena.
+func (t *fusedTask[E]) RunRange(lo, hi int) {
+	params, grads, fm, fv := t.params, t.grads, t.fm, t.fv
+	lrT, b1, b2, eps, scale := t.lrT, t.b1, t.b2, t.eps, t.scale
+	switch t.mode {
+	case fusedSoft:
+		target, alpha := t.target, t.al
+		for j := lo; j < hi; j++ {
+			gj := grads[j] * scale
+			mj := b1*fm[j] + (1-b1)*gj
+			vj := b2*fv[j] + (1-b2)*gj*gj
+			fm[j], fv[j] = mj, vj
+			p := params[j] - lrT*mj/(tensor.Sqrt(vj)+eps)
+			params[j] = p
+			target[j] = target[j]*(1-alpha) + p*alpha
+		}
+	case fusedHard:
+		target := t.target
+		for j := lo; j < hi; j++ {
+			gj := grads[j] * scale
+			mj := b1*fm[j] + (1-b1)*gj
+			vj := b2*fv[j] + (1-b2)*gj*gj
+			fm[j], fv[j] = mj, vj
+			p := params[j] - lrT*mj/(tensor.Sqrt(vj)+eps)
+			params[j] = p
+			target[j] = p
+		}
+	default:
+		for j := lo; j < hi; j++ {
+			gj := grads[j] * scale
+			mj := b1*fm[j] + (1-b1)*gj
+			vj := b2*fv[j] + (1-b2)*gj*gj
+			fm[j], fv[j] = mj, vj
+			params[j] -= lrT * mj / (tensor.Sqrt(vj) + eps)
+		}
+	}
+}
+
+// fusedShardChunk is the smallest arena block worth shipping to a pool
+// worker: below it the sweep is cheaper than the synchronization. It is
+// a var so the sharded/serial equivalence test can force sharding on
+// small arenas.
+var fusedShardChunk = 1 << 14
 
 // FusedStep is StepFlat with the rest of the per-step parameter traffic
 // folded into the same sweep: each gradient is scaled by gradScale as it
 // is read (global-norm clipping without a separate scale pass over the
 // arena — the grads slice itself is left unscaled), and when target is
-// non-nil the target-network soft update θ⁻ = θ⁻(1−α) + θα is applied to
-// the freshly stepped parameter in place. One pass touches all five
-// streams (params, grads, both moments, target) instead of three
-// separate kernels re-reading them, which keeps the training step's
-// working set from thrashing the cache between matmuls.
-func (a *Adam) FusedStep(params, grads []float64, gradScale float64, target []float64, alpha float64) {
+// non-nil the target network is updated with the freshly stepped
+// parameter in place: the soft update θ⁻ = θ⁻(1−α) + θα for α < 1, or a
+// straight copy θ⁻ = θ for α == 1 (the double-buffered hard update — the
+// "copy" costs nothing extra because the sweep already holds θ in a
+// register). One pass touches all five streams (params, grads, both
+// moments, target) instead of three separate kernels re-reading them.
+//
+// Arenas at least two shard-chunks long are sharded across the tensor
+// worker pool (tensor.ParallelFor); the update is element-independent,
+// so sharding never changes results. The sweep allocates nothing in
+// steady state at any worker count.
+func (a *Adam[E]) FusedStep(params, grads []E, gradScale float64, target []E, alpha float64) {
 	if len(params) != len(grads) {
 		panic("nn: Adam params/grads length mismatch")
 	}
@@ -85,42 +159,36 @@ func (a *Adam) FusedStep(params, grads []float64, gradScale float64, target []fl
 		panic("nn: Adam target length mismatch")
 	}
 	if a.fm == nil {
-		a.fm = make([]float64, len(params))
-		a.fv = make([]float64, len(params))
+		a.fm = make([]E, len(params))
+		a.fv = make([]E, len(params))
 	} else if len(a.fm) != len(params) {
 		panic("nn: Adam flat moment size mismatch")
 	}
 	a.step++
 	t := float64(a.step)
 	lrT := a.LR * math.Sqrt(1-math.Pow(a.Beta2, t)) / (1 - math.Pow(a.Beta1, t))
-	b1, b2, eps := a.Beta1, a.Beta2, a.Epsilon
-	fm, fv := a.fm, a.fv
-	if target == nil {
-		for j, gj := range grads {
-			gj *= gradScale
-			mj := b1*fm[j] + (1-b1)*gj
-			vj := b2*fv[j] + (1-b2)*gj*gj
-			fm[j], fv[j] = mj, vj
-			params[j] -= lrT * mj / (math.Sqrt(vj) + eps)
-		}
-		return
+
+	task := &a.task
+	task.params, task.grads, task.fm, task.fv, task.target = params, grads, a.fm, a.fv, target
+	task.lrT, task.b1, task.b2, task.eps = E(lrT), E(a.Beta1), E(a.Beta2), E(a.Epsilon)
+	task.scale, task.al = E(gradScale), E(alpha)
+	switch {
+	case target == nil:
+		task.mode = fusedNoTarget
+	case alpha == 1:
+		task.mode = fusedHard
+	default:
+		task.mode = fusedSoft
 	}
-	for j, gj := range grads {
-		gj *= gradScale
-		mj := b1*fm[j] + (1-b1)*gj
-		vj := b2*fv[j] + (1-b2)*gj*gj
-		fm[j], fv[j] = mj, vj
-		p := params[j] - lrT*mj/(math.Sqrt(vj)+eps)
-		params[j] = p
-		target[j] = target[j]*(1-alpha) + p*alpha
-	}
+	tensor.ParallelFor(len(params), fusedShardChunk, task)
+	task.params, task.grads, task.fm, task.fv, task.target = nil, nil, nil, nil, nil
 }
 
 // StepCount returns the number of updates applied so far.
-func (a *Adam) StepCount() int { return a.step }
+func (a *Adam[E]) StepCount() int { return a.step }
 
 // Reset clears the moment estimates and step counter.
-func (a *Adam) Reset() {
+func (a *Adam[E]) Reset() {
 	a.step = 0
 	a.m, a.v = nil, nil
 	a.fm, a.fv = nil, nil
@@ -128,38 +196,38 @@ func (a *Adam) Reset() {
 
 // SGD is a plain stochastic-gradient-descent optimizer, kept as a baseline
 // for the optimizer ablation (the paper argues Adam converges faster).
-type SGD struct {
+type SGD[E tensor.Element] struct {
 	LR       float64
 	Momentum float64
-	vel      []*tensor.Matrix
+	vel      []*tensor.Matrix[E]
 }
 
 // NewSGD returns an SGD optimizer with optional momentum.
-func NewSGD(lr, momentum float64) *SGD {
-	return &SGD{LR: lr, Momentum: momentum}
+func NewSGD[E tensor.Element](lr, momentum float64) *SGD[E] {
+	return &SGD[E]{LR: lr, Momentum: momentum}
 }
 
 // Step applies params[i] -= lr·grads[i] (with momentum if configured).
-func (s *SGD) Step(params, grads []*tensor.Matrix) {
+func (s *SGD[E]) Step(params, grads []*tensor.Matrix[E]) {
 	if len(params) != len(grads) {
 		panic("nn: SGD params/grads length mismatch")
 	}
 	if s.Momentum == 0 {
 		for i, p := range params {
-			p.AddScaled(grads[i], -s.LR)
+			p.AddScaled(grads[i], E(-s.LR))
 		}
 		return
 	}
 	if s.vel == nil {
-		s.vel = make([]*tensor.Matrix, len(params))
+		s.vel = make([]*tensor.Matrix[E], len(params))
 		for i, p := range params {
-			s.vel[i] = tensor.New(p.Rows, p.Cols)
+			s.vel[i] = tensor.New[E](p.Rows, p.Cols)
 		}
 	}
 	for i, p := range params {
 		v := s.vel[i]
-		v.Scale(s.Momentum)
-		v.AddScaled(grads[i], -s.LR)
+		v.Scale(E(s.Momentum))
+		v.AddScaled(grads[i], E(-s.LR))
 		for j := range p.Data {
 			p.Data[j] += v.Data[j]
 		}
@@ -167,11 +235,12 @@ func (s *SGD) Step(params, grads []*tensor.Matrix) {
 }
 
 // Optimizer is satisfied by Adam and SGD.
-type Optimizer interface {
-	Step(params, grads []*tensor.Matrix)
+type Optimizer[E tensor.Element] interface {
+	Step(params, grads []*tensor.Matrix[E])
 }
 
 var (
-	_ Optimizer = (*Adam)(nil)
-	_ Optimizer = (*SGD)(nil)
+	_ Optimizer[float64] = (*Adam[float64])(nil)
+	_ Optimizer[float32] = (*Adam[float32])(nil)
+	_ Optimizer[float64] = (*SGD[float64])(nil)
 )

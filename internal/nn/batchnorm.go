@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"math"
-
 	"capes/internal/tensor"
 )
 
@@ -12,43 +10,43 @@ import (
 // the minibatch and learns a scale γ and shift β; in inference mode it
 // uses running estimates of the population statistics, so single-
 // observation action-path forwards behave deterministically.
-type BatchNorm struct {
+type BatchNorm[E tensor.Element] struct {
 	Features int
 	Momentum float64 // running-stat update rate (default 0.1)
 	Epsilon  float64
 
-	Gamma, Beta         []float64
-	GradGamma, GradBeta []float64
-	RunningMean         []float64
-	RunningVar          []float64
+	Gamma, Beta         []E
+	GradGamma, GradBeta []E
+	RunningMean         []E
+	RunningVar          []E
 
 	training bool
 
 	// forward caches
-	input  *tensor.Matrix
-	xhat   *tensor.Matrix
-	output *tensor.Matrix
-	gradIn *tensor.Matrix
-	mean   []float64
-	varr   []float64
+	input  *tensor.Matrix[E]
+	xhat   *tensor.Matrix[E]
+	output *tensor.Matrix[E]
+	gradIn *tensor.Matrix[E]
+	mean   []E
+	varr   []E
 }
 
 // NewBatchNorm creates a batch-normalization layer over `features`
 // columns, starting in training mode.
-func NewBatchNorm(features int) *BatchNorm {
-	bn := &BatchNorm{
+func NewBatchNorm[E tensor.Element](features int) *BatchNorm[E] {
+	bn := &BatchNorm[E]{
 		Features:    features,
 		Momentum:    0.1,
 		Epsilon:     1e-5,
-		Gamma:       make([]float64, features),
-		Beta:        make([]float64, features),
-		GradGamma:   make([]float64, features),
-		GradBeta:    make([]float64, features),
-		RunningMean: make([]float64, features),
-		RunningVar:  make([]float64, features),
+		Gamma:       make([]E, features),
+		Beta:        make([]E, features),
+		GradGamma:   make([]E, features),
+		GradBeta:    make([]E, features),
+		RunningMean: make([]E, features),
+		RunningVar:  make([]E, features),
 		training:    true,
-		mean:        make([]float64, features),
-		varr:        make([]float64, features),
+		mean:        make([]E, features),
+		varr:        make([]E, features),
 	}
 	for i := range bn.Gamma {
 		bn.Gamma[i] = 1
@@ -59,28 +57,28 @@ func NewBatchNorm(features int) *BatchNorm {
 
 // SetTraining switches between minibatch statistics (true) and running
 // population statistics (false).
-func (bn *BatchNorm) SetTraining(on bool) { bn.training = on }
+func (bn *BatchNorm[E]) SetTraining(on bool) { bn.training = on }
 
 // Training reports the current mode.
-func (bn *BatchNorm) Training() bool { return bn.training }
+func (bn *BatchNorm[E]) Training() bool { return bn.training }
 
-func (bn *BatchNorm) ensure(batch int) {
+func (bn *BatchNorm[E]) ensure(batch int) {
 	if bn.output == nil || bn.output.Rows != batch {
-		bn.output = tensor.New(batch, bn.Features)
-		bn.xhat = tensor.New(batch, bn.Features)
-		bn.gradIn = tensor.New(batch, bn.Features)
+		bn.output = tensor.New[E](batch, bn.Features)
+		bn.xhat = tensor.New[E](batch, bn.Features)
+		bn.gradIn = tensor.New[E](batch, bn.Features)
 	}
 }
 
 // Forward normalizes the minibatch.
-func (bn *BatchNorm) Forward(in *tensor.Matrix) *tensor.Matrix {
+func (bn *BatchNorm[E]) Forward(in *tensor.Matrix[E]) *tensor.Matrix[E] {
 	if in.Cols != bn.Features {
 		panic("nn: BatchNorm feature mismatch")
 	}
 	bn.ensure(in.Rows)
 	bn.input = in
-	n := float64(in.Rows)
-	var mean, varr []float64
+	n := E(in.Rows)
+	var mean, varr []E
 	if bn.training && in.Rows > 1 {
 		for j := 0; j < bn.Features; j++ {
 			bn.mean[j], bn.varr[j] = 0, 0
@@ -104,8 +102,8 @@ func (bn *BatchNorm) Forward(in *tensor.Matrix) *tensor.Matrix {
 		for j := range bn.varr {
 			bn.varr[j] /= n
 			// Update running statistics.
-			bn.RunningMean[j] = (1-bn.Momentum)*bn.RunningMean[j] + bn.Momentum*bn.mean[j]
-			bn.RunningVar[j] = (1-bn.Momentum)*bn.RunningVar[j] + bn.Momentum*bn.varr[j]
+			bn.RunningMean[j] = E(1-bn.Momentum)*bn.RunningMean[j] + E(bn.Momentum)*bn.mean[j]
+			bn.RunningVar[j] = E(1-bn.Momentum)*bn.RunningVar[j] + E(bn.Momentum)*bn.varr[j]
 		}
 		mean, varr = bn.mean, bn.varr
 	} else {
@@ -116,7 +114,7 @@ func (bn *BatchNorm) Forward(in *tensor.Matrix) *tensor.Matrix {
 		xh := bn.xhat.Row(i)
 		out := bn.output.Row(i)
 		for j, v := range row {
-			xh[j] = (v - mean[j]) / math.Sqrt(varr[j]+bn.Epsilon)
+			xh[j] = (v - mean[j]) / tensor.Sqrt(varr[j]+E(bn.Epsilon))
 			out[j] = bn.Gamma[j]*xh[j] + bn.Beta[j]
 		}
 	}
@@ -125,9 +123,9 @@ func (bn *BatchNorm) Forward(in *tensor.Matrix) *tensor.Matrix {
 
 // Backward propagates gradients through the normalization (training-mode
 // statistics) and accumulates ∂L/∂γ and ∂L/∂β.
-func (bn *BatchNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (bn *BatchNorm[E]) Backward(gradOut *tensor.Matrix[E]) *tensor.Matrix[E] {
 	nRows := gradOut.Rows
-	n := float64(nRows)
+	n := E(nRows)
 	for j := 0; j < bn.Features; j++ {
 		bn.GradGamma[j], bn.GradBeta[j] = 0, 0
 	}
@@ -146,7 +144,7 @@ func (bn *BatchNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 			g := gradOut.Row(i)
 			dx := bn.gradIn.Row(i)
 			for j := range g {
-				dx[j] = bn.Gamma[j] * g[j] / math.Sqrt(varr[j]+bn.Epsilon)
+				dx[j] = bn.Gamma[j] * g[j] / tensor.Sqrt(varr[j]+E(bn.Epsilon))
 			}
 		}
 		return bn.gradIn
@@ -154,7 +152,7 @@ func (bn *BatchNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	// Training-mode backward:
 	// dx = (γ/√(σ²+ε)) · (g − mean(g) − x̂·mean(g·x̂)) per feature.
 	for j := 0; j < bn.Features; j++ {
-		invStd := 1 / math.Sqrt(bn.varr[j]+bn.Epsilon)
+		invStd := 1 / tensor.Sqrt(bn.varr[j]+E(bn.Epsilon))
 		sumG := bn.GradBeta[j] / n
 		sumGX := bn.GradGamma[j] / n
 		for i := 0; i < nRows; i++ {
@@ -167,19 +165,19 @@ func (bn *BatchNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 }
 
 // Params exposes γ and β to the optimizer.
-func (bn *BatchNorm) Params() []*tensor.Matrix {
-	return []*tensor.Matrix{
+func (bn *BatchNorm[E]) Params() []*tensor.Matrix[E] {
+	return []*tensor.Matrix[E]{
 		tensor.FromSlice(1, bn.Features, bn.Gamma),
 		tensor.FromSlice(1, bn.Features, bn.Beta),
 	}
 }
 
 // Grads exposes the γ/β gradients, aligned with Params.
-func (bn *BatchNorm) Grads() []*tensor.Matrix {
-	return []*tensor.Matrix{
+func (bn *BatchNorm[E]) Grads() []*tensor.Matrix[E] {
+	return []*tensor.Matrix[E]{
 		tensor.FromSlice(1, bn.Features, bn.GradGamma),
 		tensor.FromSlice(1, bn.Features, bn.GradBeta),
 	}
 }
 
-var _ ParamLayer = (*BatchNorm)(nil)
+var _ ParamLayer[float64] = (*BatchNorm[float64])(nil)

@@ -10,8 +10,8 @@ import (
 
 func TestBatchNormNormalizesTrainingBatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	bn := NewBatchNorm(4)
-	in := tensor.New(64, 4)
+	bn := NewBatchNorm[float64](4)
+	in := tensor.New[float64](64, 4)
 	for i := range in.Data {
 		in.Data[i] = 5 + 3*rng.NormFloat64() // mean 5, sd 3
 	}
@@ -38,7 +38,7 @@ func TestBatchNormNormalizesTrainingBatch(t *testing.T) {
 }
 
 func TestBatchNormGammaBetaApplied(t *testing.T) {
-	bn := NewBatchNorm(2)
+	bn := NewBatchNorm[float64](2)
 	bn.Gamma[0], bn.Beta[0] = 2, 10
 	in := tensor.FromSlice(4, 2, []float64{1, 0, 2, 0, 3, 0, 4, 0})
 	out := bn.Forward(in)
@@ -54,9 +54,9 @@ func TestBatchNormGammaBetaApplied(t *testing.T) {
 
 func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	bn := NewBatchNorm(3)
+	bn := NewBatchNorm[float64](3)
 	// Train on many batches with mean 5, sd 2.
-	in := tensor.New(32, 3)
+	in := tensor.New[float64](32, 3)
 	for step := 0; step < 400; step++ {
 		for i := range in.Data {
 			in.Data[i] = 5 + 2*rng.NormFloat64()
@@ -87,14 +87,14 @@ func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
 func TestBatchNormBackwardNumerical(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	const batch, feat = 6, 3
-	bn := NewBatchNorm(feat)
+	bn := NewBatchNorm[float64](feat)
 	bn.Momentum = 0 // freeze running stats so the loss is reproducible
 	for j := 0; j < feat; j++ {
 		bn.Gamma[j] = 0.5 + rng.Float64()
 		bn.Beta[j] = rng.NormFloat64() * 0.3
 	}
-	in := tensor.New(batch, feat)
-	target := tensor.New(batch, feat)
+	in := tensor.New[float64](batch, feat)
+	target := tensor.New[float64](batch, feat)
 	for i := range in.Data {
 		in.Data[i] = rng.NormFloat64()
 		target.Data[i] = rng.NormFloat64()
@@ -110,7 +110,7 @@ func TestBatchNormBackwardNumerical(t *testing.T) {
 		return s
 	}
 	out := bn.Forward(in)
-	grad := tensor.New(batch, feat)
+	grad := tensor.New[float64](batch, feat)
 	MSE(out, target, grad)
 	gin := bn.Backward(grad)
 
@@ -156,24 +156,24 @@ func TestBatchNormInMLPStack(t *testing.T) {
 	// Hand-assemble Dense→BN→Tanh→Dense and train on a shifted-input
 	// regression; BN should handle the covariate shift.
 	rng := rand.New(rand.NewSource(4))
-	d1 := NewDense(1, 16, rng)
-	bn := NewBatchNorm(16)
-	act := &Tanh{}
-	d2 := NewDense(16, 1, rng)
-	layers := []Layer{d1, bn, act, d2}
+	d1 := NewDense[float64](1, 16, rng)
+	bn := NewBatchNorm[float64](16)
+	act := &Tanh[float64]{}
+	d2 := NewDense[float64](16, 1, rng)
+	layers := []Layer[float64]{d1, bn, act, d2}
 	params := append(append(d1.Params(), bn.Params()...), d2.Params()...)
 	grads := append(append(d1.Grads(), bn.Grads()...), d2.Grads()...)
-	opt := NewAdam(0.01)
+	opt := NewAdam[float64](0.01)
 
 	const n = 32
-	in := tensor.New(n, 1)
-	tgt := tensor.New(n, 1)
+	in := tensor.New[float64](n, 1)
+	tgt := tensor.New[float64](n, 1)
 	for i := 0; i < n; i++ {
 		x := 100 + float64(i) // large offset: raw tanh nets struggle
 		in.Set(i, 0, x)
 		tgt.Set(i, 0, math.Sin((x-100)/5))
 	}
-	grad := tensor.New(n, 1)
+	grad := tensor.New[float64](n, 1)
 	var loss float64
 	for step := 0; step < 2500; step++ {
 		out := in
@@ -198,5 +198,5 @@ func TestBatchNormFeatureMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewBatchNorm(3).Forward(tensor.New(2, 4))
+	NewBatchNorm[float64](3).Forward(tensor.New[float64](2, 4))
 }

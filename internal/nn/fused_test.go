@@ -11,11 +11,11 @@ import (
 // layer — the package's original un-fused structure — as the golden
 // reference for the fused Dense forward/backward kernels.
 type refStack struct {
-	d   *Dense
-	act Layer
+	d   *Dense[float64]
+	act Layer[float64]
 }
 
-func (r *refStack) forward(in *tensor.Matrix) *tensor.Matrix {
+func (r *refStack) forward(in *tensor.Matrix[float64]) *tensor.Matrix[float64] {
 	out := r.d.Forward(in)
 	if r.act != nil {
 		out = r.act.Forward(out)
@@ -23,7 +23,7 @@ func (r *refStack) forward(in *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
-func (r *refStack) backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (r *refStack) backward(gradOut *tensor.Matrix[float64]) *tensor.Matrix[float64] {
 	g := gradOut
 	if r.act != nil {
 		g = r.act.Backward(g)
@@ -50,17 +50,17 @@ func TestFusedDenseMatchesReference(t *testing.T) {
 	for _, act := range []Activation{ActTanh, ActReLU, ActNone} {
 		for _, sh := range fusedShapes {
 			rng := rand.New(rand.NewSource(17))
-			fused := NewDense(sh.in, sh.out, rng)
+			fused := NewDense[float64](sh.in, sh.out, rng)
 			fused.Act = act
 
-			ref := &refStack{d: NewDense(sh.in, sh.out, rand.New(rand.NewSource(99)))}
+			ref := &refStack{d: NewDense[float64](sh.in, sh.out, rand.New(rand.NewSource(99)))}
 			ref.d.W.CopyFrom(fused.W)
 			copy(ref.d.B, fused.B)
 			switch act {
 			case ActTanh:
-				ref.act = &Tanh{}
+				ref.act = &Tanh[float64]{}
 			case ActReLU:
-				ref.act = &ReLU{}
+				ref.act = &ReLU[float64]{}
 			}
 			// Nonzero biases so the fused bias-add is actually exercised.
 			for i := range fused.B {
@@ -68,7 +68,7 @@ func TestFusedDenseMatchesReference(t *testing.T) {
 				ref.d.B[i] = fused.B[i]
 			}
 
-			in := tensor.New(sh.batch, sh.in)
+			in := tensor.New[float64](sh.batch, sh.in)
 			for i := range in.Data {
 				in.Data[i] = rng.Float64()*2 - 1
 			}
@@ -78,7 +78,7 @@ func TestFusedDenseMatchesReference(t *testing.T) {
 				t.Fatalf("%v %dx%d->%d: fused forward deviates from reference", act, sh.batch, sh.in, sh.out)
 			}
 
-			gradOut := tensor.New(sh.batch, sh.out)
+			gradOut := tensor.New[float64](sh.batch, sh.out)
 			for i := range gradOut.Data {
 				gradOut.Data[i] = rng.Float64()*2 - 1
 			}
@@ -105,7 +105,7 @@ func TestFusedDenseMatchesReference(t *testing.T) {
 // FlatGrads(), so flat passes and per-matrix code see the same memory.
 func TestFlatParamsAliasViews(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	m := NewMLP(rng, ActTanh, 4, 6, 3)
+	m := NewMLP[float64](rng, ActTanh, 4, 6, 3)
 	if got, want := len(m.FlatParams()), 4*6+6+6*3+3; got != want {
 		t.Fatalf("FlatParams len = %d, want %d", got, want)
 	}
@@ -129,9 +129,9 @@ func TestFlatParamsAliasViews(t *testing.T) {
 // same trajectory as the per-matrix Step on identical inputs.
 func TestStepFlatMatchesStep(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	a := NewMLP(rng, ActTanh, 3, 5, 2)
+	a := NewMLP[float64](rng, ActTanh, 3, 5, 2)
 	b := a.Clone()
-	optA, optB := NewAdam(0.01), NewAdam(0.01)
+	optA, optB := NewAdam[float64](0.01), NewAdam[float64](0.01)
 	for step := 0; step < 25; step++ {
 		for i := range a.FlatGrads() {
 			g := rng.Float64()*2 - 1
@@ -153,7 +153,7 @@ func TestStepFlatMatchesStep(t *testing.T) {
 // per-matrix one on the same values.
 func TestClipGradientsFlatMatchesMatrixClip(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
-	m := NewMLP(rng, ActTanh, 4, 4, 2)
+	m := NewMLP[float64](rng, ActTanh, 4, 4, 2)
 	ref := m.Clone()
 	for i := range m.FlatGrads() {
 		g := rng.Float64()*4 - 2
@@ -177,13 +177,13 @@ func TestClipGradientsFlatMatchesMatrixClip(t *testing.T) {
 // loop alternates SelectAction with TrainStep).
 func TestForwardVecIntoAllocFree(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	m := NewCAPESNetwork(rng, 64, 5)
+	m := NewCAPESNetwork[float64](rng, 64, 5)
 	obs := make([]float64, 64)
 	for i := range obs {
 		obs[i] = rng.Float64()
 	}
 	dst := make([]float64, 5)
-	batch := tensor.New(32, 64)
+	batch := tensor.New[float64](32, 64)
 	batch.XavierFill(rng, 64, 64)
 
 	m.ForwardVecInto(dst, obs) // warm the batch-1 buffers

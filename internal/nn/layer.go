@@ -3,6 +3,15 @@
 // output head (one Q-value per action, §3.4 of the paper), trained with
 // mean-squared error and the Adam optimizer.
 //
+// Every layer, the MLP and the optimizers are generic over the element
+// type E ~float32|~float64 (tensor.Element). The deployed DQN path
+// instantiates at float32 — the train step is memory-bandwidth-bound, so
+// halving the element size is the dominant remaining lever — while
+// float64 remains the golden reference the equivalence tests compare
+// against. Loss sums, gradient norms and finiteness checks always
+// accumulate in float64, so the float32 instantiation keeps full-fidelity
+// divergence guards.
+//
 // The implementation is minibatch-oriented: a forward pass maps a
 // batch×in matrix to a batch×out matrix, and Backward propagates the
 // output-side gradient back while accumulating parameter gradients, the
@@ -16,12 +25,11 @@
 // MLP's parameters, gradients, and the optimizer's moments each live in
 // one contiguous backing slice (see mlp.go), so whole-model passes such
 // as Adam, gradient clipping, and target-network updates are single
-// loops over flat memory.
+// (optionally pool-sharded) sweeps over flat memory.
 package nn
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"capes/internal/tensor"
@@ -31,52 +39,52 @@ import (
 // size. A Dense keeps two: one pinned to batch 1 so the action path
 // (SelectAction's 1×N forward every tick) never evicts — or reallocates —
 // the training-batch buffers it interleaves with.
-type denseScratch struct {
-	out     *tensor.Matrix // activated forward output
-	gradIn  *tensor.Matrix // ∂L/∂input
-	gradPre *tensor.Matrix // ∂L/∂(pre-activation); nil when Act == ActNone
+type denseScratch[E tensor.Element] struct {
+	out     *tensor.Matrix[E] // activated forward output
+	gradIn  *tensor.Matrix[E] // ∂L/∂input
+	gradPre *tensor.Matrix[E] // ∂L/∂(pre-activation); nil when Act == ActNone
 }
 
 // Dense is a fully connected layer with a fused activation:
 // out = act(in·W + b), with W of shape in×out and bias b of length out.
 // Act == ActNone gives the plain affine layer (the Q-value head).
-type Dense struct {
+type Dense[E tensor.Element] struct {
 	In, Out int
-	W       *tensor.Matrix
-	B       []float64
+	W       *tensor.Matrix[E]
+	B       []E
 	Act     Activation
 
 	// Gradients accumulated by Backward.
-	GradW *tensor.Matrix
-	GradB []float64
+	GradW *tensor.Matrix[E]
+	GradB []E
 
 	// Parameter/gradient views handed out by Params/Grads, built once.
-	pviews [2]*tensor.Matrix
-	gviews [2]*tensor.Matrix
+	pviews [2]*tensor.Matrix[E]
+	gviews [2]*tensor.Matrix[E]
 
-	input    *tensor.Matrix // saved forward input (not owned)
-	scratch1 denseScratch   // batch == 1 (action path)
-	scratchN denseScratch   // training batches
-	cur      *denseScratch  // scratch used by the last Forward
+	input    *tensor.Matrix[E] // saved forward input (not owned)
+	scratch1 denseScratch[E]   // batch == 1 (action path)
+	scratchN denseScratch[E]   // training batches
+	cur      *denseScratch[E]  // scratch used by the last Forward
 }
 
 // NewDense creates an in×out dense layer with Xavier-initialized weights
 // and no activation (set Act, or use NewMLP, for fused nonlinearities).
-func NewDense(in, out int, rng *rand.Rand) *Dense {
+func NewDense[E tensor.Element](in, out int, rng *rand.Rand) *Dense[E] {
 	n := in*out + out
-	return newDenseArena(in, out, ActNone, make([]float64, n), make([]float64, n), rng)
+	return newDenseArena(in, out, ActNone, make([]E, n), make([]E, n), rng)
 }
 
 // newDenseArena builds a Dense whose parameters and gradients are views
 // into caller-provided backing slices of length in*out+out (weights
 // first, then bias). NewMLP passes segments of its contiguous arenas so
 // a whole network's parameters are one allocation.
-func newDenseArena(in, out int, act Activation, params, grads []float64, rng *rand.Rand) *Dense {
+func newDenseArena[E tensor.Element](in, out int, act Activation, params, grads []E, rng *rand.Rand) *Dense[E] {
 	if len(params) != in*out+out || len(grads) != in*out+out {
 		panic(fmt.Sprintf("nn: dense arena got %d/%d values for %d×%d+%d", len(params), len(grads), in, out, out))
 	}
 	wN := in * out
-	d := &Dense{
+	d := &Dense[E]{
 		In:    in,
 		Out:   out,
 		Act:   act,
@@ -86,23 +94,23 @@ func newDenseArena(in, out int, act Activation, params, grads []float64, rng *ra
 		GradB: grads[wN : wN+out : wN+out],
 	}
 	d.W.XavierFill(rng, in, out)
-	d.pviews = [2]*tensor.Matrix{d.W, tensor.FromSlice(1, out, d.B)}
-	d.gviews = [2]*tensor.Matrix{d.GradW, tensor.FromSlice(1, out, d.GradB)}
+	d.pviews = [2]*tensor.Matrix[E]{d.W, tensor.FromSlice(1, out, d.B)}
+	d.gviews = [2]*tensor.Matrix[E]{d.GradW, tensor.FromSlice(1, out, d.GradB)}
 	return d
 }
 
 // ensure returns scratch buffers for the batch size, reallocating only
 // when a non-unit batch size changes.
-func (d *Dense) ensure(batch int) *denseScratch {
+func (d *Dense[E]) ensure(batch int) *denseScratch[E] {
 	s := &d.scratchN
 	if batch == 1 {
 		s = &d.scratch1
 	}
 	if s.out == nil || s.out.Rows != batch {
-		s.out = tensor.New(batch, d.Out)
-		s.gradIn = tensor.New(batch, d.In)
+		s.out = tensor.New[E](batch, d.Out)
+		s.gradIn = tensor.New[E](batch, d.In)
 		if d.Act != ActNone {
-			s.gradPre = tensor.New(batch, d.Out)
+			s.gradPre = tensor.New[E](batch, d.Out)
 		}
 	}
 	d.cur = s
@@ -113,7 +121,7 @@ func (d *Dense) ensure(batch int) *denseScratch {
 // single fused bias-add+activation sweep. The returned matrix is owned
 // by the layer and valid until the next Forward call at the same batch
 // size (batch-1 and batch-N buffers are independent).
-func (d *Dense) Forward(in *tensor.Matrix) *tensor.Matrix {
+func (d *Dense[E]) Forward(in *tensor.Matrix[E]) *tensor.Matrix[E] {
 	if in.Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense forward got %d features, want %d", in.Cols, d.In))
 	}
@@ -123,10 +131,23 @@ func (d *Dense) Forward(in *tensor.Matrix) *tensor.Matrix {
 	cols := d.Out
 	switch d.Act {
 	case ActTanh:
+		// The concrete float32 instantiation takes the FastTanh32 sweep
+		// (a few-ulp rational approximation, pure float32 pipeline);
+		// float64 stays on math.Tanh as the reference.
+		if data, ok := any(s.out.Data).([]float32); ok {
+			bias := any(d.B).([]float32)
+			for r := 0; r < s.out.Rows; r++ {
+				row := data[r*cols : (r+1)*cols]
+				for j, b := range bias {
+					row[j] = tensor.FastTanh32(row[j] + b)
+				}
+			}
+			break
+		}
 		for r := 0; r < s.out.Rows; r++ {
 			row := s.out.Data[r*cols : (r+1)*cols]
 			for j, bias := range d.B {
-				row[j] = math.Tanh(row[j] + bias)
+				row[j] = tensor.Tanh(row[j] + bias)
 			}
 		}
 	case ActReLU:
@@ -151,7 +172,7 @@ func (d *Dense) Forward(in *tensor.Matrix) *tensor.Matrix {
 // The activation derivative is folded in with one fused sweep: tanh'
 // is recovered from the cached activated output as 1−y², ReLU' as the
 // sign of the output.
-func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (d *Dense[E]) Backward(gradOut *tensor.Matrix[E]) *tensor.Matrix[E] {
 	s := d.cur
 	g := gradOut
 	switch d.Act {
@@ -185,12 +206,12 @@ func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 // a 1×Out matrix view for uniform optimizer handling. The views share
 // storage with the layer (and its arena), so mutations through them are
 // seen by the flat-parameter fast paths too.
-func (d *Dense) Params() []*tensor.Matrix {
+func (d *Dense[E]) Params() []*tensor.Matrix[E] {
 	return d.pviews[:]
 }
 
 // Grads returns the gradient matrices aligned with Params.
-func (d *Dense) Grads() []*tensor.Matrix {
+func (d *Dense[E]) Grads() []*tensor.Matrix[E] {
 	return d.gviews[:]
 }
 
@@ -198,26 +219,26 @@ func (d *Dense) Grads() []*tensor.Matrix {
 // fuses tanh into its Dense layers; this layer type remains for
 // composing custom stacks (and as the reference implementation the
 // fused-kernel equivalence tests compare against).
-type Tanh struct {
-	output *tensor.Matrix
-	gradIn *tensor.Matrix
+type Tanh[E tensor.Element] struct {
+	output *tensor.Matrix[E]
+	gradIn *tensor.Matrix[E]
 }
 
 // Forward applies tanh elementwise.
-func (t *Tanh) Forward(in *tensor.Matrix) *tensor.Matrix {
+func (t *Tanh[E]) Forward(in *tensor.Matrix[E]) *tensor.Matrix[E] {
 	if t.output == nil || t.output.Rows != in.Rows || t.output.Cols != in.Cols {
-		t.output = tensor.New(in.Rows, in.Cols)
-		t.gradIn = tensor.New(in.Rows, in.Cols)
+		t.output = tensor.New[E](in.Rows, in.Cols)
+		t.gradIn = tensor.New[E](in.Rows, in.Cols)
 	}
 	for i, v := range in.Data {
-		t.output.Data[i] = math.Tanh(v)
+		t.output.Data[i] = tensor.Tanh(v)
 	}
 	return t.output
 }
 
 // Backward uses d tanh(x)/dx = 1 − tanh²(x), computed from the cached
 // forward output.
-func (t *Tanh) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (t *Tanh[E]) Backward(gradOut *tensor.Matrix[E]) *tensor.Matrix[E] {
 	for i, y := range t.output.Data {
 		t.gradIn.Data[i] = gradOut.Data[i] * (1 - y*y)
 	}
@@ -226,16 +247,16 @@ func (t *Tanh) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 
 // ReLU is the standalone rectifier layer, kept for the ablation benches
 // comparing activation choices; the paper's network uses tanh.
-type ReLU struct {
-	output *tensor.Matrix
-	gradIn *tensor.Matrix
+type ReLU[E tensor.Element] struct {
+	output *tensor.Matrix[E]
+	gradIn *tensor.Matrix[E]
 }
 
 // Forward applies max(0,x) elementwise.
-func (r *ReLU) Forward(in *tensor.Matrix) *tensor.Matrix {
+func (r *ReLU[E]) Forward(in *tensor.Matrix[E]) *tensor.Matrix[E] {
 	if r.output == nil || r.output.Rows != in.Rows || r.output.Cols != in.Cols {
-		r.output = tensor.New(in.Rows, in.Cols)
-		r.gradIn = tensor.New(in.Rows, in.Cols)
+		r.output = tensor.New[E](in.Rows, in.Cols)
+		r.gradIn = tensor.New[E](in.Rows, in.Cols)
 	}
 	for i, v := range in.Data {
 		if v > 0 {
@@ -248,7 +269,7 @@ func (r *ReLU) Forward(in *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward passes gradient where the forward input was positive.
-func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (r *ReLU[E]) Backward(gradOut *tensor.Matrix[E]) *tensor.Matrix[E] {
 	for i, y := range r.output.Data {
 		if y > 0 {
 			r.gradIn.Data[i] = gradOut.Data[i]
@@ -260,20 +281,21 @@ func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 }
 
 // Layer is the interface satisfied by Dense, Tanh and ReLU.
-type Layer interface {
-	Forward(in *tensor.Matrix) *tensor.Matrix
-	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+type Layer[E tensor.Element] interface {
+	Forward(in *tensor.Matrix[E]) *tensor.Matrix[E]
+	Backward(gradOut *tensor.Matrix[E]) *tensor.Matrix[E]
 }
 
 // ParamLayer is a Layer with trainable parameters.
-type ParamLayer interface {
-	Layer
-	Params() []*tensor.Matrix
-	Grads() []*tensor.Matrix
+type ParamLayer[E tensor.Element] interface {
+	Layer[E]
+	Params() []*tensor.Matrix[E]
+	Grads() []*tensor.Matrix[E]
 }
 
 var (
-	_ ParamLayer = (*Dense)(nil)
-	_ Layer      = (*Tanh)(nil)
-	_ Layer      = (*ReLU)(nil)
+	_ ParamLayer[float64] = (*Dense[float64])(nil)
+	_ ParamLayer[float32] = (*Dense[float32])(nil)
+	_ Layer[float64]      = (*Tanh[float64])(nil)
+	_ Layer[float32]      = (*ReLU[float32])(nil)
 )

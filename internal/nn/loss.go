@@ -6,6 +6,12 @@ import (
 	"capes/internal/tensor"
 )
 
+// Loss functions. Scalar losses and norms are always accumulated and
+// returned in float64 — even for float32 networks — so the training
+// loop's divergence guards and Figure-5 loss traces keep full fidelity
+// at either precision (part of the float32 tolerance audit: a reduction
+// over ~10⁵ float32 squares must not lose the blowup it is watching for).
+
 // MaskedMSE computes the Q-learning loss of Equation 1: for each row i of
 // the minibatch, only the output unit for the action actually taken,
 // actions[i], contributes to the loss:
@@ -16,7 +22,7 @@ import (
 // zero) and returns the scalar loss. This matches the paper's choice of a
 // network that emits Q-values for every action in one forward pass while
 // training only the taken action's head.
-func MaskedMSE(pred *tensor.Matrix, actions []int, targets []float64, gradOut *tensor.Matrix) float64 {
+func MaskedMSE[E tensor.Element](pred *tensor.Matrix[E], actions []int, targets []E, gradOut *tensor.Matrix[E]) float64 {
 	if len(actions) != pred.Rows || len(targets) != pred.Rows {
 		panic("nn: MaskedMSE batch size mismatch")
 	}
@@ -31,10 +37,10 @@ func MaskedMSE(pred *tensor.Matrix, actions []int, targets []float64, gradOut *t
 		if a < 0 || a >= pred.Cols {
 			panic("nn: MaskedMSE action index out of range")
 		}
-		diff := pred.At(i, a) - targets[i]
+		diff := float64(pred.At(i, a) - targets[i])
 		loss += diff * diff
 		// d/dq of (q−t)²/n = 2(q−t)/n
-		gradOut.Set(i, a, 2*diff/n)
+		gradOut.Set(i, a, E(2*diff/n))
 	}
 	return loss / n
 }
@@ -42,16 +48,16 @@ func MaskedMSE(pred *tensor.Matrix, actions []int, targets []float64, gradOut *t
 // MSE computes the plain mean-squared error between pred and target over
 // all outputs, writing the gradient into gradOut. Used by the supervised
 // sanity tests and the prediction-error metric of Figure 5.
-func MSE(pred, target, gradOut *tensor.Matrix) float64 {
+func MSE[E tensor.Element](pred, target, gradOut *tensor.Matrix[E]) float64 {
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic("nn: MSE shape mismatch")
 	}
 	n := float64(len(pred.Data))
 	var loss float64
 	for i, p := range pred.Data {
-		diff := p - target.Data[i]
+		diff := float64(p - target.Data[i])
 		loss += diff * diff
-		gradOut.Data[i] = 2 * diff / n
+		gradOut.Data[i] = E(2 * diff / n)
 	}
 	return loss / n
 }
@@ -59,14 +65,14 @@ func MSE(pred, target, gradOut *tensor.Matrix) float64 {
 // ClipGradients scales the gradient set so its global L2 norm does not
 // exceed maxNorm. DQN training can spike when the reward distribution
 // shifts; clipping keeps Adam steps bounded. Returns the pre-clip norm.
-func ClipGradients(grads []*tensor.Matrix, maxNorm float64) float64 {
+func ClipGradients[E tensor.Element](grads []*tensor.Matrix[E], maxNorm float64) float64 {
 	var ss float64
 	for _, g := range grads {
 		ss += g.SumSquares()
 	}
 	norm := math.Sqrt(ss)
 	if maxNorm > 0 && norm > maxNorm {
-		scale := maxNorm / norm
+		scale := E(maxNorm / norm)
 		for _, g := range grads {
 			g.Scale(scale)
 		}
@@ -74,14 +80,16 @@ func ClipGradients(grads []*tensor.Matrix, maxNorm float64) float64 {
 	return norm
 }
 
-// FlatNorm returns the L2 norm of a flat gradient arena in one pass.
-// The training step uses it to derive the global-norm clip scale that
-// Adam.FusedStep applies while reading gradients, so the arena itself
-// is never rescaled.
-func FlatNorm(grads []float64) float64 {
+// FlatNorm returns the L2 norm of a flat gradient arena in one pass,
+// accumulated in float64 (a float32 accumulator could overflow exactly
+// when the norm matters most — mid-divergence). The training step uses
+// it to derive the global-norm clip scale that Adam.FusedStep applies
+// while reading gradients, so the arena itself is never rescaled.
+func FlatNorm[E tensor.Element](grads []E) float64 {
 	var ss float64
 	for _, g := range grads {
-		ss += g * g
+		f := float64(g)
+		ss += f * f
 	}
 	return math.Sqrt(ss)
 }
@@ -89,10 +97,10 @@ func FlatNorm(grads []float64) float64 {
 // ClipGradientsFlat is ClipGradients over a flat gradient arena (see
 // MLP.FlatGrads): one pass for the norm, one conditional pass to scale.
 // Returns the pre-clip norm.
-func ClipGradientsFlat(grads []float64, maxNorm float64) float64 {
+func ClipGradientsFlat[E tensor.Element](grads []E, maxNorm float64) float64 {
 	norm := FlatNorm(grads)
 	if maxNorm > 0 && norm > maxNorm {
-		scale := maxNorm / norm
+		scale := E(maxNorm / norm)
 		for i := range grads {
 			grads[i] *= scale
 		}
@@ -104,7 +112,7 @@ func ClipGradientsFlat(grads []float64, maxNorm float64) float64 {
 // ±delta of the target and linear beyond, which caps the gradient
 // magnitude of outlier Bellman targets (the classic DQN stabilizer; kept
 // optional since the paper's prototype used plain MSE).
-func MaskedHuber(pred *tensor.Matrix, actions []int, targets []float64, delta float64, gradOut *tensor.Matrix) float64 {
+func MaskedHuber[E tensor.Element](pred *tensor.Matrix[E], actions []int, targets []E, delta float64, gradOut *tensor.Matrix[E]) float64 {
 	if len(actions) != pred.Rows || len(targets) != pred.Rows {
 		panic("nn: MaskedHuber batch size mismatch")
 	}
@@ -122,18 +130,18 @@ func MaskedHuber(pred *tensor.Matrix, actions []int, targets []float64, delta fl
 		if a < 0 || a >= pred.Cols {
 			panic("nn: MaskedHuber action index out of range")
 		}
-		diff := pred.At(i, a) - targets[i]
+		diff := float64(pred.At(i, a) - targets[i])
 		ad := math.Abs(diff)
 		if ad <= delta {
 			loss += 0.5 * diff * diff
-			gradOut.Set(i, a, diff/n)
+			gradOut.Set(i, a, E(diff/n))
 		} else {
 			loss += delta * (ad - 0.5*delta)
 			g := delta / n
 			if diff < 0 {
 				g = -g
 			}
-			gradOut.Set(i, a, g)
+			gradOut.Set(i, a, E(g))
 		}
 	}
 	return loss / n

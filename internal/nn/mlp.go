@@ -2,7 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"capes/internal/tensor"
@@ -35,25 +34,30 @@ func (a Activation) String() string {
 
 // MLP is a multi-layer perceptron: a stack of Dense layers with a fused
 // activation on every layer except the last, whose output is linear (one
-// scalar per action for a Q-network).
+// scalar per action for a Q-network). The element type E selects the
+// arithmetic precision; the deployed DQN engine instantiates MLP[float32]
+// (half the parameter traffic of float64 on a memory-bound train step),
+// while MLP[float64] remains the reference precision.
 //
 // All parameters live in one contiguous flat arena, all gradients in a
 // second, laid out layer by layer (weights, then bias). FlatParams and
 // FlatGrads expose them so the optimizer, gradient clipping, and
 // target-network updates run as single passes over flat memory instead
 // of per-matrix loops.
-type MLP struct {
+type MLP[E tensor.Element] struct {
 	Sizes      []int // layer widths: input, hidden..., output
 	Activation Activation
 
-	dense  []*Dense         // the layers, in order
-	params []*tensor.Matrix // cached per-matrix views into paramData
-	grads  []*tensor.Matrix // cached per-matrix views into gradData
+	dense  []*Dense[E]         // the layers, in order
+	params []*tensor.Matrix[E] // cached per-matrix views into paramData
+	grads  []*tensor.Matrix[E] // cached per-matrix views into gradData
 
-	paramData []float64 // flat parameter arena
-	gradData  []float64 // flat gradient arena
+	paramData []E // flat parameter arena
+	gradData  []E // flat gradient arena
 
-	vecIn tensor.Matrix // reusable 1×in header for the vector paths
+	vecIn tensor.Matrix[E] // reusable 1×in header for the vector paths
+
+	saveScratch []float64 // reusable checkpoint staging (named element types only)
 }
 
 // arenaLen returns the flat parameter count for the given layer widths.
@@ -66,17 +70,17 @@ func arenaLen(sizes []int) int {
 }
 
 // NewMLP builds an MLP with the given layer widths. The CAPES network is
-// NewMLP(rng, ActTanh, in, in, in, nActions): two hidden layers the same
-// size as the input (Table 1 "number of hidden layers"=2, "hidden layer
-// size"=input size).
-func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
+// NewMLP[E](rng, ActTanh, in, in, in, nActions): two hidden layers the
+// same size as the input (Table 1 "number of hidden layers"=2, "hidden
+// layer size"=input size).
+func NewMLP[E tensor.Element](rng *rand.Rand, act Activation, sizes ...int) *MLP[E] {
 	if len(sizes) < 2 {
 		panic("nn: MLP needs at least input and output sizes")
 	}
-	m := &MLP{Sizes: append([]int(nil), sizes...), Activation: act}
+	m := &MLP[E]{Sizes: append([]int(nil), sizes...), Activation: act}
 	total := arenaLen(sizes)
-	m.paramData = make([]float64, total)
-	m.gradData = make([]float64, total)
+	m.paramData = make([]E, total)
+	m.gradData = make([]E, total)
 	off := 0
 	for i := 0; i+1 < len(sizes); i++ {
 		in, out := sizes[i], sizes[i+1]
@@ -97,20 +101,20 @@ func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
 
 // NewCAPESNetwork builds the paper's Q-network shape: two hidden layers of
 // the same width as the input and a linear head with one output per action.
-func NewCAPESNetwork(rng *rand.Rand, inputSize, nActions int) *MLP {
-	return NewMLP(rng, ActTanh, inputSize, inputSize, inputSize, nActions)
+func NewCAPESNetwork[E tensor.Element](rng *rand.Rand, inputSize, nActions int) *MLP[E] {
+	return NewMLP[E](rng, ActTanh, inputSize, inputSize, inputSize, nActions)
 }
 
 // InputSize returns the expected feature count.
-func (m *MLP) InputSize() int { return m.Sizes[0] }
+func (m *MLP[E]) InputSize() int { return m.Sizes[0] }
 
 // OutputSize returns the output width (number of actions for a Q-network).
-func (m *MLP) OutputSize() int { return m.Sizes[len(m.Sizes)-1] }
+func (m *MLP[E]) OutputSize() int { return m.Sizes[len(m.Sizes)-1] }
 
 // Forward runs a minibatch through the network. The result is owned by
 // the network and valid until the next Forward at the same batch size
 // (single-observation and minibatch forwards use independent buffers).
-func (m *MLP) Forward(in *tensor.Matrix) *tensor.Matrix {
+func (m *MLP[E]) Forward(in *tensor.Matrix[E]) *tensor.Matrix[E] {
 	out := in
 	for _, d := range m.dense {
 		out = d.Forward(out)
@@ -120,15 +124,15 @@ func (m *MLP) Forward(in *tensor.Matrix) *tensor.Matrix {
 
 // ForwardVec runs a single observation (len == InputSize) and returns a
 // fresh copy of the output vector.
-func (m *MLP) ForwardVec(obs []float64) []float64 {
-	return m.ForwardVecInto(make([]float64, m.OutputSize()), obs)
+func (m *MLP[E]) ForwardVec(obs []E) []E {
+	return m.ForwardVecInto(make([]E, m.OutputSize()), obs)
 }
 
 // ForwardVecInto is ForwardVec writing the Q-values into dst (len ==
 // OutputSize), which is also returned. It allocates nothing: the input
 // header and every layer buffer on the 1×N path are reused across calls,
 // so the per-tick action path stays off the garbage collector entirely.
-func (m *MLP) ForwardVecInto(dst, obs []float64) []float64 {
+func (m *MLP[E]) ForwardVecInto(dst, obs []E) []E {
 	if len(dst) != m.OutputSize() {
 		panic(fmt.Sprintf("nn: ForwardVecInto dst len %d, want %d", len(dst), m.OutputSize()))
 	}
@@ -140,7 +144,7 @@ func (m *MLP) ForwardVecInto(dst, obs []float64) []float64 {
 
 // Backward propagates ∂L/∂out back through the network, leaving parameter
 // gradients in each Dense layer (and hence in FlatGrads).
-func (m *MLP) Backward(gradOut *tensor.Matrix) {
+func (m *MLP[E]) Backward(gradOut *tensor.Matrix[E]) {
 	g := gradOut
 	for i := len(m.dense) - 1; i >= 0; i-- {
 		g = m.dense[i].Backward(g)
@@ -150,62 +154,82 @@ func (m *MLP) Backward(gradOut *tensor.Matrix) {
 // Params returns all parameter matrices in a stable order. The slice and
 // its views are cached — repeated calls allocate nothing — and the views
 // alias FlatParams.
-func (m *MLP) Params() []*tensor.Matrix { return m.params }
+func (m *MLP[E]) Params() []*tensor.Matrix[E] { return m.params }
 
 // Grads returns all gradient matrices aligned with Params.
-func (m *MLP) Grads() []*tensor.Matrix { return m.grads }
+func (m *MLP[E]) Grads() []*tensor.Matrix[E] { return m.grads }
 
 // FlatParams returns the network's parameters as one contiguous slice,
 // laid out layer by layer (weights row-major, then bias). It aliases the
 // matrices returned by Params.
-func (m *MLP) FlatParams() []float64 { return m.paramData }
+func (m *MLP[E]) FlatParams() []E { return m.paramData }
 
 // FlatGrads returns the gradient arena aligned with FlatParams.
-func (m *MLP) FlatGrads() []float64 { return m.gradData }
+func (m *MLP[E]) FlatGrads() []E { return m.gradData }
 
-// NumParams returns the total trainable parameter count (Table 2's
-// "size of the DNN model" is NumParams × 8 bytes, reported by Bytes).
-func (m *MLP) NumParams() int { return len(m.paramData) }
+// NumParams returns the total trainable parameter count.
+func (m *MLP[E]) NumParams() int { return len(m.paramData) }
 
-// Bytes returns the in-memory size of the model parameters.
-func (m *MLP) Bytes() int { return m.NumParams() * 8 }
+// Bytes returns the in-memory size of the model parameters (Table 2's
+// "size of the DNN model": NumParams × the element size — 4 bytes at
+// float32, 8 at float64).
+func (m *MLP[E]) Bytes() int { return m.NumParams() * tensor.ElemSize[E]() }
+
+// Precision names the element type ("float32" or "float64") — the same
+// tag the checkpoint format records.
+func (m *MLP[E]) Precision() string { return precisionName[E]() }
 
 // Clone returns a deep copy with identical weights (used to spawn the
 // target network from the online network).
-func (m *MLP) Clone() *MLP {
+func (m *MLP[E]) Clone() *MLP[E] {
 	// Build with a throwaway RNG, then overwrite parameters.
-	c := NewMLP(rand.New(rand.NewSource(0)), m.Activation, m.Sizes...)
+	c := NewMLP[E](rand.New(rand.NewSource(0)), m.Activation, m.Sizes...)
 	c.CopyParamsFrom(m)
 	return c
 }
 
 // CopyParamsFrom copies all parameters from src (hard target update) in
-// one flat pass.
-func (m *MLP) CopyParamsFrom(src *MLP) {
+// one flat pass. The fused training path avoids even this: see
+// Adam.FusedStep's hard-update mode, which writes the target arena while
+// the parameters are already in cache.
+func (m *MLP[E]) CopyParamsFrom(src *MLP[E]) {
 	if len(m.paramData) != len(src.paramData) {
 		panic("nn: CopyParamsFrom shape mismatch")
 	}
 	copy(m.paramData, src.paramData)
 }
 
+// ConvertParamsFrom copies all parameters from an MLP of another
+// precision (same topology required): float32→float64 is exact,
+// float64→float32 rounds once per parameter. This is the in-memory
+// counterpart of a cross-precision checkpoint restore.
+func ConvertParamsFrom[D, S tensor.Element](dst *MLP[D], src *MLP[S]) error {
+	if len(dst.paramData) != len(src.paramData) {
+		return fmt.Errorf("nn: convert params: %d vs %d parameters", len(dst.paramData), len(src.paramData))
+	}
+	tensor.Convert(dst.paramData, src.paramData)
+	return nil
+}
+
 // SoftUpdateFrom applies θ⁻ = θ⁻×(1−α) + θ×α — the target-network update
 // rule from Table 1 (α = 0.01) — as a single fused pass over the flat
 // parameter arenas.
-func (m *MLP) SoftUpdateFrom(src *MLP, alpha float64) {
+func (m *MLP[E]) SoftUpdateFrom(src *MLP[E], alpha float64) {
 	if len(m.paramData) != len(src.paramData) {
 		panic("nn: SoftUpdateFrom shape mismatch")
 	}
 	p, s := m.paramData, src.paramData
+	a := E(alpha)
 	for i, v := range s {
-		p[i] = p[i]*(1-alpha) + v*alpha
+		p[i] = p[i]*(1-a) + v*a
 	}
 }
 
 // CheckFinite returns an error if any parameter is NaN/Inf, scanning the
-// flat arena in one allocation-free pass.
-func (m *MLP) CheckFinite() error {
+// flat arena in one allocation-free pass. Exact at both precisions.
+func (m *MLP[E]) CheckFinite() error {
 	for i, v := range m.paramData {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		if !tensor.IsFinite(v) {
 			return fmt.Errorf("nn: flat param %d: %w: %v", i, tensor.ErrNonFinite, v)
 		}
 	}

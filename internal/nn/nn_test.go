@@ -13,7 +13,7 @@ import (
 
 func TestDenseForwardKnownValues(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	d := NewDense(2, 2, rng)
+	d := NewDense[float64](2, 2, rng)
 	d.W.CopyFrom(tensor.FromSlice(2, 2, []float64{1, 2, 3, 4}))
 	copy(d.B, []float64{10, 20})
 	out := d.Forward(tensor.FromSlice(1, 2, []float64{1, 1}))
@@ -26,11 +26,11 @@ func TestDenseForwardKnownValues(t *testing.T) {
 // differences for a small network, the canonical backprop correctness test.
 func TestBackpropNumericalGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	m := NewMLP(rng, ActTanh, 3, 5, 4, 2)
+	m := NewMLP[float64](rng, ActTanh, 3, 5, 4, 2)
 	batch := 4
-	in := tensor.New(batch, 3)
+	in := tensor.New[float64](batch, 3)
 	in.XavierFill(rng, 3, 3)
-	target := tensor.New(batch, 2)
+	target := tensor.New[float64](batch, 2)
 	target.XavierFill(rng, 2, 2)
 
 	loss := func() float64 {
@@ -45,7 +45,7 @@ func TestBackpropNumericalGradient(t *testing.T) {
 	}
 	// Analytic gradients.
 	out := m.Forward(in)
-	grad := tensor.New(batch, 2)
+	grad := tensor.New[float64](batch, 2)
 	MSE(out, target, grad)
 	m.Backward(grad)
 
@@ -75,9 +75,9 @@ func TestBackpropNumericalGradient(t *testing.T) {
 
 func TestMaskedMSENumericalGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	m := NewMLP(rng, ActTanh, 4, 6, 3)
+	m := NewMLP[float64](rng, ActTanh, 4, 6, 3)
 	batch := 5
-	in := tensor.New(batch, 4)
+	in := tensor.New[float64](batch, 4)
 	in.XavierFill(rng, 4, 4)
 	actions := []int{0, 2, 1, 2, 0}
 	targets := []float64{0.5, -0.2, 1.1, 0.0, -0.7}
@@ -92,7 +92,7 @@ func TestMaskedMSENumericalGradient(t *testing.T) {
 		return s / float64(batch)
 	}
 	out := m.Forward(in)
-	grad := tensor.New(batch, 3)
+	grad := tensor.New[float64](batch, 3)
 	got := MaskedMSE(out, actions, targets, grad)
 	if math.Abs(got-loss()) > 1e-12 {
 		t.Fatalf("MaskedMSE loss %g vs direct %g", got, loss())
@@ -122,11 +122,11 @@ func TestMaskedMSENumericalGradient(t *testing.T) {
 // actually learns XOR, the classic non-linearly-separable case.
 func TestMLPLearnsXOR(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	m := NewMLP(rng, ActTanh, 2, 8, 8, 1)
-	opt := NewAdam(0.01)
+	m := NewMLP[float64](rng, ActTanh, 2, 8, 8, 1)
+	opt := NewAdam[float64](0.01)
 	in := tensor.FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
 	target := tensor.FromSlice(4, 1, []float64{0, 1, 1, 0})
-	grad := tensor.New(4, 1)
+	grad := tensor.New[float64](4, 1)
 	var loss float64
 	for i := 0; i < 2000; i++ {
 		out := m.Forward(in)
@@ -147,17 +147,17 @@ func TestMLPLearnsXOR(t *testing.T) {
 
 func TestReLULearnsRegression(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	m := NewMLP(rng, ActReLU, 1, 16, 1)
-	opt := NewAdam(0.01)
+	m := NewMLP[float64](rng, ActReLU, 1, 16, 1)
+	opt := NewAdam[float64](0.01)
 	n := 32
-	in := tensor.New(n, 1)
-	target := tensor.New(n, 1)
+	in := tensor.New[float64](n, 1)
+	target := tensor.New[float64](n, 1)
 	for i := 0; i < n; i++ {
 		x := float64(i)/float64(n)*2 - 1
 		in.Set(i, 0, x)
 		target.Set(i, 0, math.Abs(x)) // |x| is a natural ReLU shape
 	}
-	grad := tensor.New(n, 1)
+	grad := tensor.New[float64](n, 1)
 	var loss float64
 	for i := 0; i < 3000; i++ {
 		loss = MSE(m.Forward(in), target, grad)
@@ -171,7 +171,7 @@ func TestReLULearnsRegression(t *testing.T) {
 
 func TestCloneAndCopyParams(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	m := NewMLP(rng, ActTanh, 3, 4, 2)
+	m := NewMLP[float64](rng, ActTanh, 3, 4, 2)
 	c := m.Clone()
 	for i, p := range m.Params() {
 		if !tensor.Equal(p, c.Params()[i]) {
@@ -187,8 +187,8 @@ func TestCloneAndCopyParams(t *testing.T) {
 
 func TestSoftUpdateMovesTowardSource(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	online := NewMLP(rng, ActTanh, 2, 3, 2)
-	target := NewMLP(rand.New(rand.NewSource(99)), ActTanh, 2, 3, 2)
+	online := NewMLP[float64](rng, ActTanh, 2, 3, 2)
+	target := NewMLP[float64](rand.New(rand.NewSource(99)), ActTanh, 2, 3, 2)
 	before := target.Params()[0].At(0, 0)
 	src := online.Params()[0].At(0, 0)
 	target.SoftUpdateFrom(online, 0.1)
@@ -210,7 +210,7 @@ func TestSoftUpdateMovesTowardSource(t *testing.T) {
 
 func TestForwardVecMatchesBatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	m := NewMLP(rng, ActTanh, 4, 5, 3)
+	m := NewMLP[float64](rng, ActTanh, 4, 5, 3)
 	obs := []float64{0.1, -0.3, 0.7, 0.2}
 	v := m.ForwardVec(obs)
 	batch := m.Forward(tensor.FromSlice(1, 4, obs))
@@ -223,12 +223,12 @@ func TestForwardVecMatchesBatch(t *testing.T) {
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	m := NewCAPESNetwork(rng, 20, 5)
+	m := NewCAPESNetwork[float64](rng, 20, 5)
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(&buf)
+	got, err := Load[float64](&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,12 +255,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 func TestCheckpointFileRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	m := NewMLP(rng, ActReLU, 3, 4, 2)
+	m := NewMLP[float64](rng, ActReLU, 3, 4, 2)
 	path := filepath.Join(t.TempDir(), "model.ckpt")
 	if err := m.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadFile(path)
+	got, err := LoadFile[float64](path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,14 +270,14 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+	if _, err := Load[float64](bytes.NewReader([]byte("not a checkpoint"))); err == nil {
 		t.Fatal("expected error loading garbage")
 	}
 }
 
 func TestNumParamsAndBytes(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	m := NewMLP(rng, ActTanh, 10, 20, 5)
+	m := NewMLP[float64](rng, ActTanh, 10, 20, 5)
 	want := 10*20 + 20 + 20*5 + 5
 	if m.NumParams() != want {
 		t.Fatalf("NumParams = %d, want %d", m.NumParams(), want)
@@ -290,7 +290,7 @@ func TestNumParamsAndBytes(t *testing.T) {
 // Paper Table 1: the CAPES network has two hidden layers the same size as
 // the input; NewCAPESNetwork must honor that.
 func TestCAPESNetworkShape(t *testing.T) {
-	m := NewCAPESNetwork(rand.New(rand.NewSource(1)), 600, 5)
+	m := NewCAPESNetwork[float64](rand.New(rand.NewSource(1)), 600, 5)
 	wantSizes := []int{600, 600, 600, 5}
 	if len(m.Sizes) != len(wantSizes) {
 		t.Fatalf("sizes = %v", m.Sizes)
@@ -308,10 +308,10 @@ func TestCAPESNetworkShape(t *testing.T) {
 func TestAdamReducesLossFasterThanSGDOnIllConditioned(t *testing.T) {
 	// A quadratic bowl with very different curvatures per axis; Adam's
 	// per-parameter scaling should dominate plain SGD.
-	run := func(opt Optimizer) float64 {
+	run := func(opt Optimizer[float64]) float64 {
 		p := tensor.FromSlice(1, 2, []float64{5, 5})
-		g := tensor.New(1, 2)
-		params, grads := []*tensor.Matrix{p}, []*tensor.Matrix{g}
+		g := tensor.New[float64](1, 2)
+		params, grads := []*tensor.Matrix[float64]{p}, []*tensor.Matrix[float64]{g}
 		for i := 0; i < 300; i++ {
 			g.Set(0, 0, 2*100*p.At(0, 0))  // steep axis
 			g.Set(0, 1, 2*0.01*p.At(0, 1)) // shallow axis
@@ -319,18 +319,18 @@ func TestAdamReducesLossFasterThanSGDOnIllConditioned(t *testing.T) {
 		}
 		return 100*p.At(0, 0)*p.At(0, 0) + 0.01*p.At(0, 1)*p.At(0, 1)
 	}
-	adamLoss := run(NewAdam(0.1))
-	sgdLoss := run(NewSGD(0.001, 0))
+	adamLoss := run(NewAdam[float64](0.1))
+	sgdLoss := run(NewSGD[float64](0.001, 0))
 	if adamLoss >= sgdLoss {
 		t.Fatalf("Adam loss %g not better than SGD %g", adamLoss, sgdLoss)
 	}
 }
 
 func TestAdamResetAndStepCount(t *testing.T) {
-	a := NewAdam(0.001)
+	a := NewAdam[float64](0.001)
 	p := tensor.FromSlice(1, 1, []float64{1})
 	g := tensor.FromSlice(1, 1, []float64{1})
-	a.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	a.Step([]*tensor.Matrix[float64]{p}, []*tensor.Matrix[float64]{g})
 	if a.StepCount() != 1 {
 		t.Fatalf("StepCount = %d", a.StepCount())
 	}
@@ -343,11 +343,11 @@ func TestAdamResetAndStepCount(t *testing.T) {
 func TestSGDMomentumAccelerates(t *testing.T) {
 	run := func(momentum float64) float64 {
 		p := tensor.FromSlice(1, 1, []float64{10})
-		g := tensor.New(1, 1)
-		opt := NewSGD(0.01, momentum)
+		g := tensor.New[float64](1, 1)
+		opt := NewSGD[float64](0.01, momentum)
 		for i := 0; i < 100; i++ {
 			g.Set(0, 0, 2*p.At(0, 0))
-			opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+			opt.Step([]*tensor.Matrix[float64]{p}, []*tensor.Matrix[float64]{g})
 		}
 		return math.Abs(p.At(0, 0))
 	}
@@ -358,7 +358,7 @@ func TestSGDMomentumAccelerates(t *testing.T) {
 
 func TestClipGradients(t *testing.T) {
 	g := tensor.FromSlice(1, 2, []float64{3, 4}) // norm 5
-	norm := ClipGradients([]*tensor.Matrix{g}, 1)
+	norm := ClipGradients([]*tensor.Matrix[float64]{g}, 1)
 	if math.Abs(norm-5) > 1e-12 {
 		t.Fatalf("pre-clip norm = %g", norm)
 	}
@@ -367,12 +367,12 @@ func TestClipGradients(t *testing.T) {
 	}
 	// No clipping when under the limit or maxNorm<=0.
 	g2 := tensor.FromSlice(1, 2, []float64{0.3, 0.4})
-	ClipGradients([]*tensor.Matrix{g2}, 1)
+	ClipGradients([]*tensor.Matrix[float64]{g2}, 1)
 	if math.Abs(g2.NormL2()-0.5) > 1e-12 {
 		t.Fatal("under-limit gradients must not be scaled")
 	}
 	g3 := tensor.FromSlice(1, 1, []float64{100})
-	ClipGradients([]*tensor.Matrix{g3}, 0)
+	ClipGradients([]*tensor.Matrix[float64]{g3}, 0)
 	if g3.At(0, 0) != 100 {
 		t.Fatal("maxNorm=0 must disable clipping")
 	}
@@ -384,7 +384,7 @@ func TestClipGradients(t *testing.T) {
 // random inputs (stability property).
 func TestForwardFiniteProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
-	m := NewMLP(rng, ActTanh, 6, 6, 6, 3)
+	m := NewMLP[float64](rng, ActTanh, 6, 6, 6, 3)
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		obs := make([]float64, 6)
@@ -405,7 +405,7 @@ func TestForwardFiniteProperty(t *testing.T) {
 
 func TestCheckFiniteDetectsCorruption(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	m := NewMLP(rng, ActTanh, 2, 2, 1)
+	m := NewMLP[float64](rng, ActTanh, 2, 2, 1)
 	if err := m.CheckFinite(); err != nil {
 		t.Fatalf("fresh model not finite: %v", err)
 	}
@@ -426,8 +426,8 @@ func TestActivationString(t *testing.T) {
 
 func BenchmarkForward600(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	m := NewCAPESNetwork(rng, 600, 5)
-	in := tensor.New(32, 600)
+	m := NewCAPESNetwork[float64](rng, 600, 5)
+	in := tensor.New[float64](32, 600)
 	in.XavierFill(rng, 600, 600)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -437,13 +437,13 @@ func BenchmarkForward600(b *testing.B) {
 
 func BenchmarkTrainStep600(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	m := NewCAPESNetwork(rng, 600, 5)
-	opt := NewAdam(1e-4)
-	in := tensor.New(32, 600)
+	m := NewCAPESNetwork[float64](rng, 600, 5)
+	opt := NewAdam[float64](1e-4)
+	in := tensor.New[float64](32, 600)
 	in.XavierFill(rng, 600, 600)
 	actions := make([]int, 32)
 	targets := make([]float64, 32)
-	grad := tensor.New(32, 5)
+	grad := tensor.New[float64](32, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := m.Forward(in)
@@ -457,10 +457,10 @@ func TestMaskedHuberMatchesMSEInsideDelta(t *testing.T) {
 	pred := tensor.FromSlice(2, 3, []float64{0.1, 0.5, 0.9, -0.2, 0.0, 0.3})
 	actions := []int{1, 2}
 	targets := []float64{0.4, 0.5}
-	gh := tensor.New(2, 3)
+	gh := tensor.New[float64](2, 3)
 	lh := MaskedHuber(pred, actions, targets, 10, gh) // delta huge → pure quadratic
 	// Huber inside delta is 0.5·d² (vs d² for MSE): loss and grads halve.
-	gm := tensor.New(2, 3)
+	gm := tensor.New[float64](2, 3)
 	lm := MaskedMSE(pred, actions, targets, gm)
 	if math.Abs(lh-lm/2) > 1e-12 {
 		t.Fatalf("huber %g vs mse/2 %g", lh, lm/2)
@@ -474,7 +474,7 @@ func TestMaskedHuberMatchesMSEInsideDelta(t *testing.T) {
 
 func TestMaskedHuberCapsOutlierGradients(t *testing.T) {
 	pred := tensor.FromSlice(1, 2, []float64{100, 0})
-	g := tensor.New(1, 2)
+	g := tensor.New[float64](1, 2)
 	MaskedHuber(pred, []int{0}, []float64{0}, 1, g)
 	if math.Abs(g.At(0, 0)) > 1.0+1e-12 {
 		t.Fatalf("outlier gradient %v not capped at delta", g.At(0, 0))
@@ -489,8 +489,8 @@ func TestMaskedHuberCapsOutlierGradients(t *testing.T) {
 
 func TestMaskedHuberNumericalGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	m := NewMLP(rng, ActTanh, 3, 5, 2)
-	in := tensor.New(4, 3)
+	m := NewMLP[float64](rng, ActTanh, 3, 5, 2)
+	in := tensor.New[float64](4, 3)
 	in.XavierFill(rng, 3, 3)
 	actions := []int{0, 1, 0, 1}
 	targets := []float64{5, -5, 0.1, -0.1} // mix of outliers and inliers
@@ -510,7 +510,7 @@ func TestMaskedHuberNumericalGradient(t *testing.T) {
 		return s / 4
 	}
 	out := m.Forward(in)
-	grad := tensor.New(4, 2)
+	grad := tensor.New[float64](4, 2)
 	MaskedHuber(out, actions, targets, delta, grad)
 	m.Backward(grad)
 	params, grads := m.Params(), m.Grads()

@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"capes/internal/tensor"
+)
+
+// TestCheckpointSamePrecisionBitExact: a round trip at either precision
+// must reproduce the arena bit for bit (the format stores the arena
+// natively, no re-encoding through another precision).
+func TestCheckpointSamePrecisionBitExact(t *testing.T) {
+	t.Run("float64", func(t *testing.T) { checkpointRoundTrip[float64](t) })
+	t.Run("float32", func(t *testing.T) { checkpointRoundTrip[float32](t) })
+}
+
+func checkpointRoundTrip[E tensor.Element](t *testing.T) {
+	t.Helper()
+	m := NewCAPESNetwork[E](rand.New(rand.NewSource(7)), 20, 5)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load[E](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.FlatParams() {
+		if got.FlatParams()[i] != v {
+			t.Fatalf("param %d not bit-exact after round trip", i)
+		}
+	}
+	prec, sizes, err := CheckpointInfo(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec != m.Precision() {
+		t.Fatalf("precision tag %q, want %q", prec, m.Precision())
+	}
+	if len(sizes) != 4 || sizes[0] != 20 || sizes[3] != 5 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+// TestCheckpointFloat64ToFloat32Restore is the narrowing restore a
+// pre-existing float64 session checkpoint takes when resumed on the
+// float32 engine: each parameter rounds exactly once.
+func TestCheckpointFloat64ToFloat32Restore(t *testing.T) {
+	m64 := NewCAPESNetwork[float64](rand.New(rand.NewSource(8)), 12, 4)
+	var buf bytes.Buffer
+	if err := m64.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m32, err := Load[float32](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m32.InputSize() != 12 || m32.OutputSize() != 4 || m32.Activation != ActTanh {
+		t.Fatalf("restored shape %d→%d act %v", m32.InputSize(), m32.OutputSize(), m32.Activation)
+	}
+	for i, v := range m64.FlatParams() {
+		if got, want := m32.FlatParams()[i], float32(v); got != want {
+			t.Fatalf("param %d: %v, want single-rounded %v", i, got, want)
+		}
+	}
+}
+
+// TestCheckpointFloat32ToFloat64RestoreIsExact: widening restore loses
+// nothing — every float32 is exactly representable in float64.
+func TestCheckpointFloat32ToFloat64RestoreIsExact(t *testing.T) {
+	m32 := NewCAPESNetwork[float32](rand.New(rand.NewSource(9)), 10, 3)
+	var buf bytes.Buffer
+	if err := m32.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m64, err := Load[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m32.FlatParams() {
+		if m64.FlatParams()[i] != float64(v) {
+			t.Fatalf("param %d not exactly widened", i)
+		}
+	}
+	// And narrowing back recovers the original bits: f32→f64→f32 is the
+	// identity, so a full cross-precision round trip is lossless.
+	back := make([]float32, len(m32.FlatParams()))
+	tensor.Convert(back, m64.FlatParams())
+	for i, v := range m32.FlatParams() {
+		if back[i] != v {
+			t.Fatalf("param %d lost in f32→f64→f32 round trip", i)
+		}
+	}
+}
+
+// TestCheckpointLegacyV1Read: version-1 files (per-tensor float64
+// slices, no precision tag) must load into either precision.
+func TestCheckpointLegacyV1Read(t *testing.T) {
+	// Re-create the v1 on-disk layout byte-compatibly: gob matches struct
+	// fields by name, so a local struct with the v1 fields suffices.
+	type legacyFile struct {
+		Magic      string
+		Version    int
+		Sizes      []int
+		Activation int
+		Weights    [][]float64
+	}
+	ref := NewMLP[float64](rand.New(rand.NewSource(10)), ActTanh, 4, 6, 3)
+	lf := legacyFile{Magic: "CAPES-DNN", Version: 1, Sizes: ref.Sizes, Activation: int(ActTanh)}
+	for _, p := range ref.Params() {
+		lf.Weights = append(lf.Weights, append([]float64(nil), p.Data...))
+	}
+	var buf bytes.Buffer
+	fw, _ := flate.NewWriter(&buf, flate.BestSpeed)
+	if err := gob.NewEncoder(fw).Encode(lf); err != nil {
+		t.Fatal(err)
+	}
+	fw.Close()
+
+	m64, err := Load[float64](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 → float64: %v", err)
+	}
+	for i, v := range ref.FlatParams() {
+		if m64.FlatParams()[i] != v {
+			t.Fatalf("v1 float64 restore differs at %d", i)
+		}
+	}
+	m32, err := Load[float32](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 → float32: %v", err)
+	}
+	for i, v := range ref.FlatParams() {
+		if m32.FlatParams()[i] != float32(v) {
+			t.Fatalf("v1 float32 restore differs at %d", i)
+		}
+	}
+}
+
+// TestCheckpointFileCrossPrecision drives the narrowing restore through
+// the file API used by session checkpointing.
+func TestCheckpointFileCrossPrecision(t *testing.T) {
+	m64 := NewMLP[float64](rand.New(rand.NewSource(11)), ActReLU, 3, 5, 2)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := m64.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	prec, _, err := CheckpointInfoFile(path)
+	if err != nil || prec != "float64" {
+		t.Fatalf("precision = %q, %v", prec, err)
+	}
+	m32, err := LoadFile[float32](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m32.Activation != ActReLU {
+		t.Fatalf("activation = %v", m32.Activation)
+	}
+}
+
+// TestFusedStepShardedMatchesSerial pins the determinism contract of the
+// pool-sharded fused Adam sweep: the update is element-independent, so
+// any worker count and any shard size must produce bit-identical
+// parameters, moments and soft-updated targets.
+func TestFusedStepShardedMatchesSerial(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	origChunk := fusedShardChunk
+	defer func() { fusedShardChunk = origChunk }()
+
+	const n = 40_000
+	rng := rand.New(rand.NewSource(13))
+	mk := func() (params, target []float32) {
+		r := rand.New(rand.NewSource(14))
+		params = make([]float32, n)
+		target = make([]float32, n)
+		for i := range params {
+			params[i] = float32(r.NormFloat64())
+			target[i] = float32(r.NormFloat64())
+		}
+		return params, target
+	}
+	pSerial, tSerial := mk()
+	pPar, tPar := mk()
+	optSerial := NewAdam[float32](1e-3)
+	optPar := NewAdam[float32](1e-3)
+	grads := make([]float32, n)
+
+	for step := 0; step < 5; step++ {
+		for i := range grads {
+			grads[i] = float32(rng.NormFloat64())
+		}
+		alpha := 0.01
+		if step == 3 {
+			alpha = 1 // exercise the fused hard-update mode too
+		}
+		tensor.SetWorkers(1)
+		fusedShardChunk = n + 1 // force serial
+		optSerial.FusedStep(pSerial, grads, 0.5, tSerial, alpha)
+
+		tensor.SetWorkers(5)
+		fusedShardChunk = 1024 // force many shards
+		optPar.FusedStep(pPar, grads, 0.5, tPar, alpha)
+
+		for i := range pSerial {
+			if pSerial[i] != pPar[i] {
+				t.Fatalf("step %d: sharded params deviate at %d: %v vs %v", step, i, pSerial[i], pPar[i])
+			}
+			if tSerial[i] != tPar[i] {
+				t.Fatalf("step %d: sharded target deviates at %d", step, i)
+			}
+		}
+	}
+}
+
+// TestFusedStepHardUpdateCopiesExactly: α=1 switches the sweep to the
+// double-buffer fill mode, which must leave target == params bit for bit
+// (and must not be poisoned by stale garbage in the spare buffer).
+func TestFusedStepHardUpdateCopiesExactly(t *testing.T) {
+	const n = 64
+	params := make([]float64, n)
+	grads := make([]float64, n)
+	target := make([]float64, n)
+	for i := range params {
+		params[i] = float64(i) * 0.1
+		grads[i] = 0.01
+		target[i] = math.NaN() // stale spare contents must be overwritten
+	}
+	opt := NewAdam[float64](1e-2)
+	opt.FusedStep(params, grads, 1, target, 1)
+	for i := range params {
+		if target[i] != params[i] {
+			t.Fatalf("hard update target[%d] = %v, want %v", i, target[i], params[i])
+		}
+	}
+}
+
+// TestMLPFloat32MatchesFloat64Forward holds a float32 network built from
+// the same weights to the float64 reference within precision-scaled
+// tolerance — the end-to-end (matmul + fused bias/tanh) counterpart of
+// the kernel-level golden tests in internal/tensor.
+func TestMLPFloat32MatchesFloat64Forward(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m64 := NewCAPESNetwork[float64](rng, 64, 5)
+	m32 := NewCAPESNetwork[float32](rand.New(rand.NewSource(0)), 64, 5)
+	if err := ConvertParamsFrom(m32, m64); err != nil {
+		t.Fatal(err)
+	}
+	obs64 := make([]float64, 64)
+	obs32 := make([]float32, 64)
+	for i := range obs64 {
+		obs64[i] = rng.Float64()*2 - 1
+		obs32[i] = float32(obs64[i])
+	}
+	q64 := m64.ForwardVec(obs64)
+	q32 := m32.ForwardVec(obs32)
+	// Two hidden layers of width 64 → error compounds over ~2×64-long
+	// accumulations plus the tanh rounding.
+	tol := 64 * 64 * tensor.Eps[float32]()
+	for i := range q64 {
+		if d := math.Abs(q64[i] - float64(q32[i])); d > tol {
+			t.Fatalf("Q[%d]: float32 %v vs float64 %v (|Δ|=%g > %g)", i, q32[i], q64[i], d, tol)
+		}
+	}
+}
+
+func TestMLPBytesTracksPrecision(t *testing.T) {
+	m32 := NewMLP[float32](rand.New(rand.NewSource(1)), ActTanh, 10, 20, 5)
+	m64 := NewMLP[float64](rand.New(rand.NewSource(1)), ActTanh, 10, 20, 5)
+	n := 10*20 + 20 + 20*5 + 5
+	if m32.Bytes() != 4*n {
+		t.Fatalf("float32 Bytes = %d, want %d", m32.Bytes(), 4*n)
+	}
+	if m64.Bytes() != 8*n {
+		t.Fatalf("float64 Bytes = %d, want %d", m64.Bytes(), 8*n)
+	}
+	if m32.Precision() != "float32" || m64.Precision() != "float64" {
+		t.Fatal("Precision() tags wrong")
+	}
+}

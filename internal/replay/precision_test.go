@@ -1,0 +1,91 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFloat32MinibatchMatchesFloat64 pins the single-conversion contract
+// of the generic constructors: a float32 batch must hold exactly the
+// float64 batch's values narrowed once per element (observations and
+// rewards), with no intermediate arithmetic that could round twice.
+func TestFloat32MinibatchMatchesFloat64(t *testing.T) {
+	db, err := New(Config{FrameWidth: 3, StackTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(0); tick < 40; tick++ {
+		f := Frame{0.1 + float64(tick)/7, 0.2 + float64(tick)/11, 0.3 + float64(tick)/13}
+		if err := db.PutFrame(tick, f); err != nil {
+			t.Fatal(err)
+		}
+		db.PutAction(tick, int(tick)%3)
+	}
+	rf := func(cur, next Frame) float64 { return next[0] - cur[0] }
+
+	// Same RNG seed → both precisions draw the identical timestamps.
+	b64, err := ConstructMinibatch[float64](db, rand.New(rand.NewSource(9)), 8, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b32, err := ConstructMinibatch[float32](db, rand.New(rand.NewSource(9)), 8, rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b32.N != b64.N || b32.Width != b64.Width {
+		t.Fatalf("shape mismatch: %d×%d vs %d×%d", b32.N, b32.Width, b64.N, b64.Width)
+	}
+	for i := range b64.States {
+		if b32.States[i] != float32(b64.States[i]) {
+			t.Fatalf("state %d: %v, want single-rounded %v", i, b32.States[i], float32(b64.States[i]))
+		}
+		if b32.NextStates[i] != float32(b64.NextStates[i]) {
+			t.Fatalf("next state %d not single-rounded", i)
+		}
+	}
+	for i := range b64.Rewards {
+		if b32.Actions[i] != b64.Actions[i] {
+			t.Fatalf("action %d differs across precisions", i)
+		}
+		if b32.Rewards[i] != float32(b64.Rewards[i]) {
+			t.Fatalf("reward %d: %v, want single-rounded %v", i, b32.Rewards[i], float32(b64.Rewards[i]))
+		}
+	}
+}
+
+// TestObservationIntoFloat32 checks the generic action-path assembly:
+// values land pre-narrowed in the caller's scratch, missing-frame
+// tolerance still applies, and a wrong-sized destination is rejected.
+func TestObservationIntoFloat32(t *testing.T) {
+	db, err := New(Config{FrameWidth: 2, StackTicks: 2, MissingTolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.PutFrame(1, Frame{1.25, 2.5})
+	db.PutFrame(2, Frame{3.75, 0.125})
+
+	dst := make([]float32, db.ObservationWidth())
+	if err := ObservationInto(db, dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1.25, 2.5, 3.75, 0.125}
+	for i, v := range want {
+		if dst[i] != v {
+			t.Fatalf("obs[%d] = %v, want %v", i, dst[i], v)
+		}
+	}
+	// Tolerated gap: tick 3 missing fills from tick 2.
+	if err := ObservationInto(db, dst, 3); err != nil {
+		t.Fatalf("tolerated gap rejected: %v", err)
+	}
+	if dst[2] != 3.75 {
+		t.Fatal("gap not filled with nearest earlier frame")
+	}
+	if err := ObservationInto(db, dst[:1], 2); err == nil {
+		t.Fatal("short destination accepted")
+	}
+	// Beyond tolerance: both ticks missing.
+	if err := ObservationInto(db, dst, 40); err == nil {
+		t.Fatal("observation with every frame missing accepted")
+	}
+}

@@ -92,14 +92,14 @@ func (p *PrioritizedSampler) Len() int {
 // ConstructMinibatch samples n transitions proportionally to priority.
 // It returns the batch plus the sampled ticks (aligned with batch rows)
 // so the trainer can feed TD errors back via UpdatePriority.
-func (p *PrioritizedSampler) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch, []int64, error) {
+func (p *PrioritizedSampler) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch[float64], []int64, error) {
 	p.mu.Lock()
 	if len(p.known) == 0 || p.tree.Total() <= 0 {
 		p.mu.Unlock()
 		return nil, nil, ErrInsufficientData
 	}
 	w := p.db.ObservationWidth()
-	b := &Batch{
+	b := &Batch[float64]{
 		States:     make([]float64, n*w),
 		NextStates: make([]float64, n*w),
 		Actions:    make([]int, 0, n),
@@ -138,7 +138,7 @@ func (p *PrioritizedSampler) ConstructMinibatch(rng *rand.Rand, n int, rf Reward
 }
 
 // fill materializes transition t into batch row `row`.
-func (p *PrioritizedSampler) fill(b *Batch, row int, t int64, rf RewardFunc) bool {
+func (p *PrioritizedSampler) fill(b *Batch[float64], row int, t int64, rf RewardFunc) bool {
 	w := b.Width
 	a, ok := p.db.ActionAt(t)
 	if !ok {

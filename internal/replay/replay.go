@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"capes/internal/tensor"
 )
 
 // Frame is the flattened vector of performance indicators collected from
@@ -177,7 +179,15 @@ var (
 // dst (len ObservationWidth). Missing ticks within tolerance are filled
 // with the nearest earlier frame in the window (zero if none). Caller
 // holds at least a read lock.
-func (db *DB) observationInto(dst []float64, t int64) error {
+//
+// The generic form converts each stored float64 frame directly into the
+// destination's element type as it is copied — a float32 training batch
+// is filled with exactly one rounding per value and no float64
+// temporaries on the hot path — while a float64 destination takes plain
+// copies. One implementation serves every precision, so the window
+// walk, carry-forward and tolerance rules cannot drift apart.
+func observationIntoFor[E tensor.Element](db *DB, dst []E, t int64) error {
+	d64, isF64 := any(dst).([]float64)
 	s := int64(db.cfg.StackTicks)
 	missing := 0
 	var lastGood Frame
@@ -191,18 +201,27 @@ func (db *DB) observationInto(dst []float64, t int64) error {
 			lastGood = f
 		}
 		off := int(i) * db.cfg.FrameWidth
-		if f == nil {
+		switch {
+		case f == nil:
 			for j := 0; j < db.cfg.FrameWidth; j++ {
 				dst[off+j] = 0
 			}
-		} else {
-			copy(dst[off:off+db.cfg.FrameWidth], f)
+		case isF64:
+			copy(d64[off:off+db.cfg.FrameWidth], f)
+		default:
+			for j, v := range f[:db.cfg.FrameWidth] {
+				dst[off+j] = E(v)
+			}
 		}
 	}
 	if float64(missing) > db.cfg.MissingTolerance*float64(s) {
 		return errTooManyMissing
 	}
 	return nil
+}
+
+func (db *DB) observationInto(dst []float64, t int64) error {
+	return observationIntoFor(db, dst, t)
 }
 
 // Observation returns the stacked observation ending at tick t, applying
@@ -220,12 +239,15 @@ func (db *DB) Observation(t int64) ([]float64, error) {
 }
 
 // Batch is one training minibatch: transitions w_t = (s_t, s_{t+1}, a_t,
-// r_t) with observations flattened row-wise.
-type Batch struct {
-	States     []float64 // n×ObservationWidth, row-major
-	NextStates []float64 // n×ObservationWidth, row-major
+// r_t) with observations flattened row-wise. The element type matches
+// the consuming network's precision — the float32 DQN engine samples
+// into a Batch[float32], so observations and rewards are converted
+// exactly once at assembly and the train step never touches float64.
+type Batch[E tensor.Element] struct {
+	States     []E // n×ObservationWidth, row-major
+	NextStates []E // n×ObservationWidth, row-major
 	Actions    []int
-	Rewards    []float64
+	Rewards    []E
 	N          int
 	Width      int
 }
@@ -238,10 +260,11 @@ var ErrInsufficientData = errors.New("replay: not enough data for a minibatch")
 // timestamps over the stored range, keep those with enough data (a valid
 // s_t, s_{t+1} and recorded action), compute rewards via rf, until n
 // transitions are gathered. maxAttempts bounds the retry loop so a sparse
-// DB returns ErrInsufficientData instead of spinning.
-func (db *DB) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch, error) {
-	b := new(Batch)
-	if err := db.ConstructMinibatchInto(rng, n, rf, b); err != nil {
+// DB returns ErrInsufficientData instead of spinning. The element type E
+// selects the batch precision (see Batch).
+func ConstructMinibatch[E tensor.Element](db *DB, rng *rand.Rand, n int, rf RewardFunc) (*Batch[E], error) {
+	b := new(Batch[E])
+	if err := ConstructMinibatchInto(db, rng, n, rf, b); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -251,7 +274,12 @@ func (db *DB) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch, 
 // caller-owned batch, growing its buffers only when n or the observation
 // width changes — the steady-state training loop reuses one batch with
 // zero allocations per step. On error the batch contents are undefined.
-func (db *DB) ConstructMinibatchInto(rng *rand.Rand, n int, rf RewardFunc, b *Batch) error {
+//
+// Observations and rewards are written straight into the batch's element
+// type: a float32 batch is assembled with one conversion per value at
+// the copy itself (observationIntoFor) and the scalar reward rounds once
+// as it is appended — no float64 staging buffers anywhere on the path.
+func ConstructMinibatchInto[E tensor.Element](db *DB, rng *rand.Rand, n int, rf RewardFunc, b *Batch[E]) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.count == 0 {
@@ -264,8 +292,8 @@ func (db *DB) ConstructMinibatchInto(rng *rand.Rand, n int, rf RewardFunc, b *Ba
 	}
 	w := db.ObservationWidth()
 	b.N, b.Width = 0, w
-	b.States = resizeFloats(b.States, n*w)
-	b.NextStates = resizeFloats(b.NextStates, n*w)
+	b.States = resizeSlice(b.States, n*w)
+	b.NextStates = resizeSlice(b.NextStates, n*w)
 	if cap(b.Actions) >= n {
 		b.Actions = b.Actions[:0]
 	} else {
@@ -274,7 +302,7 @@ func (db *DB) ConstructMinibatchInto(rng *rand.Rand, n int, rf RewardFunc, b *Ba
 	if cap(b.Rewards) >= n {
 		b.Rewards = b.Rewards[:0]
 	} else {
-		b.Rewards = make([]float64, 0, n)
+		b.Rewards = make([]E, 0, n)
 	}
 	have := 0
 	maxAttempts := 50 * n
@@ -284,10 +312,10 @@ func (db *DB) ConstructMinibatchInto(rng *rand.Rand, n int, rf RewardFunc, b *Ba
 		if !ok {
 			continue
 		}
-		if err := db.observationInto(b.States[have*w:(have+1)*w], t); err != nil {
+		if err := observationIntoFor(db, b.States[have*w:(have+1)*w], t); err != nil {
 			continue
 		}
-		if err := db.observationInto(b.NextStates[have*w:(have+1)*w], t+1); err != nil {
+		if err := observationIntoFor(db, b.NextStates[have*w:(have+1)*w], t+1); err != nil {
 			continue
 		}
 		cur, curOK := db.frames[t]
@@ -296,7 +324,7 @@ func (db *DB) ConstructMinibatchInto(rng *rand.Rand, n int, rf RewardFunc, b *Ba
 			continue
 		}
 		b.Actions = append(b.Actions, a)
-		b.Rewards = append(b.Rewards, rf(cur, next))
+		b.Rewards = append(b.Rewards, E(rf(cur, next)))
 		have++
 	}
 	if have < n {
@@ -306,10 +334,36 @@ func (db *DB) ConstructMinibatchInto(rng *rand.Rand, n int, rf RewardFunc, b *Ba
 	return nil
 }
 
-// resizeFloats returns s with length n, reallocating only on growth.
-func resizeFloats(s []float64, n int) []float64 {
+// ConstructMinibatch is the float64 method form, kept for callers that
+// predate the generic constructors (analysis and test code).
+func (db *DB) ConstructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch[float64], error) {
+	return ConstructMinibatch[float64](db, rng, n, rf)
+}
+
+// ConstructMinibatchInto is the float64 method form of the generic
+// package function.
+func (db *DB) ConstructMinibatchInto(rng *rand.Rand, n int, rf RewardFunc, b *Batch[float64]) error {
+	return ConstructMinibatchInto(db, rng, n, rf, b)
+}
+
+// ObservationInto assembles the stacked observation ending at tick t
+// into dst (len ObservationWidth) at the destination's precision,
+// applying the missing-entry tolerance. The per-tick action path uses it
+// with a reusable float32 scratch so selecting an action allocates
+// nothing and never stages the observation through float64.
+func ObservationInto[E tensor.Element](db *DB, dst []E, t int64) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if len(dst) != db.ObservationWidth() {
+		return fmt.Errorf("replay: observation dst len %d, want %d", len(dst), db.ObservationWidth())
+	}
+	return observationIntoFor(db, dst, t)
+}
+
+// resizeSlice returns s with length n, reallocating only on growth.
+func resizeSlice[E tensor.Element](s []E, n int) []E {
 	if cap(s) >= n {
 		return s[:n]
 	}
-	return make([]float64, n)
+	return make([]E, n)
 }

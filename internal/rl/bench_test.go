@@ -5,34 +5,35 @@ import (
 	"testing"
 
 	"capes/internal/replay"
+	"capes/internal/tensor"
 )
 
 // makeBenchBatch fills a replay.Batch directly so the benchmark isolates
 // TrainStep from the sampler.
-func makeBenchBatch(rng *rand.Rand, n, width, nActions int) *replay.Batch {
-	b := &replay.Batch{
-		States:     make([]float64, n*width),
-		NextStates: make([]float64, n*width),
+func makeBenchBatch[E tensor.Element](rng *rand.Rand, n, width, nActions int) *replay.Batch[E] {
+	b := &replay.Batch[E]{
+		States:     make([]E, n*width),
+		NextStates: make([]E, n*width),
 		Actions:    make([]int, n),
-		Rewards:    make([]float64, n),
+		Rewards:    make([]E, n),
 		N:          n,
 		Width:      width,
 	}
 	for i := range b.States {
-		b.States[i] = rng.Float64()*2 - 1
-		b.NextStates[i] = rng.Float64()*2 - 1
+		b.States[i] = E(rng.Float64()*2 - 1)
+		b.NextStates[i] = E(rng.Float64()*2 - 1)
 	}
 	for i := 0; i < n; i++ {
 		b.Actions[i] = rng.Intn(nActions)
-		b.Rewards[i] = rng.Float64()
+		b.Rewards[i] = E(rng.Float64())
 	}
 	return b
 }
 
-func benchAgent(b *testing.B, obsWidth, nActions int) *Agent {
+func benchAgent[E tensor.Element](b *testing.B, obsWidth, nActions int) *Agent[E] {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
-	agent, err := NewAgent(DefaultConfig(), nil, obsWidth, nActions, rng)
+	agent, err := NewAgent[E](DefaultConfig(), nil, obsWidth, nActions, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -41,41 +42,53 @@ func benchAgent(b *testing.B, obsWidth, nActions int) *Agent {
 
 // BenchmarkTrainStep is the Table-2 "CPU time of one training step" cost:
 // one 32-observation minibatch through the paper-shaped Q-network
-// (two hidden layers the width of the observation).
+// (two hidden layers the width of the observation), at both precisions —
+// f32 is the deployed engine path, f64 the reference.
 func BenchmarkTrainStep(b *testing.B) {
 	for _, w := range []int{64, 256} {
 		w := w
-		b.Run(map[int]string{64: "obs64", 256: "obs256"}[w], func(b *testing.B) {
-			const nActions = 5
-			agent := benchAgent(b, w, nActions)
-			batch := makeBenchBatch(rand.New(rand.NewSource(2)), agent.Config().MinibatchSize, w, nActions)
-			// Warm the one-time buffers (optimizer moments, layer
-			// scratch) so -benchmem reports the steady state.
-			if _, err := agent.TrainStep(batch); err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := agent.TrainStep(batch); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		name := map[int]string{64: "obs64", 256: "obs256"}[w]
+		b.Run(name+"/f64", func(b *testing.B) { benchTrainStep[float64](b, w) })
+		b.Run(name+"/f32", func(b *testing.B) { benchTrainStep[float32](b, w) })
+	}
+}
+
+func benchTrainStep[E tensor.Element](b *testing.B, w int) {
+	const nActions = 5
+	agent := benchAgent[E](b, w, nActions)
+	batch := makeBenchBatch[E](rand.New(rand.NewSource(2)), agent.Config().MinibatchSize, w, nActions)
+	// Warm the one-time buffers (optimizer moments, layer scratch) so
+	// -benchmem reports the steady state.
+	if _, err := agent.TrainStep(batch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.TrainStep(batch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 // TestTrainStepAllocFree pins the zero-steady-state-allocation property
-// of the training and action hot paths (the benchmarks report it, but a
-// test fails CI if it regresses). The two are interleaved deliberately:
-// the batch-1 action forward must not evict the minibatch buffers.
+// of the training and action hot paths at both precisions (the
+// benchmarks report it, but a test fails CI if it regresses). The two
+// are interleaved deliberately: the batch-1 action forward must not
+// evict the minibatch buffers.
 func TestTrainStepAllocFree(t *testing.T) {
+	t.Run("float64", func(t *testing.T) { testTrainStepAllocFree[float64](t) })
+	t.Run("float32", func(t *testing.T) { testTrainStepAllocFree[float32](t) })
+}
+
+func testTrainStepAllocFree[E tensor.Element](t *testing.T) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(5))
-	agent, err := NewAgent(DefaultConfig(), nil, 64, 5, rng)
+	agent, err := NewAgent[E](DefaultConfig(), nil, 64, 5, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch := makeBenchBatch(rand.New(rand.NewSource(6)), agent.Config().MinibatchSize, 64, 5)
+	batch := makeBenchBatch[E](rand.New(rand.NewSource(6)), agent.Config().MinibatchSize, 64, 5)
 	obs := batch.States[:64]
 	if _, err := agent.TrainStep(batch); err != nil { // warm one-time buffers
 		t.Fatal(err)
@@ -88,19 +101,52 @@ func TestTrainStepAllocFree(t *testing.T) {
 		agent.SelectAction(obs, 1)
 	})
 	if allocs != 0 {
-		t.Fatalf("TrainStep+SelectAction allocate %v per step in steady state", allocs)
+		t.Fatalf("TrainStep+SelectAction (%s) allocate %v per step in steady state", agent.Precision(), allocs)
+	}
+}
+
+// TestTrainStepAllocFreeHardUpdate covers the double-buffered hard-update
+// path: the pointer swap plus the fused spare fill must stay
+// allocation-free across update boundaries.
+func TestTrainStepAllocFreeHardUpdate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HardUpdateEvery = 3
+	agent, err := NewAgent[float32](cfg, nil, 64, 5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := makeBenchBatch[float32](rand.New(rand.NewSource(8)), cfg.MinibatchSize, 64, 5)
+	// Warm past two hard updates so both target buffers have run their
+	// first forward (layer scratch is allocated on first use per buffer).
+	for i := int64(0); i < 2*cfg.HardUpdateEvery+1; i++ {
+		if _, err := agent.TrainStep(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(12, func() { // crosses several hard updates
+		if _, err := agent.TrainStep(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hard-update TrainStep allocates %v per step", allocs)
 	}
 }
 
 // BenchmarkSelectAction measures the 1×N greedy action path (ε=0, so
-// every iteration runs the forward pass).
+// every iteration runs the forward pass) at both precisions.
 func BenchmarkSelectAction(b *testing.B) {
+	b.Run("f64", func(b *testing.B) { benchSelectAction[float64](b) })
+	b.Run("f32", func(b *testing.B) { benchSelectAction[float32](b) })
+}
+
+func benchSelectAction[E tensor.Element](b *testing.B) {
 	const obsWidth, nActions = 256, 5
-	agent := benchAgent(b, obsWidth, nActions)
+	agent := benchAgent[E](b, obsWidth, nActions)
 	rng := rand.New(rand.NewSource(3))
-	obs := make([]float64, obsWidth)
+	obs := make([]E, obsWidth)
 	for i := range obs {
-		obs[i] = rng.Float64()*2 - 1
+		obs[i] = E(rng.Float64()*2 - 1)
 	}
 	agent.SelectAction(obs, 0) // warm the batch-1 forward buffers
 	b.ReportAllocs()

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"capes/internal/nn"
@@ -59,16 +60,30 @@ func (c Config) Validate() error {
 }
 
 // Agent is the deep Q-learning agent: an online Q-network, a target
-// network θ⁻, the Adam optimizer, and the ε-greedy policy.
-type Agent struct {
+// network θ⁻, the Adam optimizer, and the ε-greedy policy. The element
+// type E selects the arithmetic precision of the whole training and
+// action path; the CAPES engine instantiates Agent[float32] (the train
+// step is memory-bound, so halving the element size is the dominant
+// lever), while Agent[float64] remains available for reference runs and
+// the ablation suite.
+type Agent[E tensor.Element] struct {
 	cfg     Config
-	Online  *nn.MLP
-	Target  *nn.MLP
-	Opt     *nn.Adam
+	Online  *nn.MLP[E]
+	Target  *nn.MLP[E]
+	Opt     *nn.Adam[E]
 	Epsilon *EpsilonSchedule
+
+	// spare is the target network's double buffer, allocated only in
+	// hard-update mode: when a hard update falls due, the fused Adam
+	// sweep writes the freshly stepped parameters into spare's arena (a
+	// free by-product of the pass that already holds each θ in a
+	// register) and the update itself is a pointer swap with Target —
+	// no separate full-arena copy pass.
+	spare *nn.MLP[E]
 
 	nActions int
 	rng      *rand.Rand
+	gamma    E // cfg.Gamma rounded once to the working precision
 
 	steps     int64
 	lastLoss  float64
@@ -79,19 +94,19 @@ type Agent struct {
 	// Reusable training-step scratch, sized by ensureScratch. Together
 	// with the flat-parameter passes in internal/nn these keep TrainStep
 	// and SelectAction allocation-free in steady state.
-	gradOut    *tensor.Matrix
-	states     tensor.Matrix // header over the batch's flattened states
-	nextStates tensor.Matrix
-	targets    []float64
-	maxNext    []float64
+	gradOut    *tensor.Matrix[E]
+	states     tensor.Matrix[E] // header over the batch's flattened states
+	nextStates tensor.Matrix[E]
+	targets    []E
+	maxNext    []E
 	argmaxNext []int
-	qScratch   []float64 // Q-values for the ε-greedy action path
+	qScratch   []E // Q-values for the ε-greedy action path
 }
 
 // NewAgent builds an agent for the given observation width and action
 // count, using the paper's network shape (two hidden layers the width of
 // the input, linear Q-value head).
-func NewAgent(cfg Config, eps *EpsilonSchedule, obsWidth, nActions int, rng *rand.Rand) (*Agent, error) {
+func NewAgent[E tensor.Element](cfg Config, eps *EpsilonSchedule, obsWidth, nActions int, rng *rand.Rand) (*Agent[E], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,7 +118,7 @@ func NewAgent(cfg Config, eps *EpsilonSchedule, obsWidth, nActions int, rng *ran
 	if obsWidth <= 0 || nActions <= 0 {
 		return nil, fmt.Errorf("rl: obsWidth %d / nActions %d must be positive", obsWidth, nActions)
 	}
-	online := nn.NewCAPESNetwork(rng, obsWidth, nActions)
+	online := nn.NewCAPESNetwork[E](rng, obsWidth, nActions)
 	// Zero the Q-head: every action starts with Q(s,a)=0, so the initial
 	// greedy argmax ties and resolves to action 0 (NULL in CAPES's
 	// action space) instead of an arbitrary direction baked in by random
@@ -118,7 +133,7 @@ func NewAgent(cfg Config, eps *EpsilonSchedule, obsWidth, nActions int, rng *ran
 }
 
 // NewAgentWithNetwork wraps an existing network (checkpoint restore).
-func NewAgentWithNetwork(cfg Config, eps *EpsilonSchedule, online *nn.MLP, rng *rand.Rand) (*Agent, error) {
+func NewAgentWithNetwork[E tensor.Element](cfg Config, eps *EpsilonSchedule, online *nn.MLP[E], rng *rand.Rand) (*Agent[E], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,16 +145,20 @@ func NewAgentWithNetwork(cfg Config, eps *EpsilonSchedule, online *nn.MLP, rng *
 	return newAgent(cfg, eps, online, rng), nil
 }
 
-func newAgent(cfg Config, eps *EpsilonSchedule, online *nn.MLP, rng *rand.Rand) *Agent {
-	a := &Agent{
+func newAgent[E tensor.Element](cfg Config, eps *EpsilonSchedule, online *nn.MLP[E], rng *rand.Rand) *Agent[E] {
+	a := &Agent[E]{
 		cfg:      cfg,
 		Online:   online,
 		Target:   online.Clone(),
-		Opt:      nn.NewAdam(cfg.LearningRate),
+		Opt:      nn.NewAdam[E](cfg.LearningRate),
 		Epsilon:  eps,
 		nActions: online.OutputSize(),
 		rng:      rng,
-		qScratch: make([]float64, online.OutputSize()),
+		gamma:    E(cfg.Gamma),
+		qScratch: make([]E, online.OutputSize()),
+	}
+	if cfg.UseTargetNet && cfg.HardUpdateEvery > 0 {
+		a.spare = online.Clone()
 	}
 	a.ensureScratch(cfg.MinibatchSize)
 	return a
@@ -148,26 +167,29 @@ func newAgent(cfg Config, eps *EpsilonSchedule, online *nn.MLP, rng *rand.Rand) 
 // ensureScratch (re)sizes the per-minibatch buffers. Normally this runs
 // once — every batch is MinibatchSize — but callers may train on other
 // sizes (the ablation benches do), and the scratch follows the batch.
-func (a *Agent) ensureScratch(n int) {
+func (a *Agent[E]) ensureScratch(n int) {
 	if a.gradOut != nil && a.gradOut.Rows == n {
 		return
 	}
-	a.gradOut = tensor.New(n, a.nActions)
-	a.targets = make([]float64, n)
-	a.maxNext = make([]float64, n)
+	a.gradOut = tensor.New[E](n, a.nActions)
+	a.targets = make([]E, n)
+	a.maxNext = make([]E, n)
 	a.argmaxNext = make([]int, n)
 }
 
 // NumActions returns the size of the action space.
-func (a *Agent) NumActions() int { return a.nActions }
+func (a *Agent[E]) NumActions() int { return a.nActions }
 
 // Config returns the agent's hyperparameters.
-func (a *Agent) Config() Config { return a.cfg }
+func (a *Agent[E]) Config() Config { return a.cfg }
+
+// Precision names the agent's working element type.
+func (a *Agent[E]) Precision() string { return a.Online.Precision() }
 
 // SelectAction applies the ε-greedy policy at the given tick: with
 // probability ε a uniformly random action, otherwise argmax_a Q(obs,a)
 // from a single forward pass (the paper's "second type" Q-head, §3.4).
-func (a *Agent) SelectAction(obs []float64, tick int64) int {
+func (a *Agent[E]) SelectAction(obs []E, tick int64) int {
 	eps := 0.0
 	if a.Epsilon != nil {
 		eps = a.Epsilon.At(tick)
@@ -181,17 +203,17 @@ func (a *Agent) SelectAction(obs []float64, tick int64) int {
 }
 
 // GreedyAction returns argmax_a Q(obs,a) ignoring ε (tuning phase).
-func (a *Agent) GreedyAction(obs []float64) int {
+func (a *Agent[E]) GreedyAction(obs []E) int {
 	return tensor.ArgMax(a.Online.ForwardVecInto(a.qScratch, obs))
 }
 
 // QValues returns the Q-value vector for an observation.
-func (a *Agent) QValues(obs []float64) []float64 {
+func (a *Agent[E]) QValues(obs []E) []E {
 	return a.Online.ForwardVec(obs)
 }
 
 // ActionCounts reports how many random vs. calculated actions were taken.
-func (a *Agent) ActionCounts() (random, calculated int64) {
+func (a *Agent[E]) ActionCounts() (random, calculated int64) {
 	return a.randTaken, a.calcTaken
 }
 
@@ -202,7 +224,13 @@ func (a *Agent) ActionCounts() (random, calculated int64) {
 //
 // followed by the target-network update θ⁻ = θ⁻(1−α) + θα. It returns the
 // minibatch loss — the "prediction error" plotted in Figure 5.
-func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
+//
+// Divergence guards (audited for float32): the scalar loss is summed in
+// float64 and checked for NaN/±Inf on every step — a float32 network
+// that blows past ~3.4e38 mid-batch surfaces immediately instead of at
+// the next periodic parameter scan — and the full parameter arena is
+// still scanned every 1000 steps as the backstop.
+func (a *Agent[E]) TrainStep(b *replay.Batch[E]) (float64, error) {
 	// Accept any batch size; the scratch set resizes only when it changes.
 	a.ensureScratch(b.N)
 	states, nextStates := &a.states, &a.nextStates
@@ -224,13 +252,13 @@ func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
 		onlineNext.MaxPerRowInto(a.maxNext, a.argmaxNext)
 		targetNext := a.Target.Forward(nextStates)
 		for i := range targets {
-			targets[i] = b.Rewards[i] + a.cfg.Gamma*targetNext.At(i, a.argmaxNext[i])
+			targets[i] = b.Rewards[i] + a.gamma*targetNext.At(i, a.argmaxNext[i])
 		}
 	} else {
 		nextQ := tnet.Forward(nextStates)
 		nextQ.MaxPerRowInto(a.maxNext, a.argmaxNext)
 		for i := range targets {
-			targets[i] = b.Rewards[i] + a.cfg.Gamma*a.maxNext[i]
+			targets[i] = b.Rewards[i] + a.gamma*a.maxNext[i]
 		}
 	}
 
@@ -244,27 +272,43 @@ func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
 	} else {
 		loss = nn.MaskedMSE(pred, b.Actions, targets, a.gradOut)
 	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		// Fail before the optimizer bakes non-finite gradients into the
+		// parameters and both moment buffers.
+		return loss, fmt.Errorf("rl: non-finite minibatch loss at step %d: %w", a.steps+1, tensor.ErrNonFinite)
+	}
 	a.Online.Backward(a.gradOut)
 	// The optimizer pass fuses in the global-norm gradient clip (as a
 	// scale applied while gradients are read) and the target-network
-	// soft update, so the whole parameter working set is touched once.
+	// update, so the whole parameter working set is touched once. In
+	// soft-update mode the target is lerped every step; in hard-update
+	// mode the sweep fills the spare buffer on due steps (α=1) and the
+	// "update" below is a pointer swap.
 	gradScale := 1.0
 	if a.cfg.GradientClip > 0 {
 		if norm := nn.FlatNorm(a.Online.FlatGrads()); norm > a.cfg.GradientClip {
 			gradScale = a.cfg.GradientClip / norm
 		}
 	}
-	var target []float64
+	var target []E
 	alpha := 0.0
-	if a.cfg.UseTargetNet && a.cfg.HardUpdateEvery == 0 {
-		target = a.Target.FlatParams()
-		alpha = a.cfg.TargetUpdateα
+	hardDue := false
+	if a.cfg.UseTargetNet {
+		switch {
+		case a.cfg.HardUpdateEvery == 0:
+			target = a.Target.FlatParams()
+			alpha = a.cfg.TargetUpdateα
+		case (a.steps+1)%a.cfg.HardUpdateEvery == 0:
+			target = a.spare.FlatParams()
+			alpha = 1
+			hardDue = true
+		}
 	}
 	a.Opt.FusedStep(a.Online.FlatParams(), a.Online.FlatGrads(), gradScale, target, alpha)
 
 	a.steps++
-	if a.cfg.UseTargetNet && a.cfg.HardUpdateEvery > 0 && a.steps%a.cfg.HardUpdateEvery == 0 {
-		a.Target.CopyParamsFrom(a.Online)
+	if hardDue {
+		a.Target, a.spare = a.spare, a.Target
 	}
 
 	a.lastLoss = loss
@@ -282,13 +326,13 @@ func (a *Agent) TrainStep(b *replay.Batch) (float64, error) {
 }
 
 // Steps returns the number of training steps performed.
-func (a *Agent) Steps() int64 { return a.steps }
+func (a *Agent[E]) Steps() int64 { return a.steps }
 
 // LastLoss returns the most recent minibatch loss.
-func (a *Agent) LastLoss() float64 { return a.lastLoss }
+func (a *Agent[E]) LastLoss() float64 { return a.lastLoss }
 
 // SmoothedLoss returns an EWMA of the training loss (Figure 5's series).
-func (a *Agent) SmoothedLoss() float64 { return a.lossEWMA }
+func (a *Agent[E]) SmoothedLoss() float64 { return a.lossEWMA }
 
 // SetDoubleDQN toggles the Double-DQN target rule at runtime.
-func (a *Agent) SetDoubleDQN(on bool) { a.cfg.DoubleDQN = on }
+func (a *Agent[E]) SetDoubleDQN(on bool) { a.cfg.DoubleDQN = on }

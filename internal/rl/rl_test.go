@@ -107,14 +107,14 @@ func TestConfigValidate(t *testing.T) {
 
 func TestNewAgentValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	if _, err := NewAgent(Config{}, nil, 4, 3, rng); err == nil {
+	if _, err := NewAgent[float64](Config{}, nil, 4, 3, rng); err == nil {
 		t.Fatal("zero config must fail validation")
 	}
-	if _, err := NewAgent(DefaultConfig(), nil, 0, 3, rng); err == nil {
+	if _, err := NewAgent[float64](DefaultConfig(), nil, 0, 3, rng); err == nil {
 		t.Fatal("zero obsWidth must fail")
 	}
 	bad := NewEpsilonSchedule(0)
-	if _, err := NewAgent(DefaultConfig(), bad, 4, 3, rng); err == nil {
+	if _, err := NewAgent[float64](DefaultConfig(), bad, 4, 3, rng); err == nil {
 		t.Fatal("invalid epsilon schedule must fail")
 	}
 }
@@ -123,7 +123,7 @@ func TestSelectActionEpsilonExtremes(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	// ε pinned at 1.0 forever: all actions random.
 	eps := &EpsilonSchedule{Initial: 1, Final: 1, AnnealTicks: 1}
-	a, err := NewAgent(DefaultConfig(), eps, 4, 3, rng)
+	a, err := NewAgent[float64](DefaultConfig(), eps, 4, 3, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestSelectActionEpsilonExtremes(t *testing.T) {
 		t.Fatalf("counts = %d random, %d calculated", random, calc)
 	}
 	// ε = 0: always the greedy action.
-	a2, _ := NewAgent(DefaultConfig(), nil, 4, 3, rng)
+	a2, _ := NewAgent[float64](DefaultConfig(), nil, 4, 3, rng)
 	greedy := a2.GreedyAction(obs)
 	for i := 0; i < 50; i++ {
 		if got := a2.SelectAction(obs, 0); got != greedy {
@@ -153,7 +153,7 @@ func TestSelectActionEpsilonExtremes(t *testing.T) {
 
 func TestQValuesShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	a, _ := NewAgent(DefaultConfig(), nil, 6, 5, rng)
+	a, _ := NewAgent[float64](DefaultConfig(), nil, 6, 5, rng)
 	q := a.QValues(make([]float64, 6))
 	if len(q) != 5 {
 		t.Fatalf("QValues len = %d", len(q))
@@ -169,12 +169,12 @@ func TestTrainStepReducesBellmanError(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	cfg := DefaultConfig()
 	cfg.LearningRate = 1e-3
-	a, err := NewAgent(cfg, nil, 4, 3, rng)
+	a, err := NewAgent[float64](cfg, nil, 4, 3, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	n, w := 32, 4
-	b := &replay.Batch{
+	b := &replay.Batch[float64]{
 		States:     make([]float64, n*w),
 		NextStates: make([]float64, n*w),
 		Actions:    make([]int, n),
@@ -222,7 +222,7 @@ func TestTargetNetworkLagsOnline(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	cfg := DefaultConfig()
 	cfg.LearningRate = 1e-2
-	a, _ := NewAgent(cfg, nil, 3, 2, rng)
+	a, _ := NewAgent[float64](cfg, nil, 3, 2, rng)
 	b := syntheticBatch(rng, 16, 3, 2)
 	distBefore := paramDistance(a.Online, a.Target)
 	if distBefore != 0 {
@@ -243,7 +243,7 @@ func TestHardTargetUpdate(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LearningRate = 1e-2
 	cfg.HardUpdateEvery = 5
-	a, _ := NewAgent(cfg, nil, 3, 2, rng)
+	a, _ := NewAgent[float64](cfg, nil, 3, 2, rng)
 	b := syntheticBatch(rng, 16, 3, 2)
 	for i := 0; i < 4; i++ {
 		a.TrainStep(b)
@@ -261,7 +261,7 @@ func TestNoTargetNetAblation(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	cfg := DefaultConfig()
 	cfg.UseTargetNet = false
-	a, _ := NewAgent(cfg, nil, 3, 2, rng)
+	a, _ := NewAgent[float64](cfg, nil, 3, 2, rng)
 	b := syntheticBatch(rng, 8, 3, 2)
 	for i := 0; i < 10; i++ {
 		if _, err := a.TrainStep(b); err != nil {
@@ -277,7 +277,7 @@ func TestNoTargetNetAblation(t *testing.T) {
 
 func TestNewAgentWithNetworkRestoresShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	net := nn.NewMLP(rng, nn.ActTanh, 5, 7, 4)
+	net := nn.NewMLP[float64](rng, nn.ActTanh, 5, 7, 4)
 	a, err := NewAgentWithNetwork(DefaultConfig(), nil, net, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -313,7 +313,7 @@ func TestDQNLearnsHillClimb(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Gamma = 0.9
 	cfg.LearningRate = 1e-3
-	net := nn.NewMLP(rng, nn.ActTanh, 2, 24, 24, 3)
+	net := nn.NewMLP[float64](rng, nn.ActTanh, 2, 24, 24, 3)
 	eps := NewEpsilonSchedule(ticks / 2)
 	agent, err := NewAgentWithNetwork(cfg, eps, net, rng)
 	if err != nil {
@@ -376,8 +376,8 @@ func TestDQNLearnsHillClimb(t *testing.T) {
 	}
 }
 
-func syntheticBatch(rng *rand.Rand, n, w, nActions int) *replay.Batch {
-	b := &replay.Batch{
+func syntheticBatch(rng *rand.Rand, n, w, nActions int) *replay.Batch[float64] {
+	b := &replay.Batch[float64]{
 		States:     make([]float64, n*w),
 		NextStates: make([]float64, n*w),
 		Actions:    make([]int, n),
@@ -396,7 +396,7 @@ func syntheticBatch(rng *rand.Rand, n, w, nActions int) *replay.Batch {
 	return b
 }
 
-func paramDistance(a, b *nn.MLP) float64 {
+func paramDistance(a, b *nn.MLP[float64]) float64 {
 	var d float64
 	pa, pb := a.Params(), b.Params()
 	for i := range pa {
@@ -417,7 +417,7 @@ func TestDoubleDQNLearns(t *testing.T) {
 	cfg.LearningRate = 1e-3
 	cfg.DoubleDQN = true
 	db, _ := replay.New(replay.Config{FrameWidth: 2, StackTicks: 1})
-	net := nn.NewMLP(rng, nn.ActTanh, 2, 24, 24, 3)
+	net := nn.NewMLP[float64](rng, nn.ActTanh, 2, 24, 24, 3)
 	agent, err := NewAgentWithNetwork(cfg, NewEpsilonSchedule(3000), net, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -455,12 +455,12 @@ func TestDoubleDQNLearns(t *testing.T) {
 // networks, the two target rules must produce different updates.
 func TestDoubleDQNTargetsDifferFromVanilla(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	mk := func(double bool) *Agent {
+	mk := func(double bool) *Agent[float64] {
 		cfg := DefaultConfig()
 		cfg.LearningRate = 1e-2
 		cfg.DoubleDQN = double
 		r := rand.New(rand.NewSource(9))
-		a, _ := NewAgent(cfg, nil, 3, 4, r)
+		a, _ := NewAgent[float64](cfg, nil, 3, 4, r)
 		// Desynchronize the target network so selection and evaluation
 		// genuinely differ.
 		for _, p := range a.Target.Params() {
@@ -486,7 +486,7 @@ func TestHuberLossOptionTrains(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LearningRate = 1e-3
 	cfg.HuberDelta = 1.0
-	a, err := NewAgent(cfg, nil, 4, 3, rng)
+	a, err := NewAgent[float64](cfg, nil, 4, 3, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -509,7 +509,7 @@ func TestHuberLossOptionTrains(t *testing.T) {
 // action space) — the anti-camping initialization.
 func TestZeroHeadInitPrefersNull(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
-	a, err := NewAgent(DefaultConfig(), nil, 6, 5, rng)
+	a, err := NewAgent[float64](DefaultConfig(), nil, 6, 5, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

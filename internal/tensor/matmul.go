@@ -6,15 +6,18 @@ import "fmt"
 // MulTransAInto, MulTransBInto) validates shapes, then dispatches to a
 // cache-blocked, 4-way-unrolled kernel — serially for small products,
 // sharded over the package worker pool (pool.go) for large ones. The
-// naive reference kernels the package started with are kept at the
-// bottom of this file; the property tests in matmul_test.go hold the
-// optimized kernels to the reference results within floating-point
-// reassociation tolerance on ragged shapes.
+// kernels are generic over the element type; float32 instantiations run
+// the identical blocking/unrolling with half the memory traffic per
+// element. The naive reference kernels the package started with are kept
+// at the bottom of this file — always at their instantiated precision —
+// and the property tests in matmul_test.go hold the optimized kernels to
+// float64 references within precision-scaled reassociation tolerance on
+// ragged shapes.
 //
 // Blocking constants: a blockK×blockJ tile of the right-hand operand is
-// blockK*blockJ*8 = 256 KiB, sized to stay resident in L2 while every
-// destination row in the shard sweeps it; the destination row segment
-// (blockJ*8 = 2 KiB) lives in L1.
+// blockK*blockJ elements — 256 KiB at float64, 128 KiB at float32 —
+// sized to stay resident in L2 while every destination row in the shard
+// sweeps it; the destination row segment (blockJ elements) lives in L1.
 const (
 	blockK = 128
 	blockJ = 256
@@ -28,7 +31,7 @@ const parallelFlops = 1 << 17
 
 // MulInto computes dst = a·b. dst must be a.Rows × b.Cols and must not
 // alias a or b.
-func MulInto(dst, a, b *Matrix) {
+func MulInto[E Element](dst, a, b *Matrix[E]) {
 	if a.Cols != b.Rows {
 		panic(dimErr("Mul", a, b))
 	}
@@ -43,15 +46,15 @@ func MulInto(dst, a, b *Matrix) {
 }
 
 // Mul returns a·b in a fresh matrix.
-func Mul(a, b *Matrix) *Matrix {
-	dst := New(a.Rows, b.Cols)
+func Mul[E Element](a, b *Matrix[E]) *Matrix[E] {
+	dst := New[E](a.Rows, b.Cols)
 	MulInto(dst, a, b)
 	return dst
 }
 
 // MulTransAInto computes dst = aᵀ·b without materializing aᵀ.
 // dst must be a.Cols × b.Cols and must not alias a or b.
-func MulTransAInto(dst, a, b *Matrix) {
+func MulTransAInto[E Element](dst, a, b *Matrix[E]) {
 	if a.Rows != b.Rows {
 		panic(dimErr("MulTransA", a, b))
 	}
@@ -67,7 +70,7 @@ func MulTransAInto(dst, a, b *Matrix) {
 
 // MulTransBInto computes dst = a·bᵀ without materializing bᵀ.
 // dst must be a.Rows × b.Rows and must not alias a or b.
-func MulTransBInto(dst, a, b *Matrix) {
+func MulTransBInto[E Element](dst, a, b *Matrix[E]) {
 	if a.Cols != b.Cols {
 		panic(dimErr("MulTransB", a, b))
 	}
@@ -86,7 +89,11 @@ func MulTransBInto(dst, a, b *Matrix) {
 // block of b stays cache-resident across the row sweep, with the k loop
 // unrolled 4-wide so four rows of b stream against one load/store of the
 // destination segment.
-func mulRows(dst, a, b *Matrix, lo, hi int) {
+func mulRows[E Element](dst, a, b *Matrix[E], lo, hi int) {
+	if d, x, y, ok := asF32(dst, a, b); ok {
+		mulRowsF32(d, x, y, lo, hi)
+		return
+	}
 	n, kTot := b.Cols, a.Cols
 	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*n : (i+1)*n]
@@ -170,7 +177,11 @@ func mulRows(dst, a, b *Matrix, lo, hi int) {
 // Σ_k a[k][i]·b[k][j]. k (the shared row index of a and b) is unrolled
 // 4-wide. The k extent here is a minibatch (≤ a few hundred rows), so b
 // fits in cache and no tiling is needed.
-func mulTransARows(dst, a, b *Matrix, lo, hi int) {
+func mulTransARows[E Element](dst, a, b *Matrix[E], lo, hi int) {
+	if d, x, y, ok := asF32(dst, a, b); ok {
+		mulTransAF32(d, x, y, lo, hi)
+		return
+	}
 	n, kTot, ac := b.Cols, a.Rows, a.Cols
 	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*n : (i+1)*n]
@@ -244,9 +255,13 @@ func mulTransARows(dst, a, b *Matrix, lo, hi int) {
 // two at a time so each load of a feeds two dot products, with four
 // independent accumulators per product so the FPU pipelines overlap
 // instead of serializing on one sum.
-func mulTransBRows(dst, a, b *Matrix, lo, hi int) {
+func mulTransBRows[E Element](dst, a, b *Matrix[E], lo, hi int) {
+	if d, x, y, ok := asF32(dst, a, b); ok {
+		mulTransBF32(d, x, y, lo, hi)
+		return
+	}
 	kTot, dn := a.Cols, b.Rows
-	// blockTB rows of b ≈ blockTB·kTot·8 bytes resident per tile.
+	// blockTB rows of b ≈ blockTB·kTot elements resident per tile.
 	const blockTB = 64
 	for j0 := 0; j0 < dn; j0 += blockTB {
 		j1 := j0 + blockTB
@@ -260,8 +275,8 @@ func mulTransBRows(dst, a, b *Matrix, lo, hi int) {
 			for ; j+2 <= j1; j += 2 {
 				b0 := b.Data[j*kTot : (j+1)*kTot]
 				b1 := b.Data[(j+1)*kTot : (j+2)*kTot]
-				var s00, s01, s02, s03 float64
-				var s10, s11, s12, s13 float64
+				var s00, s01, s02, s03 E
+				var s10, s11, s12, s13 E
 				k := 0
 				for ; k+4 <= kTot; k += 4 {
 					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
@@ -285,7 +300,7 @@ func mulTransBRows(dst, a, b *Matrix, lo, hi int) {
 			}
 			for ; j < j1; j++ {
 				brow := b.Data[j*kTot : (j+1)*kTot]
-				var s0, s1, s2, s3 float64
+				var s0, s1, s2, s3 E
 				k := 0
 				for ; k+4 <= kTot; k += 4 {
 					s0 += arow[k] * brow[k]
@@ -305,9 +320,11 @@ func mulTransBRows(dst, a, b *Matrix, lo, hi int) {
 
 // ---------------------------------------------------------------------------
 // Naive reference kernels — the package's original implementations, kept
-// as the golden reference for the kernel-equivalence property tests.
+// as the golden reference for the kernel-equivalence property tests. At
+// float64 they are the canonical results the optimized kernels of both
+// precisions are held to (with tolerances scaled by Eps[E]).
 
-func mulNaiveInto(dst, a, b *Matrix) {
+func mulNaiveInto[E Element](dst, a, b *Matrix[E]) {
 	dst.Zero()
 	n := b.Cols
 	for i := 0; i < a.Rows; i++ {
@@ -325,7 +342,7 @@ func mulNaiveInto(dst, a, b *Matrix) {
 	}
 }
 
-func mulTransANaiveInto(dst, a, b *Matrix) {
+func mulTransANaiveInto[E Element](dst, a, b *Matrix[E]) {
 	dst.Zero()
 	n := b.Cols
 	for k := 0; k < a.Rows; k++ {
@@ -343,13 +360,13 @@ func mulTransANaiveInto(dst, a, b *Matrix) {
 	}
 }
 
-func mulTransBNaiveInto(dst, a, b *Matrix) {
+func mulTransBNaiveInto[E Element](dst, a, b *Matrix[E]) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 		for j := 0; j < b.Rows; j++ {
 			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var sum float64
+			var sum E
 			for k, av := range arow {
 				sum += av * brow[k]
 			}

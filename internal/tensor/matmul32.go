@@ -1,0 +1,152 @@
+package tensor
+
+// float32 kernel specializations. The generic kernels in matmul.go
+// dispatch here when the element type is exactly float32 (named
+// ~float32 types keep the generic scalar path): same cache blocking,
+// same row sharding, but the innermost loops run on the 4-lane float32
+// vector primitives of simd_amd64.s (scalar fallbacks elsewhere). Each
+// row's arithmetic is independent of the shard layout, so worker count
+// still never changes results bit for bit.
+
+// mulRowsF32 is mulRows for float32: the (k-unrolled × j-segment) inner
+// update is a 4-operand AXPY over the destination segment.
+func mulRowsF32(dst, a, b *Matrix[float32], lo, hi int) {
+	n, kTot := b.Cols, a.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	for k0 := 0; k0 < kTot; k0 += blockK {
+		k1 := k0 + blockK
+		if k1 > kTot {
+			k1 = kTot
+		}
+		for j0 := 0; j0 < n; j0 += blockJ {
+			j1 := j0 + blockJ
+			if j1 > n {
+				j1 = n
+			}
+			seg := j1 - j0
+			n4 := seg &^ 3
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*kTot : (i+1)*kTot]
+				drow := dst.Data[i*n+j0 : i*n+j1]
+				k := k0
+				for ; k+4 <= k1; k += 4 {
+					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					b0 := b.Data[k*n+j0 : k*n+j1]
+					b1 := b.Data[(k+1)*n+j0 : (k+1)*n+j1]
+					b2 := b.Data[(k+2)*n+j0 : (k+2)*n+j1]
+					b3 := b.Data[(k+3)*n+j0 : (k+3)*n+j1]
+					if n4 > 0 {
+						saxpy4SSE(drow[:n4], b0[:n4], b1[:n4], b2[:n4], b3[:n4], a0, a1, a2, a3)
+					}
+					for j := n4; j < seg; j++ {
+						drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[k*n+j0 : k*n+j1]
+					if n4 > 0 {
+						saxpy1SSE(drow[:n4], brow[:n4], av)
+					}
+					for j := n4; j < seg; j++ {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// mulTransAF32 is mulTransARows for float32: each destination row is an
+// AXPY accumulation of b's rows weighted by one (strided) column of a.
+func mulTransAF32(dst, a, b *Matrix[float32], lo, hi int) {
+	n, kTot, ac := b.Cols, a.Rows, a.Cols
+	n4 := n &^ 3
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		k := 0
+		for ; k+4 <= kTot; k += 4 {
+			a0 := a.Data[k*ac+i]
+			a1 := a.Data[(k+1)*ac+i]
+			a2 := a.Data[(k+2)*ac+i]
+			a3 := a.Data[(k+3)*ac+i]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.Data[k*n : (k+1)*n]
+			b1 := b.Data[(k+1)*n : (k+2)*n]
+			b2 := b.Data[(k+2)*n : (k+3)*n]
+			b3 := b.Data[(k+3)*n : (k+4)*n]
+			if n4 > 0 {
+				saxpy4SSE(drow[:n4], b0[:n4], b1[:n4], b2[:n4], b3[:n4], a0, a1, a2, a3)
+			}
+			for j := n4; j < n; j++ {
+				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < kTot; k++ {
+			av := a.Data[k*ac+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			if n4 > 0 {
+				saxpy1SSE(drow[:n4], brow[:n4], av)
+			}
+			for j := n4; j < n; j++ {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// mulTransBF32 is mulTransBRows for float32: each output element is a
+// vector dot product along the shared k axis, with b tiled so the
+// active rows stay cache-resident.
+func mulTransBF32(dst, a, b *Matrix[float32], lo, hi int) {
+	kTot, dn := a.Cols, b.Rows
+	const blockTB = 64
+	k4 := kTot &^ 3
+	for j0 := 0; j0 < dn; j0 += blockTB {
+		j1 := j0 + blockTB
+		if j1 > dn {
+			j1 = dn
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*kTot : (i+1)*kTot]
+			drow := dst.Data[i*dn : (i+1)*dn]
+			for j := j0; j < j1; j++ {
+				brow := b.Data[j*kTot : (j+1)*kTot]
+				var s float32
+				if k4 > 0 {
+					s = sdotSSE(arow[:k4], brow[:k4])
+				}
+				for k := k4; k < kTot; k++ {
+					s += arow[k] * brow[k]
+				}
+				drow[j] = s
+			}
+		}
+	}
+}
+
+// asF32 reports whether the matrices are concretely float32 (not a
+// named ~float32 type) and returns the reinterpreted headers.
+func asF32[E Element](dst, a, b *Matrix[E]) (d, x, y *Matrix[float32], ok bool) {
+	d, ok = any(dst).(*Matrix[float32])
+	if !ok {
+		return nil, nil, nil, false
+	}
+	return d, any(a).(*Matrix[float32]), any(b).(*Matrix[float32]), true
+}

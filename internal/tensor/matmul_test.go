@@ -36,9 +36,9 @@ func TestMulIntoMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for _, s := range raggedShapes {
 		r, k, c := s[0], s[1], s[2]
-		a := randomMatrix(rng, r, k)
-		b := randomMatrix(rng, k, c)
-		got, want := New(r, c), New(r, c)
+		a := randomMatrix[float64](rng, r, k)
+		b := randomMatrix[float64](rng, k, c)
+		got, want := New[float64](r, c), New[float64](r, c)
 		MulInto(got, a, b)
 		mulNaiveInto(want, a, b)
 		if !ApproxEqual(got, want, tolEquiv) {
@@ -52,9 +52,9 @@ func TestMulTransAMatchesNaive(t *testing.T) {
 	for _, s := range raggedShapes {
 		// a is k×r so aᵀ·b has shape r×c with shared dimension k.
 		r, k, c := s[0], s[1], s[2]
-		a := randomMatrix(rng, k, r)
-		b := randomMatrix(rng, k, c)
-		got, want := New(r, c), New(r, c)
+		a := randomMatrix[float64](rng, k, r)
+		b := randomMatrix[float64](rng, k, c)
+		got, want := New[float64](r, c), New[float64](r, c)
 		MulTransAInto(got, a, b)
 		mulTransANaiveInto(want, a, b)
 		if !ApproxEqual(got, want, tolEquiv) {
@@ -67,9 +67,9 @@ func TestMulTransBMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for _, s := range raggedShapes {
 		r, k, c := s[0], s[1], s[2]
-		a := randomMatrix(rng, r, k)
-		b := randomMatrix(rng, c, k)
-		got, want := New(r, c), New(r, c)
+		a := randomMatrix[float64](rng, r, k)
+		b := randomMatrix[float64](rng, c, k)
+		got, want := New[float64](r, c), New[float64](r, c)
 		MulTransBInto(got, a, b)
 		mulTransBNaiveInto(want, a, b)
 		if !ApproxEqual(got, want, tolEquiv) {
@@ -84,27 +84,27 @@ func TestMulIntoMatchesNaiveQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r, k, c := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
-		a := randomMatrix(rng, r, k)
-		b := randomMatrix(rng, k, c)
+		a := randomMatrix[float64](rng, r, k)
+		b := randomMatrix[float64](rng, k, c)
 		// Sprinkle zeros to hit the zero-skip branches.
 		for i := range a.Data {
 			if rng.Intn(4) == 0 {
 				a.Data[i] = 0
 			}
 		}
-		got, want := New(r, c), New(r, c)
+		got, want := New[float64](r, c), New[float64](r, c)
 		MulInto(got, a, b)
 		mulNaiveInto(want, a, b)
 		if !ApproxEqual(got, want, tolEquiv) {
 			return false
 		}
-		gotTA, wantTA := New(r, c), New(r, c)
+		gotTA, wantTA := New[float64](r, c), New[float64](r, c)
 		MulTransAInto(gotTA, Transpose(a), b)
 		mulTransANaiveInto(wantTA, Transpose(a), b)
 		if !ApproxEqual(gotTA, wantTA, tolEquiv) {
 			return false
 		}
-		gotTB, wantTB := New(r, c), New(r, c)
+		gotTB, wantTB := New[float64](r, c), New[float64](r, c)
 		MulTransBInto(gotTB, a, Transpose(b))
 		mulTransBNaiveInto(wantTB, a, Transpose(b))
 		return ApproxEqual(gotTB, wantTB, tolEquiv)
@@ -125,19 +125,19 @@ func TestParallelKernelsMatchSerial(t *testing.T) {
 	shapes := [][3]int{{64, 64, 64}, {96, 130, 70}, {32, 640, 640}, {640, 32, 640}}
 	for _, s := range shapes {
 		r, k, c := s[0], s[1], s[2]
-		a := randomMatrix(rng, r, k)
-		b := randomMatrix(rng, k, c)
+		a := randomMatrix[float64](rng, r, k)
+		b := randomMatrix[float64](rng, k, c)
 		at := Transpose(a)
 		bt := Transpose(b)
 
 		SetWorkers(1)
-		serialMul, serialTA, serialTB := New(r, c), New(r, c), New(r, c)
+		serialMul, serialTA, serialTB := New[float64](r, c), New[float64](r, c), New[float64](r, c)
 		MulInto(serialMul, a, b)
 		MulTransAInto(serialTA, at, b)
 		MulTransBInto(serialTB, a, bt)
 
 		SetWorkers(4)
-		parMul, parTA, parTB := New(r, c), New(r, c), New(r, c)
+		parMul, parTA, parTB := New[float64](r, c), New[float64](r, c), New[float64](r, c)
 		MulInto(parMul, a, b)
 		MulTransAInto(parTA, at, b)
 		MulTransBInto(parTB, a, bt)
@@ -163,14 +163,14 @@ func TestParallelKernelsConcurrentCallers(t *testing.T) {
 	defer SetWorkers(0)
 	const callers = 6
 	rng := rand.New(rand.NewSource(15))
-	a := randomMatrix(rng, 64, 96)
-	b := randomMatrix(rng, 96, 80)
-	want := New(64, 80)
+	a := randomMatrix[float64](rng, 64, 96)
+	b := randomMatrix[float64](rng, 96, 80)
+	want := New[float64](64, 80)
 	mulNaiveInto(want, a, b)
 	done := make(chan error, callers)
 	for g := 0; g < callers; g++ {
 		go func() {
-			dst := New(64, 80)
+			dst := New[float64](64, 80)
 			for i := 0; i < 50; i++ {
 				MulInto(dst, a, b)
 				if !ApproxEqual(dst, want, tolEquiv) {
@@ -196,15 +196,15 @@ func TestParallelKernelsConcurrentCallers(t *testing.T) {
 func TestSetWorkersDuringKernels(t *testing.T) {
 	defer SetWorkers(0)
 	rng := rand.New(rand.NewSource(16))
-	a := randomMatrix(rng, 64, 96)
-	b := randomMatrix(rng, 96, 80)
-	want := New(64, 80)
+	a := randomMatrix[float64](rng, 64, 96)
+	b := randomMatrix[float64](rng, 96, 80)
+	want := New[float64](64, 80)
 	mulNaiveInto(want, a, b)
 	stop := make(chan struct{})
 	done := make(chan error, 2)
 	for g := 0; g < 2; g++ {
 		go func() {
-			dst := New(64, 80)
+			dst := New[float64](64, 80)
 			for {
 				select {
 				case <-stop:
@@ -251,10 +251,10 @@ func TestMaxPerRowInto(t *testing.T) {
 }
 
 // randomMatrix returns an r×c matrix with uniform values in [-1, 1).
-func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
-	m := New(r, c)
+func randomMatrix[E Element](rng *rand.Rand, r, c int) *Matrix[E] {
+	m := New[E](r, c)
 	for i := range m.Data {
-		m.Data[i] = rng.Float64()*2 - 1
+		m.Data[i] = E(rng.Float64()*2 - 1)
 	}
 	return m
 }
@@ -262,15 +262,18 @@ func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
 // benchmark shapes: the CAPES train step multiplies batch×width by
 // width×width (hidden layers) and width×actions (head).
 func BenchmarkMulInto(b *testing.B) {
-	for _, n := range []int{64, 256} {
-		b.Run(sizeName(n, n, n), func(b *testing.B) {
-			benchMulInto(b, n, n, n)
+	shapes := [][3]int{{64, 64, 64}, {256, 256, 256}, {32, 640, 640}}
+	// The 32×640·640×640 entry is the minibatch train-forward shape
+	// (obsWidth 64, stack 10).
+	for _, s := range shapes {
+		s := s
+		b.Run(sizeName(s[0], s[1], s[2])+"/f64", func(b *testing.B) {
+			benchMulInto[float64](b, s[0], s[1], s[2])
+		})
+		b.Run(sizeName(s[0], s[1], s[2])+"/f32", func(b *testing.B) {
+			benchMulInto[float32](b, s[0], s[1], s[2])
 		})
 	}
-	// The minibatch shape: 32×640 · 640×640 (obsWidth 64, stack 10).
-	b.Run(sizeName(32, 640, 640), func(b *testing.B) {
-		benchMulInto(b, 32, 640, 640)
-	})
 }
 
 func sizeName(r, k, c int) string {
@@ -290,13 +293,13 @@ func sizeName(r, k, c int) string {
 	return digits(r) + "x" + digits(k) + "x" + digits(c)
 }
 
-func benchMulInto(b *testing.B, r, k, c int) {
+func benchMulInto[E Element](b *testing.B, r, k, c int) {
 	rng := rand.New(rand.NewSource(1))
-	a := randomMatrix(rng, r, k)
-	m := randomMatrix(rng, k, c)
-	dst := New(r, c)
+	a := randomMatrix[E](rng, r, k)
+	m := randomMatrix[E](rng, k, c)
+	dst := New[E](r, c)
 	b.ReportAllocs()
-	b.SetBytes(int64(8 * r * k * c))
+	b.SetBytes(int64(ElemSize[E]() * r * k * c))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MulInto(dst, a, m)
@@ -306,9 +309,9 @@ func benchMulInto(b *testing.B, r, k, c int) {
 func BenchmarkMulTransAInto(b *testing.B) {
 	// GradW shape: (32×640)ᵀ · 32×640 → 640×640.
 	rng := rand.New(rand.NewSource(1))
-	a := randomMatrix(rng, 32, 640)
-	m := randomMatrix(rng, 32, 640)
-	dst := New(640, 640)
+	a := randomMatrix[float64](rng, 32, 640)
+	m := randomMatrix[float64](rng, 32, 640)
+	dst := New[float64](640, 640)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -319,9 +322,9 @@ func BenchmarkMulTransAInto(b *testing.B) {
 func BenchmarkMulTransBInto(b *testing.B) {
 	// gradIn shape: 32×640 · (640×640)ᵀ.
 	rng := rand.New(rand.NewSource(1))
-	a := randomMatrix(rng, 32, 640)
-	m := randomMatrix(rng, 640, 640)
-	dst := New(32, 640)
+	a := randomMatrix[float64](rng, 32, 640)
+	m := randomMatrix[float64](rng, 640, 640)
+	dst := New[float64](32, 640)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

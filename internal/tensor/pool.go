@@ -6,19 +6,31 @@ import (
 	"sync/atomic"
 )
 
-// Persistent worker pool for the matrix kernels. The pool is started
-// lazily on the first large multiplication and shards contiguous
-// row-blocks of the destination matrix across GOMAXPROCS goroutines.
-// Small products (in particular the 1×N action-path matmuls) never touch
-// the pool: the dispatchers in matmul.go fall back to the serial kernels
-// below the size thresholds, so there is no goroutine or channel overhead
-// on the latency-critical path.
+// Persistent worker pool for the matrix kernels and for flat-arena
+// sweeps (ParallelFor). The pool is started lazily on the first large
+// operation and shards contiguous row- or element-blocks across
+// GOMAXPROCS goroutines. Small products (in particular the 1×N
+// action-path matmuls) never touch the pool: the dispatchers in
+// matmul.go fall back to the serial kernels below the size thresholds,
+// so there is no goroutine or channel overhead on the latency-critical
+// path.
 //
 // The job plumbing is allocation-free in steady state: job descriptors
-// are plain structs sent by value on the channel and the per-call task
-// headers are recycled through a sync.Pool, so a parallel multiplication
-// does not allocate (a property the rl.TrainStep zero-allocation
-// benchmarks assert end to end).
+// are plain structs sent by value on the channel, the per-call task
+// headers are recycled through sync.Pools, and a Ranger is always a
+// pointer (interface conversion of a pointer does not allocate), so a
+// parallel multiplication or sharded optimizer sweep does not allocate
+// (a property the rl.TrainStep zero-allocation tests assert end to end).
+// One pool serves every element-type instantiation: jobs carry the work
+// as a Ranger, so float32 and float64 kernels (and non-tensor sweeps
+// like the fused Adam pass) interleave on the same workers.
+
+// Ranger is a unit of shardable work: RunRange processes the half-open
+// block [lo, hi) of some caller-defined index space. Implementations
+// must be safe for concurrent invocation on disjoint ranges.
+type Ranger interface {
+	RunRange(lo, hi int)
+}
 
 // mmKind selects the kernel a worker runs for a row range.
 type mmKind int8
@@ -30,25 +42,71 @@ const (
 )
 
 // mmTask is one parallel multiplication: the operands plus a WaitGroup
-// the submitting goroutine blocks on. Recycled via taskPool.
-type mmTask struct {
+// the submitting goroutine blocks on. Recycled via the precision-keyed
+// task pools.
+type mmTask[E Element] struct {
 	kind      mmKind
-	dst, a, b *Matrix
+	dst, a, b *Matrix[E]
 	wg        sync.WaitGroup
 }
 
-// mmJob is one row-block of a task. Sent by value: channel sends of
-// structs do not allocate.
-type mmJob struct {
-	task   *mmTask
+// RunRange implements Ranger over rows [lo, hi) of the destination.
+func (t *mmTask[E]) RunRange(lo, hi int) {
+	switch t.kind {
+	case mmMul:
+		mulRows(t.dst, t.a, t.b, lo, hi)
+	case mmMulTransA:
+		mulTransARows(t.dst, t.a, t.b, lo, hi)
+	case mmMulTransB:
+		mulTransBRows(t.dst, t.a, t.b, lo, hi)
+	}
+}
+
+// job is one block of a task. Sent by value: channel sends of structs
+// do not allocate.
+type job struct {
+	run    Ranger
+	wg     *sync.WaitGroup
 	lo, hi int
 }
 
-var taskPool = sync.Pool{New: func() any { return new(mmTask) }}
+// Task headers are recycled per element type. Instantiations with named
+// element types fall back to allocating a fresh header (correct, just
+// not recycled); the two standard precisions hit the pools.
+var (
+	taskPool32 = sync.Pool{New: func() any { return new(mmTask[float32]) }}
+	taskPool64 = sync.Pool{New: func() any { return new(mmTask[float64]) }}
+)
+
+func getTask[E Element]() *mmTask[E] {
+	var z E
+	var v any
+	switch any(z).(type) {
+	case float32:
+		v = taskPool32.Get()
+	case float64:
+		v = taskPool64.Get()
+	default:
+		return new(mmTask[E])
+	}
+	if t, ok := v.(*mmTask[E]); ok {
+		return t
+	}
+	return new(mmTask[E])
+}
+
+func putTask[E Element](t *mmTask[E]) {
+	switch v := any(t).(type) {
+	case *mmTask[float32]:
+		taskPool32.Put(v)
+	case *mmTask[float64]:
+		taskPool64.Put(v)
+	}
+}
 
 type workerPool struct {
 	workers int
-	jobs    chan mmJob
+	jobs    chan job
 }
 
 // pool holds the current worker pool. Swaps (SetWorkers) take the full
@@ -77,7 +135,7 @@ func newWorkerPool(workers int) *workerPool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &workerPool{workers: workers, jobs: make(chan mmJob, 8*workers)}
+	p := &workerPool{workers: workers, jobs: make(chan job, 8*workers)}
 	// Spawn workers-1 helpers: the submitting goroutine always executes
 	// one block itself, so `workers` blocks run concurrently in total.
 	for i := 1; i < workers; i++ {
@@ -88,19 +146,8 @@ func newWorkerPool(workers int) *workerPool {
 
 func (p *workerPool) worker() {
 	for j := range p.jobs {
-		runRange(j.task, j.lo, j.hi)
-		j.task.wg.Done()
-	}
-}
-
-func runRange(t *mmTask, lo, hi int) {
-	switch t.kind {
-	case mmMul:
-		mulRows(t.dst, t.a, t.b, lo, hi)
-	case mmMulTransA:
-		mulTransARows(t.dst, t.a, t.b, lo, hi)
-	case mmMulTransB:
-		mulTransBRows(t.dst, t.a, t.b, lo, hi)
+		j.run.RunRange(j.lo, j.hi)
+		j.wg.Done()
 	}
 }
 
@@ -135,7 +182,7 @@ const minShardRows = 8
 // dispatch runs the kernel for rows [0, n) of dst, sharding across the
 // pool when the caller judged the product large enough. The final block
 // runs on the calling goroutine.
-func dispatch(kind mmKind, dst, a, b *Matrix, n int) {
+func dispatch[E Element](kind mmKind, dst, a, b *Matrix[E], n int) {
 	getPool() // bootstrap on first use (takes the write lock if needed)
 	// Hold the read lock from pool selection through the last send, so
 	// SetWorkers can neither close this pool's job channel mid-
@@ -148,11 +195,11 @@ func dispatch(kind mmKind, dst, a, b *Matrix, n int) {
 	}
 	if shards <= 1 {
 		poolMu.RUnlock()
-		t := mmTask{kind: kind, dst: dst, a: a, b: b}
-		runRange(&t, 0, n)
+		t := mmTask[E]{kind: kind, dst: dst, a: a, b: b}
+		t.RunRange(0, n)
 		return
 	}
-	t := taskPool.Get().(*mmTask)
+	t := getTask[E]()
 	t.kind, t.dst, t.a, t.b = kind, dst, a, b
 	// Even-sized blocks keep the kernels' row-pairing aligned with a
 	// serial run, so sharding never changes results bit-for-bit.
@@ -161,11 +208,61 @@ func dispatch(kind mmKind, dst, a, b *Matrix, n int) {
 	lo := 0
 	for ; lo+chunk < n; lo += chunk {
 		t.wg.Add(1)
-		p.jobs <- mmJob{task: t, lo: lo, hi: lo + chunk}
+		p.jobs <- job{run: t, wg: &t.wg, lo: lo, hi: lo + chunk}
 	}
 	poolMu.RUnlock()
-	runRange(t, lo, n) // caller chews the last block
+	t.RunRange(lo, n) // caller chews the last block
 	t.wg.Wait()
 	t.dst, t.a, t.b = nil, nil, nil
-	taskPool.Put(t)
+	putTask(t)
+}
+
+// parHeader carries the completion WaitGroup for one ParallelFor call;
+// recycled so sharded sweeps stay allocation-free.
+type parHeader struct{ wg sync.WaitGroup }
+
+var parPool = sync.Pool{New: func() any { return new(parHeader) }}
+
+// ParallelFor shards the half-open index range [0, n) across the kernel
+// worker pool, invoking r.RunRange once per block; the final block runs
+// on the calling goroutine and the call returns only when every block
+// has completed. Blocks are at least minChunk wide — when n/minChunk
+// leaves a single shard (or the pool is one worker), the whole range
+// runs serially on the caller with no synchronization at all.
+//
+// Each index lands in exactly one block, so element-independent sweeps
+// (the fused Adam/clip/soft-update pass) produce bit-identical results
+// at any worker count. r should be a pointer persisted across calls
+// (interface conversion of a pointer does not allocate), keeping the
+// steady state allocation-free.
+func ParallelFor(n, minChunk int, r Ranger) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	getPool()
+	poolMu.RLock()
+	p := pool.Load()
+	shards := p.workers
+	if max := n / minChunk; shards > max {
+		shards = max
+	}
+	if shards <= 1 {
+		poolMu.RUnlock()
+		r.RunRange(0, n)
+		return
+	}
+	h := parPool.Get().(*parHeader)
+	chunk := (n + shards - 1) / shards
+	lo := 0
+	for ; lo+chunk < n; lo += chunk {
+		h.wg.Add(1)
+		p.jobs <- job{run: r, wg: &h.wg, lo: lo, hi: lo + chunk}
+	}
+	poolMu.RUnlock()
+	r.RunRange(lo, n) // caller chews the last block
+	h.wg.Wait()
+	parPool.Put(h)
 }

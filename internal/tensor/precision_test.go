@@ -1,0 +1,222 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// equivTol returns the elementwise tolerance for holding an optimized
+// kernel at precision E to the float64 naive golden reference: the
+// k-long accumulation reassociates and rounds at Eps[E], so the bound
+// scales with both. The constant is generous (observed error is ~10×
+// smaller) but still ~5 decimal digits at float32/k=640.
+func equivTol[E Element](k int) float64 {
+	tol := 16 * Eps[E]() * float64(k)
+	if min := 64 * Eps[E](); tol < min {
+		tol = min
+	}
+	return tol
+}
+
+// widen lifts a matrix of E into float64 exactly (float32→float64 is
+// lossless), so the golden kernels see the identical operand values.
+func widen[E Element](m *Matrix[E]) *Matrix[float64] {
+	w := New[float64](m.Rows, m.Cols)
+	ConvertFrom(w, m)
+	return w
+}
+
+// checkKernelsAgainstGolden runs all three optimized kernels at
+// precision E against the float64 naive references on one shape set.
+func checkKernelsAgainstGolden[E Element](t *testing.T, shapes [][3]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	for _, s := range shapes {
+		r, k, c := s[0], s[1], s[2]
+		tol := equivTol[E](k)
+
+		a := randomMatrix[E](rng, r, k)
+		b := randomMatrix[E](rng, k, c)
+		got := New[E](r, c)
+		MulInto(got, a, b)
+		want := New[float64](r, c)
+		mulNaiveInto(want, widen(a), widen(b))
+		if !approxEqualWidened(got, want, tol) {
+			t.Fatalf("MulInto[%T] %dx%dx%d deviates from float64 golden (tol %g)", *new(E), r, k, c, tol)
+		}
+
+		at := randomMatrix[E](rng, k, r) // aᵀ·b shares dimension k
+		MulTransAInto(got, at, b)
+		mulTransANaiveInto(want, widen(at), widen(b))
+		if !approxEqualWidened(got, want, tol) {
+			t.Fatalf("MulTransAInto[%T] %dx%dx%d deviates from float64 golden (tol %g)", *new(E), r, k, c, tol)
+		}
+
+		bt := randomMatrix[E](rng, c, k) // a·bᵀ shares dimension k
+		MulTransBInto(got, a, bt)
+		mulTransBNaiveInto(want, widen(a), widen(bt))
+		if !approxEqualWidened(got, want, tol) {
+			t.Fatalf("MulTransBInto[%T] %dx%dx%d deviates from float64 golden (tol %g)", *new(E), r, k, c, tol)
+		}
+	}
+}
+
+func approxEqualWidened[E Element](got *Matrix[E], want *Matrix[float64], tol float64) bool {
+	return ApproxEqual(widen(got), want, tol)
+}
+
+// TestKernelEquivalenceAcrossPrecisions is the cross-precision golden
+// test the float32 hot path rests on: both instantiations of the
+// blocked/unrolled/parallel kernels must match the float64 naive
+// references within precision-scaled tolerance across ragged shapes
+// (including shapes that cross the parallel threshold).
+func TestKernelEquivalenceAcrossPrecisions(t *testing.T) {
+	t.Run("float32", func(t *testing.T) { checkKernelsAgainstGolden[float32](t, raggedShapes) })
+	t.Run("float64", func(t *testing.T) { checkKernelsAgainstGolden[float64](t, raggedShapes) })
+}
+
+// TestParallelKernelsMatchSerialFloat32 mirrors the float64 bit-for-bit
+// shard-determinism test at float32: even-sized shard blocks keep the
+// row-pairing aligned with a serial run, so worker count never changes
+// results at either precision.
+func TestParallelKernelsMatchSerialFloat32(t *testing.T) {
+	defer SetWorkers(0)
+	rng := rand.New(rand.NewSource(43))
+	shapes := [][3]int{{64, 64, 64}, {96, 130, 70}, {32, 640, 640}}
+	for _, s := range shapes {
+		r, k, c := s[0], s[1], s[2]
+		a := randomMatrix[float32](rng, r, k)
+		b := randomMatrix[float32](rng, k, c)
+		at := Transpose(a)
+		bt := Transpose(b)
+
+		SetWorkers(1)
+		serialMul, serialTA, serialTB := New[float32](r, c), New[float32](r, c), New[float32](r, c)
+		MulInto(serialMul, a, b)
+		MulTransAInto(serialTA, at, b)
+		MulTransBInto(serialTB, a, bt)
+
+		SetWorkers(4)
+		parMul, parTA, parTB := New[float32](r, c), New[float32](r, c), New[float32](r, c)
+		MulInto(parMul, a, b)
+		MulTransAInto(parTA, at, b)
+		MulTransBInto(parTB, a, bt)
+
+		if !Equal(parMul, serialMul) || !Equal(parTA, serialTA) || !Equal(parTB, serialTB) {
+			t.Fatalf("parallel float32 kernels deviate from serial on %v", s)
+		}
+	}
+}
+
+// countingRanger records how many times each index of [0, n) was
+// visited; ParallelFor must cover every index exactly once regardless of
+// worker count or chunking.
+type countingRanger struct {
+	hits []atomic.Int32
+}
+
+func (c *countingRanger) RunRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c.hits[i].Add(1)
+	}
+}
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 3, 8} {
+		SetWorkers(workers)
+		for _, n := range []int{0, 1, 7, 64, 1000, 4097} {
+			for _, minChunk := range []int{1, 8, 512} {
+				c := &countingRanger{hits: make([]atomic.Int32, n)}
+				ParallelFor(n, minChunk, c)
+				for i := range c.hits {
+					if got := c.hits[i].Load(); got != 1 {
+						t.Fatalf("workers=%d n=%d minChunk=%d: index %d visited %d times", workers, n, minChunk, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// sumRanger is a trivially shardable sweep used for the allocation test.
+type sumRanger struct {
+	data []float64
+	out  []float64
+}
+
+func (s *sumRanger) RunRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.out[i] = s.data[i] * 2
+	}
+}
+
+// TestParallelForAllocFree pins the allocation-free property of the
+// sharded sweep path: a persistent Ranger pointer plus pooled headers
+// means steady-state calls allocate nothing (the fused Adam sweep in
+// internal/nn depends on this for the zero-alloc train step).
+func TestParallelForAllocFree(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	const n = 1 << 14
+	r := &sumRanger{data: make([]float64, n), out: make([]float64, n)}
+	ParallelFor(n, 1024, r) // warm the header pool
+	allocs := testing.AllocsPerRun(50, func() {
+		ParallelFor(n, 1024, r)
+	})
+	if allocs != 0 {
+		t.Fatalf("ParallelFor allocates %v per call in steady state", allocs)
+	}
+}
+
+// TestConvert checks the one sanctioned precision-conversion helper in
+// both directions, including exactness of widening.
+func TestConvert(t *testing.T) {
+	src := []float32{1, -2.5, 3.25}
+	dst := make([]float64, 3)
+	Convert(dst, src)
+	for i, v := range src {
+		if dst[i] != float64(v) {
+			t.Fatalf("widening Convert[%d] = %v", i, dst[i])
+		}
+	}
+	back := make([]float32, 3)
+	Convert(back, dst)
+	for i, v := range src {
+		if back[i] != v {
+			t.Fatalf("float32→float64→float32 not lossless at %d", i)
+		}
+	}
+}
+
+func TestElemSizeAndEps(t *testing.T) {
+	if ElemSize[float32]() != 4 || ElemSize[float64]() != 8 {
+		t.Fatal("ElemSize wrong")
+	}
+	if Eps[float32]() != 0x1p-23 || Eps[float64]() != 0x1p-52 {
+		t.Fatal("Eps wrong")
+	}
+}
+
+// TestFastTanh32Accuracy holds the rational float32 tanh to math.Tanh
+// within a few float32 ulps across the full clamp range, including the
+// saturated tails and the tiny-input shortcut.
+func TestFastTanh32Accuracy(t *testing.T) {
+	worst := 0.0
+	for i := -200_000; i <= 200_000; i++ {
+		x := float64(i) / 20_000 // [-10, 10] in 5e-5 steps
+		got := float64(FastTanh32(float32(x)))
+		want := math.Tanh(x)
+		if d := math.Abs(got - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 4e-7 {
+		t.Fatalf("FastTanh32 worst abs error %g, want ≤ 4e-7", worst)
+	}
+	if FastTanh32(0) != 0 || FastTanh32(100) > 1 || FastTanh32(-100) < -1 {
+		t.Fatal("FastTanh32 bounds violated")
+	}
+}

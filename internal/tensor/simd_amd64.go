@@ -1,0 +1,41 @@
+//go:build amd64
+
+package tensor
+
+// SSE vector primitives for the float32 kernels. SSE2 is part of the
+// amd64 baseline (GOAMD64=v1), so no runtime feature detection is
+// needed: every amd64 build gets 4 float32 lanes per XMM register,
+// which is where the float32 hot path's end-to-end speedup over float64
+// comes from on compute-bound hosts (Go's scalar codegen issues one
+// MULSS/MULSD per element regardless of width; these kernels issue one
+// MULPS per four float32s). All operations are IEEE-exact (MULPS/ADDPS/
+// SQRTPS are correctly rounded), so the vector kernels round identically
+// to the scalar float32 loops element for element — only the summation
+// *order* of reductions differs, which the precision-scaled equivalence
+// tolerances already cover.
+//
+// The assembly bodies live in simd_amd64.s; callers must pass slice
+// lengths that are multiples of 4 (they mask with &^3 and handle tails
+// in Go).
+
+const haveSIMD32 = true
+
+// saxpy4SSE computes dst[j] += a0·x0[j] + a1·x1[j] + a2·x2[j] + a3·x3[j]
+// for j in [0, len(dst)). len(dst) must be a multiple of 4 and each xi
+// at least as long as dst.
+//
+//go:noescape
+func saxpy4SSE(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32)
+
+// saxpy1SSE computes dst[j] += a0·x0[j]. len(dst) must be a multiple
+// of 4.
+//
+//go:noescape
+func saxpy1SSE(dst, x0 []float32, a0 float32)
+
+// sdotSSE returns Σ a[j]·b[j]. len(a) must be a multiple of 4 and
+// len(b) ≥ len(a). The reduction runs in two vector accumulators folded
+// at the end — a fixed order, so results are deterministic.
+//
+//go:noescape
+func sdotSSE(a, b []float32) float32

@@ -1,0 +1,171 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func saxpy4SSE(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32)
+// dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j], len(dst) % 4 == 0.
+TEXT ·saxpy4SSE(SB), NOSPLIT, $0-136
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x0_base+24(FP), R8
+	MOVQ x1_base+48(FP), R9
+	MOVQ x2_base+72(FP), R10
+	MOVQ x3_base+96(FP), R11
+	MOVSS a0+120(FP), X4
+	SHUFPS $0x00, X4, X4
+	MOVSS a1+124(FP), X5
+	SHUFPS $0x00, X5, X5
+	MOVSS a2+128(FP), X6
+	SHUFPS $0x00, X6, X6
+	MOVSS a3+132(FP), X7
+	SHUFPS $0x00, X7, X7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+saxpy4_loop8:
+	CMPQ AX, DX
+	JGE  saxpy4_tail4
+	MOVUPS (R8)(AX*4), X0
+	MOVUPS 16(R8)(AX*4), X8
+	MULPS  X4, X0
+	MULPS  X4, X8
+	MOVUPS (R9)(AX*4), X1
+	MOVUPS 16(R9)(AX*4), X9
+	MULPS  X5, X1
+	MULPS  X5, X9
+	ADDPS  X1, X0
+	ADDPS  X9, X8
+	MOVUPS (R10)(AX*4), X2
+	MOVUPS 16(R10)(AX*4), X10
+	MULPS  X6, X2
+	MULPS  X6, X10
+	ADDPS  X2, X0
+	ADDPS  X10, X8
+	MOVUPS (R11)(AX*4), X3
+	MOVUPS 16(R11)(AX*4), X11
+	MULPS  X7, X3
+	MULPS  X7, X11
+	ADDPS  X3, X0
+	ADDPS  X11, X8
+	MOVUPS (DI)(AX*4), X12
+	MOVUPS 16(DI)(AX*4), X13
+	ADDPS  X12, X0
+	ADDPS  X13, X8
+	MOVUPS X0, (DI)(AX*4)
+	MOVUPS X8, 16(DI)(AX*4)
+	ADDQ   $8, AX
+	JMP    saxpy4_loop8
+
+saxpy4_tail4:
+	CMPQ AX, CX
+	JGE  saxpy4_done
+	MOVUPS (R8)(AX*4), X0
+	MULPS  X4, X0
+	MOVUPS (R9)(AX*4), X1
+	MULPS  X5, X1
+	ADDPS  X1, X0
+	MOVUPS (R10)(AX*4), X2
+	MULPS  X6, X2
+	ADDPS  X2, X0
+	MOVUPS (R11)(AX*4), X3
+	MULPS  X7, X3
+	ADDPS  X3, X0
+	MOVUPS (DI)(AX*4), X12
+	ADDPS  X12, X0
+	MOVUPS X0, (DI)(AX*4)
+	ADDQ   $4, AX
+	JMP    saxpy4_tail4
+
+saxpy4_done:
+	RET
+
+// func saxpy1SSE(dst, x0 []float32, a0 float32)
+// dst[j] += a0*x0[j], len(dst) % 4 == 0.
+TEXT ·saxpy1SSE(SB), NOSPLIT, $0-52
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x0_base+24(FP), R8
+	MOVSS a0+48(FP), X4
+	SHUFPS $0x00, X4, X4
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+saxpy1_loop8:
+	CMPQ AX, DX
+	JGE  saxpy1_tail4
+	MOVUPS (R8)(AX*4), X0
+	MOVUPS 16(R8)(AX*4), X1
+	MULPS  X4, X0
+	MULPS  X4, X1
+	MOVUPS (DI)(AX*4), X2
+	MOVUPS 16(DI)(AX*4), X3
+	ADDPS  X2, X0
+	ADDPS  X3, X1
+	MOVUPS X0, (DI)(AX*4)
+	MOVUPS X1, 16(DI)(AX*4)
+	ADDQ   $8, AX
+	JMP    saxpy1_loop8
+
+saxpy1_tail4:
+	CMPQ AX, CX
+	JGE  saxpy1_done
+	MOVUPS (R8)(AX*4), X0
+	MULPS  X4, X0
+	MOVUPS (DI)(AX*4), X2
+	ADDPS  X2, X0
+	MOVUPS X0, (DI)(AX*4)
+	ADDQ   $4, AX
+	JMP    saxpy1_tail4
+
+saxpy1_done:
+	RET
+
+// func sdotSSE(a, b []float32) float32
+// Returns sum(a[j]*b[j]); len(a) % 4 == 0. Two vector accumulators,
+// folded at the end — a fixed reduction order, so deterministic.
+TEXT ·sdotSSE(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	XORPS X0, X0
+	XORPS X1, X1
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+sdot_loop8:
+	CMPQ AX, DX
+	JGE  sdot_tail4
+	MOVUPS (SI)(AX*4), X2
+	MOVUPS (DI)(AX*4), X3
+	MULPS  X3, X2
+	ADDPS  X2, X0
+	MOVUPS 16(SI)(AX*4), X4
+	MOVUPS 16(DI)(AX*4), X5
+	MULPS  X5, X4
+	ADDPS  X4, X1
+	ADDQ   $8, AX
+	JMP    sdot_loop8
+
+sdot_tail4:
+	CMPQ AX, CX
+	JGE  sdot_fold
+	MOVUPS (SI)(AX*4), X2
+	MOVUPS (DI)(AX*4), X3
+	MULPS  X3, X2
+	ADDPS  X2, X0
+	ADDQ   $4, AX
+	JMP    sdot_tail4
+
+sdot_fold:
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	MOVHLPS X0, X1
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	ADDSS  X1, X0
+	MOVSS  X0, ret+48(FP)
+	RET

@@ -1,0 +1,39 @@
+//go:build !amd64
+
+package tensor
+
+// Portable fallbacks for the float32 vector primitives. Non-amd64
+// builds run these scalar loops (the compiler may still auto-select
+// wider instructions on some targets); the float32 specializations in
+// matmul32.go call them through the same names, so the kernel structure
+// is identical everywhere.
+
+const haveSIMD32 = false
+
+func saxpy4SSE(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32) {
+	for j := range dst {
+		dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j]
+	}
+}
+
+func saxpy1SSE(dst, x0 []float32, a0 float32) {
+	for j := range dst {
+		dst[j] += a0 * x0[j]
+	}
+}
+
+func sdotSSE(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	j := 0
+	for ; j+4 <= len(a); j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; j < len(a); j++ {
+		s += a[j] * b[j]
+	}
+	return s
+}

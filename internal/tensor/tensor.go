@@ -1,9 +1,18 @@
-// Package tensor implements the dense float64 matrix and vector math that
-// backs the neural-network code in internal/nn. It replaces the role
+// Package tensor implements the dense matrix and vector math that backs
+// the neural-network code in internal/nn. It replaces the role
 // TensorFlow played in the original CAPES prototype: plain row-major
 // matrices, matrix multiplication (with transposed variants so backprop
 // never materializes explicit transposes), elementwise kernels, and
 // Xavier/Glorot random initialization.
+//
+// The whole package is generic over the element type E ~float32|~float64
+// (the Element constraint). The DQN hot path instantiates at float32 —
+// the train step is memory-bandwidth-bound in situ, so halving the
+// element size is the single biggest lever on step latency — while the
+// golden-reference kernels and the statistics helpers default to
+// float64. Reductions that feed stability decisions (norms, finiteness
+// checks, loss sums) always accumulate in float64 regardless of E, so a
+// float32 instantiation cannot silently lose a divergence signal.
 //
 // The package is deliberately small and allocation-conscious: every
 // operation has an "into destination" form so the training loop can reuse
@@ -15,76 +24,144 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"unsafe"
 )
 
-// Matrix is a dense row-major matrix of float64.
-type Matrix struct {
+// Element constrains the numeric element types the package supports.
+type Element interface {
+	~float32 | ~float64
+}
+
+// ElemSize returns the in-memory size of one element of E in bytes.
+func ElemSize[E Element]() int {
+	var z E
+	return int(unsafe.Sizeof(z))
+}
+
+// Eps returns the machine epsilon of E (2⁻²³ for float32, 2⁻⁵² for
+// float64). Equivalence tests scale their tolerances by it so one
+// property test covers both precisions.
+func Eps[E Element]() float64 {
+	if ElemSize[E]() == 4 {
+		return 0x1p-23
+	}
+	return 0x1p-52
+}
+
+// Sqrt returns √x in the element type (compiles to the native sqrt
+// instruction for both precisions).
+func Sqrt[E Element](x E) E { return E(math.Sqrt(float64(x))) }
+
+// Tanh returns tanh(x), computed in float64 for accuracy and rounded to E.
+func Tanh[E Element](x E) E { return E(math.Tanh(float64(x))) }
+
+// Abs returns |x|.
+func Abs[E Element](x E) E {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// IsFinite reports whether x is neither NaN nor ±Inf.
+func IsFinite[E Element](x E) bool {
+	f := float64(x)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// Convert copies src into dst elementwise, rounding or widening as
+// needed. Lengths must match. This is the one sanctioned precision
+// boundary: cross-precision paths (checkpoint restore, observation
+// assembly) convert exactly once, directly into the destination buffer,
+// never through an intermediate float64 slice.
+func Convert[D, S Element](dst []D, src []S) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Convert length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = D(v)
+	}
+}
+
+// Matrix is a dense row-major matrix of E.
+type Matrix[E Element] struct {
 	Rows, Cols int
-	Data       []float64 // len == Rows*Cols, row-major
+	Data       []E // len == Rows*Cols, row-major
 }
 
 // New returns a zeroed rows×cols matrix.
-func New(rows, cols int) *Matrix {
+func New[E Element](rows, cols int) *Matrix[E] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative dimensions %d×%d", rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	return &Matrix[E]{Rows: rows, Cols: cols, Data: make([]E, rows*cols)}
 }
 
 // FromSlice wraps data (row-major) in a rows×cols matrix without copying.
-func FromSlice(rows, cols int, data []float64) *Matrix {
+func FromSlice[E Element](rows, cols int, data []E) *Matrix[E] {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("tensor: FromSlice got %d values for %d×%d", len(data), rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: data}
+	return &Matrix[E]{Rows: rows, Cols: cols, Data: data}
 }
 
 // Clone returns a deep copy of m.
-func (m *Matrix) Clone() *Matrix {
-	c := New(m.Rows, m.Cols)
+func (m *Matrix[E]) Clone() *Matrix[E] {
+	c := New[E](m.Rows, m.Cols)
 	copy(c.Data, m.Data)
 	return c
 }
 
 // At returns the element at row i, column j.
-func (m *Matrix) At(i, j int) float64 {
+func (m *Matrix[E]) At(i, j int) E {
 	return m.Data[i*m.Cols+j]
 }
 
 // Set assigns the element at row i, column j.
-func (m *Matrix) Set(i, j int, v float64) {
+func (m *Matrix[E]) Set(i, j int, v E) {
 	m.Data[i*m.Cols+j] = v
 }
 
 // Row returns the i-th row as a slice sharing storage with m.
-func (m *Matrix) Row(i int) []float64 {
+func (m *Matrix[E]) Row(i int) []E {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
 // Zero resets every element to 0.
-func (m *Matrix) Zero() {
+func (m *Matrix[E]) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
 }
 
 // Fill sets every element to v.
-func (m *Matrix) Fill(v float64) {
+func (m *Matrix[E]) Fill(v E) {
 	for i := range m.Data {
 		m.Data[i] = v
 	}
 }
 
 // CopyFrom copies src into m; dimensions must match.
-func (m *Matrix) CopyFrom(src *Matrix) {
+func (m *Matrix[E]) CopyFrom(src *Matrix[E]) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(dimErr("CopyFrom", m, src))
 	}
 	copy(m.Data, src.Data)
 }
 
+// ConvertFrom copies src into m elementwise across precisions; shapes
+// must match. Used by the cross-precision equivalence tests to lift a
+// float32 operand into the float64 golden kernels.
+func ConvertFrom[D, S Element](dst *Matrix[D], src *Matrix[S]) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: ConvertFrom shape mismatch %d×%d vs %d×%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	Convert(dst.Data, src.Data)
+}
+
 // Equal reports whether a and b have identical shape and elements.
-func Equal(a, b *Matrix) bool {
+func Equal[E Element](a, b *Matrix[E]) bool {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return false
 	}
@@ -97,25 +174,25 @@ func Equal(a, b *Matrix) bool {
 }
 
 // ApproxEqual reports whether a and b match within tol elementwise.
-func ApproxEqual(a, b *Matrix, tol float64) bool {
+func ApproxEqual[E Element](a, b *Matrix[E], tol float64) bool {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return false
 	}
 	for i, v := range a.Data {
-		if math.Abs(v-b.Data[i]) > tol {
+		if math.Abs(float64(v-b.Data[i])) > tol {
 			return false
 		}
 	}
 	return true
 }
 
-func dimErr(op string, a, b *Matrix) string {
+func dimErr[E Element](op string, a, b *Matrix[E]) string {
 	return fmt.Sprintf("tensor: %s dimension mismatch %d×%d vs %d×%d", op, a.Rows, a.Cols, b.Rows, b.Cols)
 }
 
 // Transpose returns mᵀ in a fresh matrix.
-func Transpose(m *Matrix) *Matrix {
-	t := New(m.Cols, m.Rows)
+func Transpose[E Element](m *Matrix[E]) *Matrix[E] {
+	t := New[E](m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
 			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
@@ -125,7 +202,7 @@ func Transpose(m *Matrix) *Matrix {
 }
 
 // AddInto computes dst = a + b elementwise; dst may alias a or b.
-func AddInto(dst, a, b *Matrix) {
+func AddInto[E Element](dst, a, b *Matrix[E]) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(dimErr("Add", a, b))
 	}
@@ -135,7 +212,7 @@ func AddInto(dst, a, b *Matrix) {
 }
 
 // SubInto computes dst = a - b elementwise; dst may alias a or b.
-func SubInto(dst, a, b *Matrix) {
+func SubInto[E Element](dst, a, b *Matrix[E]) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(dimErr("Sub", a, b))
 	}
@@ -145,14 +222,14 @@ func SubInto(dst, a, b *Matrix) {
 }
 
 // Scale multiplies every element of m by s in place.
-func (m *Matrix) Scale(s float64) {
+func (m *Matrix[E]) Scale(s E) {
 	for i := range m.Data {
 		m.Data[i] *= s
 	}
 }
 
 // AddScaled computes m += s·other in place (axpy).
-func (m *Matrix) AddScaled(other *Matrix, s float64) {
+func (m *Matrix[E]) AddScaled(other *Matrix[E], s E) {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
 		panic(dimErr("AddScaled", m, other))
 	}
@@ -163,7 +240,7 @@ func (m *Matrix) AddScaled(other *Matrix, s float64) {
 
 // Lerp computes m = (1-α)·m + α·other in place. This is the target-network
 // soft update θ⁻ = θ⁻×(1−α) + θ×α from the paper (§3.4).
-func (m *Matrix) Lerp(other *Matrix, alpha float64) {
+func (m *Matrix[E]) Lerp(other *Matrix[E], alpha E) {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
 		panic(dimErr("Lerp", m, other))
 	}
@@ -174,7 +251,7 @@ func (m *Matrix) Lerp(other *Matrix, alpha float64) {
 
 // AddRowVector adds the 1×Cols row vector v to every row of m in place.
 // Used to apply layer biases to a whole minibatch.
-func (m *Matrix) AddRowVector(v []float64) {
+func (m *Matrix[E]) AddRowVector(v []E) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector len %d for %d cols", len(v), m.Cols))
 	}
@@ -188,7 +265,7 @@ func (m *Matrix) AddRowVector(v []float64) {
 
 // ColSumsInto writes the per-column sums of m into dst (len m.Cols).
 // Used to accumulate bias gradients over a minibatch.
-func (m *Matrix) ColSumsInto(dst []float64) {
+func (m *Matrix[E]) ColSumsInto(dst []E) {
 	if len(dst) != m.Cols {
 		panic(fmt.Sprintf("tensor: ColSums dst len %d for %d cols", len(dst), m.Cols))
 	}
@@ -204,14 +281,14 @@ func (m *Matrix) ColSumsInto(dst []float64) {
 }
 
 // Apply sets each element to f(element) in place.
-func (m *Matrix) Apply(f func(float64) float64) {
+func (m *Matrix[E]) Apply(f func(E) E) {
 	for i, v := range m.Data {
 		m.Data[i] = f(v)
 	}
 }
 
 // HadamardInto computes dst = a ⊙ b elementwise; dst may alias a or b.
-func HadamardInto(dst, a, b *Matrix) {
+func HadamardInto[E Element](dst, a, b *Matrix[E]) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(dimErr("Hadamard", a, b))
 	}
@@ -222,8 +299,8 @@ func HadamardInto(dst, a, b *Matrix) {
 
 // MaxPerRow returns, for each row, the maximum value and its column index.
 // This is argmax_a Q(s,a) evaluated for a whole minibatch at once.
-func (m *Matrix) MaxPerRow() (vals []float64, idx []int) {
-	vals = make([]float64, m.Rows)
+func (m *Matrix[E]) MaxPerRow() (vals []E, idx []int) {
+	vals = make([]E, m.Rows)
 	idx = make([]int, m.Rows)
 	m.MaxPerRowInto(vals, idx)
 	return vals, idx
@@ -231,13 +308,13 @@ func (m *Matrix) MaxPerRow() (vals []float64, idx []int) {
 
 // MaxPerRowInto is MaxPerRow writing into caller-owned slices (each of
 // len m.Rows), for allocation-free training steps.
-func (m *Matrix) MaxPerRowInto(vals []float64, idx []int) {
+func (m *Matrix[E]) MaxPerRowInto(vals []E, idx []int) {
 	if len(vals) != m.Rows || len(idx) != m.Rows {
 		panic(fmt.Sprintf("tensor: MaxPerRowInto got len %d/%d for %d rows", len(vals), len(idx), m.Rows))
 	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
-		best, bi := math.Inf(-1), 0
+		best, bi := E(math.Inf(-1)), 0
 		for j, v := range row {
 			if v > best {
 				best, bi = v, j
@@ -247,27 +324,29 @@ func (m *Matrix) MaxPerRowInto(vals []float64, idx []int) {
 	}
 }
 
-// SumSquares returns Σ mᵢⱼ².
-func (m *Matrix) SumSquares() float64 {
+// SumSquares returns Σ mᵢⱼ², accumulated in float64 so a float32 matrix
+// cannot overflow the reduction before a norm-based guard sees it.
+func (m *Matrix[E]) SumSquares() float64 {
 	var s float64
 	for _, v := range m.Data {
-		s += v * v
+		f := float64(v)
+		s += f * f
 	}
 	return s
 }
 
 // NormL2 returns the Frobenius norm of m.
-func (m *Matrix) NormL2() float64 {
+func (m *Matrix[E]) NormL2() float64 {
 	return math.Sqrt(m.SumSquares())
 }
 
 // XavierFill initializes m with the Glorot/Xavier uniform distribution
 // U(−√(6/(fanIn+fanOut)), +√(6/(fanIn+fanOut))), the standard choice for
 // tanh MLPs such as the CAPES Q-network.
-func (m *Matrix) XavierFill(rng *rand.Rand, fanIn, fanOut int) {
+func (m *Matrix[E]) XavierFill(rng *rand.Rand, fanIn, fanOut int) {
 	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
 	for i := range m.Data {
-		m.Data[i] = (rng.Float64()*2 - 1) * limit
+		m.Data[i] = E((rng.Float64()*2 - 1) * limit)
 	}
 }
 
@@ -277,10 +356,11 @@ var ErrNonFinite = errors.New("tensor: non-finite value")
 // CheckFinite returns ErrNonFinite if any element is NaN or ±Inf. Training
 // code calls this as a divergence guard (DQN with nonlinear approximators
 // is known to be unstable; the paper leans on replay + target networks,
-// we additionally fail fast on numeric blowup).
-func (m *Matrix) CheckFinite() error {
+// we additionally fail fast on numeric blowup). The check is exact at
+// both precisions: float32→float64 conversion preserves NaN and ±Inf.
+func (m *Matrix[E]) CheckFinite() error {
 	for i, v := range m.Data {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		if !IsFinite(v) {
 			return fmt.Errorf("%w at flat index %d: %v", ErrNonFinite, i, v)
 		}
 	}
@@ -288,7 +368,7 @@ func (m *Matrix) CheckFinite() error {
 }
 
 // String renders small matrices for debugging.
-func (m *Matrix) String() string {
+func (m *Matrix[E]) String() string {
 	s := fmt.Sprintf("Matrix(%d×%d)[", m.Rows, m.Cols)
 	limit := 8
 	for i, v := range m.Data {
@@ -299,7 +379,7 @@ func (m *Matrix) String() string {
 		if i > 0 {
 			s += " "
 		}
-		s += fmt.Sprintf("%.4g", v)
+		s += fmt.Sprintf("%.4g", float64(v))
 	}
 	return s + "]"
 }

@@ -8,9 +8,9 @@ import (
 )
 
 func TestNewAndAccessors(t *testing.T) {
-	m := New(3, 4)
+	m := New[float64](3, 4)
 	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
-		t.Fatalf("New(3,4) = %d×%d len %d", m.Rows, m.Cols, len(m.Data))
+		t.Fatalf("New[float64](3,4) = %d×%d len %d", m.Rows, m.Cols, len(m.Data))
 	}
 	m.Set(2, 3, 7.5)
 	if got := m.At(2, 3); got != 7.5 {
@@ -60,9 +60,9 @@ func TestMulKnownValues(t *testing.T) {
 
 func TestMulIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	a := New(4, 4)
+	a := New[float64](4, 4)
 	a.XavierFill(rng, 4, 4)
-	id := New(4, 4)
+	id := New[float64](4, 4)
 	for i := 0; i < 4; i++ {
 		id.Set(i, i, 1)
 	}
@@ -80,7 +80,7 @@ func TestMulDimensionPanic(t *testing.T) {
 			t.Fatal("expected panic on inner-dimension mismatch")
 		}
 	}()
-	Mul(New(2, 3), New(2, 3))
+	Mul(New[float64](2, 3), New[float64](2, 3))
 }
 
 // TestMulTransAMatchesExplicitTranspose checks MulTransAInto against
@@ -89,10 +89,10 @@ func TestMulTransAMatchesExplicitTranspose(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r, c, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
-		a, b := New(r, c), New(r, n)
+		a, b := New[float64](r, c), New[float64](r, n)
 		a.XavierFill(rng, r, c)
 		b.XavierFill(rng, r, n)
-		dst := New(c, n)
+		dst := New[float64](c, n)
 		MulTransAInto(dst, a, b)
 		return ApproxEqual(dst, Mul(Transpose(a), b), 1e-10)
 	}
@@ -105,10 +105,10 @@ func TestMulTransBMatchesExplicitTranspose(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r, c, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
-		a, b := New(r, c), New(n, c)
+		a, b := New[float64](r, c), New[float64](n, c)
 		a.XavierFill(rng, r, c)
 		b.XavierFill(rng, n, c)
-		dst := New(r, n)
+		dst := New[float64](r, n)
 		MulTransBInto(dst, a, b)
 		return ApproxEqual(dst, Mul(a, Transpose(b)), 1e-10)
 	}
@@ -121,7 +121,7 @@ func TestTransposeInvolution(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
-		m := New(r, c)
+		m := New[float64](r, c)
 		m.XavierFill(rng, r, c)
 		return Equal(Transpose(Transpose(m)), m)
 	}
@@ -133,12 +133,12 @@ func TestTransposeInvolution(t *testing.T) {
 func TestAddSubScale(t *testing.T) {
 	a := FromSlice(1, 3, []float64{1, 2, 3})
 	b := FromSlice(1, 3, []float64{10, 20, 30})
-	sum := New(1, 3)
+	sum := New[float64](1, 3)
 	AddInto(sum, a, b)
 	if !Equal(sum, FromSlice(1, 3, []float64{11, 22, 33})) {
 		t.Fatalf("Add = %v", sum)
 	}
-	diff := New(1, 3)
+	diff := New[float64](1, 3)
 	SubInto(diff, b, a)
 	if !Equal(diff, FromSlice(1, 3, []float64{9, 18, 27})) {
 		t.Fatalf("Sub = %v", diff)
@@ -206,7 +206,7 @@ func TestAddRowVectorAndColSums(t *testing.T) {
 func TestHadamard(t *testing.T) {
 	a := FromSlice(1, 3, []float64{1, 2, 3})
 	b := FromSlice(1, 3, []float64{4, 5, 6})
-	dst := New(1, 3)
+	dst := New[float64](1, 3)
 	HadamardInto(dst, a, b)
 	if !Equal(dst, FromSlice(1, 3, []float64{4, 10, 18})) {
 		t.Fatalf("Hadamard = %v", dst)
@@ -226,7 +226,7 @@ func TestMaxPerRow(t *testing.T) {
 
 func TestXavierFillRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	m := New(50, 50)
+	m := New[float64](50, 50)
 	m.XavierFill(rng, 50, 50)
 	limit := math.Sqrt(6.0 / 100.0)
 	for _, v := range m.Data {
@@ -270,7 +270,7 @@ func TestMulTransposeIdentityProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r, c, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
-		a, b := New(r, c), New(c, n)
+		a, b := New[float64](r, c), New[float64](c, n)
 		a.XavierFill(rng, r, c)
 		b.XavierFill(rng, c, n)
 		lhs := Transpose(Mul(a, b))
@@ -296,7 +296,7 @@ func TestVectorHelpers(t *testing.T) {
 	if v := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(v-4.571428571) > 1e-6 {
 		t.Fatalf("Variance = %v", v)
 	}
-	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+	if Clamp(5.0, 0, 3) != 3 || Clamp(-1.0, 0, 3) != 0 || Clamp(2.0, 0, 3) != 2 {
 		t.Fatal("Clamp wrong")
 	}
 	if EWMA(10, 20, 0.5) != 15 {
@@ -305,11 +305,11 @@ func TestVectorHelpers(t *testing.T) {
 }
 
 func TestVarianceAndStddevDegenerate(t *testing.T) {
-	if Variance([]float64{5}) != 0 || Stddev(nil) != 0 {
+	if Variance([]float64{5}) != 0 || Stddev[float64](nil) != 0 {
 		t.Fatal("degenerate variance must be 0")
 	}
-	if Mean(nil) != 0 {
-		t.Fatal("Mean(nil) must be 0")
+	if Mean[float64](nil) != 0 {
+		t.Fatal("Mean[float64](nil) must be 0")
 	}
 }
 
@@ -324,10 +324,10 @@ func BenchmarkMul64(b *testing.B) { benchMul(b, 64) }
 
 func benchMul(b *testing.B, n int) {
 	rng := rand.New(rand.NewSource(1))
-	a, m := New(n, n), New(n, n)
+	a, m := New[float64](n, n), New[float64](n, n)
 	a.XavierFill(rng, n, n)
 	m.XavierFill(rng, n, n)
-	dst := New(n, n)
+	dst := New[float64](n, n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MulInto(dst, a, m)

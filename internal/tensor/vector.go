@@ -5,15 +5,17 @@ import (
 	"math"
 )
 
-// Vector helpers. Vectors are plain []float64; these free functions keep
-// the statistics and observation-assembly code out of hand-rolled loops.
+// Vector helpers. Vectors are plain []E; these free functions keep the
+// statistics and observation-assembly code out of hand-rolled loops.
+// The element type is inferred from the arguments, so float64 call sites
+// read exactly as they did before the package went generic.
 
 // Dot returns Σ aᵢ·bᵢ.
-func Dot(a, b []float64) float64 {
+func Dot[E Element](a, b []E) E {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
+	var s E
 	for i, v := range a {
 		s += v * b[i]
 	}
@@ -21,8 +23,8 @@ func Dot(a, b []float64) float64 {
 }
 
 // Sum returns Σ aᵢ.
-func Sum(a []float64) float64 {
-	var s float64
+func Sum[E Element](a []E) E {
+	var s E
 	for _, v := range a {
 		s += v
 	}
@@ -30,40 +32,40 @@ func Sum(a []float64) float64 {
 }
 
 // Mean returns the arithmetic mean of a, or 0 for an empty slice.
-func Mean(a []float64) float64 {
+func Mean[E Element](a []E) E {
 	if len(a) == 0 {
 		return 0
 	}
-	return Sum(a) / float64(len(a))
+	return Sum(a) / E(len(a))
 }
 
 // Variance returns the unbiased sample variance of a (0 if len<2).
-func Variance(a []float64) float64 {
+func Variance[E Element](a []E) E {
 	n := len(a)
 	if n < 2 {
 		return 0
 	}
 	m := Mean(a)
-	var s float64
+	var s E
 	for _, v := range a {
 		d := v - m
 		s += d * d
 	}
-	return s / float64(n-1)
+	return s / E(n-1)
 }
 
 // Stddev returns the unbiased sample standard deviation of a.
-func Stddev(a []float64) float64 {
-	return math.Sqrt(Variance(a))
+func Stddev[E Element](a []E) E {
+	return Sqrt(Variance(a))
 }
 
 // ArgMax returns the index of the largest element (first on ties).
 // Panics on an empty slice.
-func ArgMax(a []float64) int {
+func ArgMax[E Element](a []E) int {
 	if len(a) == 0 {
 		panic("tensor: ArgMax of empty slice")
 	}
-	best, bi := math.Inf(-1), 0
+	best, bi := E(math.Inf(-1)), 0
 	for i, v := range a {
 		if v > best {
 			best, bi = v, i
@@ -73,12 +75,12 @@ func ArgMax(a []float64) int {
 }
 
 // Max returns the largest element. Panics on an empty slice.
-func Max(a []float64) float64 {
+func Max[E Element](a []E) E {
 	return a[ArgMax(a)]
 }
 
 // Min returns the smallest element. Panics on an empty slice.
-func Min(a []float64) float64 {
+func Min[E Element](a []E) E {
 	if len(a) == 0 {
 		panic("tensor: Min of empty slice")
 	}
@@ -92,7 +94,7 @@ func Min(a []float64) float64 {
 }
 
 // Clamp returns v limited to [lo, hi].
-func Clamp(v, lo, hi float64) float64 {
+func Clamp[E Element](v, lo, hi E) E {
 	if v < lo {
 		return lo
 	}
@@ -105,12 +107,12 @@ func Clamp(v, lo, hi float64) float64 {
 // EWMA updates an exponentially weighted moving average: returns
 // (1-α)·prev + α·sample. The paper's Ack EWMA / Send EWMA secondary
 // performance indicators use this form.
-func EWMA(prev, sample, alpha float64) float64 {
+func EWMA[E Element](prev, sample, alpha E) E {
 	return prev*(1-alpha) + sample*alpha
 }
 
 // Scale multiplies every element of a by s in place and returns a.
-func Scale(a []float64, s float64) []float64 {
+func Scale[E Element](a []E, s E) []E {
 	for i := range a {
 		a[i] *= s
 	}
