@@ -75,9 +75,19 @@ check "BenchmarkTrainStep/obs64/f32"
 check "BenchmarkTrainStep/obs256/f64"
 check "BenchmarkSelectAction/f32"
 
+# The replay ring's two hot paths (PERF.md "Arena-backed replay ring"):
+# the per-tick frame write and Algorithm 1 minibatch assembly.
+check "BenchmarkReplayPut/ring"
+check "BenchmarkConstructMinibatch/obs256/f32"
+
 # Host-independent: the PERF.md acceptance ratios, with headroom for
 # noise (measured 2.5× / 3.1× on the reference host).
 ratio "BenchmarkTrainStep/obs256/f32" "BenchmarkTrainStep/obs256/f64" 1.4
 ratio "BenchmarkSelectAction/f32" "BenchmarkSelectAction/f64" 1.4
+
+# Host-independent: the arena-ring write must keep its margin over the
+# seed-style map store within the same run (measured ~4× on the
+# reference host).
+ratio "BenchmarkReplayPut/ring" "BenchmarkReplayPut/map" 2.5
 
 exit "$fail"

@@ -138,11 +138,19 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 		}
 		controller = func([]float64) error { return nil }
 	}
+	// The ring's Capacity is in ticks; the hyperparameter promises N
+	// retained frames. The engine writes one frame per sampling tick,
+	// so scale by the sampling interval to keep that promise when
+	// SamplingTickLength > 1.
+	replayCap := cfg.Hyper.ReplayCapacity
+	if replayCap > 0 && cfg.Hyper.SamplingTickLength > 1 {
+		replayCap = int(int64(replayCap) * cfg.Hyper.SamplingTickLength)
+	}
 	db, err := replay.New(replay.Config{
 		FrameWidth:       cfg.FrameWidth,
 		StackTicks:       cfg.Hyper.TicksPerObservation,
 		MissingTolerance: cfg.Hyper.MissingTolerance,
-		Capacity:         cfg.Hyper.ReplayCapacity,
+		Capacity:         replayCap,
 	})
 	if err != nil {
 		return nil, err
@@ -396,6 +404,7 @@ type Stats struct {
 	Vetoes        int64
 	TrainErrors   int64
 	ReplayRecords int
+	ReplayBytes   int64 // resident bytes of the replay ring (arena accounting)
 	RandomActions int64
 	CalcActions   int64
 }
@@ -411,6 +420,7 @@ func (e *Engine) Stats() Stats {
 		Vetoes:        e.vetoes,
 		TrainErrors:   e.trainErrors,
 		ReplayRecords: e.db.Len(),
+		ReplayBytes:   e.db.MemoryBytes(),
 		RandomActions: random,
 		CalcActions:   calc,
 	}

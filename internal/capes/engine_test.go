@@ -305,6 +305,54 @@ func TestEngineWorkloadChangeBumpsEpsilon(t *testing.T) {
 	}
 }
 
+// TestSessionRestoreRehomesReplay: the engine's current retention
+// configuration is authoritative over the snapshot's — restoring into
+// an engine with a different (or differently-scaled) ReplayCapacity
+// re-homes the records into a correctly-sized ring instead of adopting
+// the snapshot's window verbatim.
+func TestSessionRestoreRehomesReplay(t *testing.T) {
+	cfg, _ := smallConfig(t, true, true)
+	collector := func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil }
+	controller := func([]float64) error { return nil }
+	eng, err := NewEngine(cfg, collector, controller) // unbounded replay
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(1); tick <= 120; tick++ {
+		eng.Tick(tick)
+	}
+	dir := t.TempDir()
+	if err := eng.SaveSession(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2, _ := smallConfig(t, true, true)
+	cfg2.Hyper.ReplayCapacity = 40
+	eng2, err := NewEngine(cfg2, collector, controller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.RestoreSession(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := eng2.DB().Config()
+	if got.Capacity != 40 {
+		t.Fatalf("restored replay capacity %d, engine configured 40", got.Capacity)
+	}
+	if n := eng2.DB().Len(); n != 40 {
+		t.Fatalf("restored replay holds %d frames, want the newest 40", n)
+	}
+	mn, mx := eng2.DB().Bounds()
+	if mx != 120 || mn != 81 {
+		t.Fatalf("restored window (%d,%d), want (81,120)", mn, mx)
+	}
+	// The newest frames and actions survived the re-home intact.
+	f, ok := eng2.DB().FrameAt(120)
+	if !ok || f[2] != 3 {
+		t.Fatalf("FrameAt(120) = %v,%v", f, ok)
+	}
+}
+
 func TestSessionSaveRestore(t *testing.T) {
 	cfg, _ := smallConfig(t, true, true)
 	collector := func() (replay.Frame, error) { return replay.Frame{1, 2, 3}, nil }

@@ -36,8 +36,10 @@ type Hyperparameters struct {
 	TrainEvery int64
 	// TrainStartTicks delays training until the Replay DB has data.
 	TrainStartTicks int64
-	// ReplayCapacity bounds the Replay DB (0 = unbounded, as the paper's
-	// 70-hour SQLite DB effectively was).
+	// ReplayCapacity bounds the Replay DB to the newest N frames
+	// (0 = unbounded, as the paper's 70-hour SQLite DB effectively
+	// was). The engine scales it by SamplingTickLength when sizing the
+	// replay ring, whose own window unit is ticks.
 	ReplayCapacity int
 	// GradientClip bounds the global gradient norm (0 disables).
 	GradientClip float64

@@ -138,6 +138,35 @@ func (e *Engine) loadReplay(path string) error {
 		return fmt.Errorf("capes: replay snapshot shape %d×%d, engine %d×%d",
 			got.FrameWidth, got.StackTicks, want.FrameWidth, want.StackTicks)
 	}
+	if got != want {
+		// The snapshot was taken under different retention settings —
+		// e.g. a pre-ring checkpoint whose Capacity counted frames
+		// where the ring's window counts ticks, or an operator who
+		// changed ReplayCapacity between runs. The engine's current
+		// configuration is authoritative: re-home the records into a
+		// ring sized for it (float32 values round-trip exactly).
+		fresh, err := replay.New(want)
+		if err != nil {
+			return err
+		}
+		var rehomeErr error
+		db.Range(func(t int64, f replay.Frame, a int, hasAction bool) bool {
+			if f != nil {
+				if err := fresh.PutFrame(t, f); err != nil {
+					rehomeErr = fmt.Errorf("capes: re-home replay snapshot: %w", err)
+					return false
+				}
+			}
+			if hasAction {
+				fresh.PutAction(t, a)
+			}
+			return true
+		})
+		if rehomeErr != nil {
+			return rehomeErr
+		}
+		db = fresh
+	}
 	e.db = db
 	return nil
 }

@@ -222,6 +222,7 @@ type Totals struct {
 	Running       int   `json:"running"`
 	TrainSteps    int64 `json:"train_steps"`
 	ReplayRecords int   `json:"replay_records"`
+	ReplayBytes   int64 `json:"replay_bytes"`
 	Vetoes        int64 `json:"vetoes"`
 	TrainErrors   int64 `json:"train_errors"`
 	MissedSamples int64 `json:"missed_samples"`
@@ -239,6 +240,7 @@ func (m *Manager) AggregateStats() AggregateStats {
 		}
 		agg.Totals.TrainSteps += st.Engine.TrainSteps
 		agg.Totals.ReplayRecords += st.Engine.ReplayRecords
+		agg.Totals.ReplayBytes += st.Engine.ReplayBytes
 		agg.Totals.Vetoes += st.Engine.Vetoes
 		agg.Totals.TrainErrors += st.Engine.TrainErrors
 		agg.Totals.MissedSamples += st.Engine.MissedSamples

@@ -1,0 +1,202 @@
+package replay
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// allocFixture builds a bounded DB saturated past its capacity so every
+// subsequent write exercises the steady state: ring at final size,
+// window full, one eviction per new tick.
+func allocFixture(tb testing.TB, width, stack, capacity int) (*DB, int64) {
+	tb.Helper()
+	db, err := New(Config{FrameWidth: width, StackTicks: stack, MissingTolerance: 0.2, Capacity: capacity})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f := make(Frame, width)
+	tick := int64(0)
+	for ; tick < int64(2*capacity); tick++ {
+		for j := range f {
+			f[j] = float64(tick) + float64(j)
+		}
+		if err := db.PutFrame(tick, f); err != nil {
+			tb.Fatal(err)
+		}
+		db.PutAction(tick, int(tick)%3)
+	}
+	return db, tick
+}
+
+// The tentpole contract: at capacity, the write path and the minibatch
+// constructor touch only pre-sized ring storage — zero allocations per
+// operation, forever, no matter how many ticks flow through.
+
+func TestPutFrameAllocFree(t *testing.T) {
+	db, tick := allocFixture(t, 32, 4, 512)
+	f := make(Frame, 32)
+	if a := testing.AllocsPerRun(200, func() {
+		tick++
+		if err := db.PutFrame(tick, f); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("PutFrame at capacity: %v allocs/op, want 0", a)
+	}
+}
+
+func TestPutActionAllocFree(t *testing.T) {
+	db, tick := allocFixture(t, 32, 4, 512)
+	if a := testing.AllocsPerRun(200, func() {
+		tick++
+		db.PutAction(tick, 2)
+	}); a != 0 {
+		t.Fatalf("PutAction at capacity: %v allocs/op, want 0", a)
+	}
+}
+
+func TestConstructMinibatchIntoAllocFree(t *testing.T) {
+	db, _ := allocFixture(t, 32, 4, 512)
+	rng := rand.New(rand.NewSource(5))
+	rf := func(cur, next Frame) float64 { return next[0] - cur[0] }
+
+	var b32 Batch[float32]
+	if err := ConstructMinibatchInto(db, rng, 32, rf, &b32); err != nil {
+		t.Fatal(err) // warm-up sizes every buffer incl. reward scratch
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if err := ConstructMinibatchInto(db, rng, 32, rf, &b32); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("ConstructMinibatchInto[float32]: %v allocs/op, want 0", a)
+	}
+
+	var b64 Batch[float64]
+	if err := ConstructMinibatchInto(db, rng, 32, rf, &b64); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if err := ConstructMinibatchInto(db, rng, 32, rf, &b64); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("ConstructMinibatchInto[float64]: %v allocs/op, want 0", a)
+	}
+}
+
+func TestObservationIntoAllocFree(t *testing.T) {
+	db, tick := allocFixture(t, 32, 4, 512)
+	dst := make([]float32, db.ObservationWidth())
+	if a := testing.AllocsPerRun(200, func() {
+		if err := ObservationInto(db, dst, tick-1); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("ObservationInto: %v allocs/op, want 0", a)
+	}
+}
+
+// TestOneWriterManySamplersRace is the -race soak: one writer streaming
+// frames and actions through a bounded ring (continuous eviction and,
+// early on, ring growth) while N samplers concurrently construct
+// minibatches, assemble observations and read point lookups. Run under
+// `go test -race` (CI always does) this proves the one-writer/
+// many-readers locking discipline over the shared slab.
+func TestOneWriterManySamplersRace(t *testing.T) {
+	const (
+		width    = 8
+		stack    = 4
+		capacity = 256
+		samplers = 4
+	)
+	db, err := New(Config{FrameWidth: width, StackTicks: stack, MissingTolerance: 0.2, Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed enough history that samplers succeed immediately.
+	f := make(Frame, width)
+	var tick int64
+	for ; tick < 64; tick++ {
+		db.PutFrame(tick, f)
+		db.PutAction(tick, 1)
+	}
+
+	duration := 400 * time.Millisecond
+	if testing.Short() {
+		duration = 80 * time.Millisecond
+	}
+	deadline := time.Now().Add(duration)
+	var stop atomic.Bool
+	var sampled atomic.Int64
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // the Interface Daemon
+		defer wg.Done()
+		fr := make(Frame, width)
+		for !stop.Load() {
+			for j := range fr {
+				fr[j] = float64(tick) + float64(j)
+			}
+			if err := db.PutFrame(tick, fr); err != nil {
+				t.Error(err)
+				return
+			}
+			db.PutAction(tick, int(tick)%5)
+			tick++
+		}
+	}()
+
+	rf := func(cur, next Frame) float64 { return next[0] - cur[0] }
+	for i := 0; i < samplers; i++ {
+		wg.Add(1)
+		go func(seed int64) { // a DRL engine reader
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var batch Batch[float32]
+			obs := make([]float32, db.ObservationWidth())
+			for !stop.Load() {
+				err := ConstructMinibatchInto(db, rng, 16, rf, &batch)
+				switch {
+				case err == nil:
+					sampled.Add(1)
+				case errors.Is(err, ErrInsufficientData):
+				default:
+					t.Error(err)
+					return
+				}
+				_, hi := db.Bounds()
+				if err := ObservationInto(db, obs, hi); err != nil && !errors.Is(err, errTooManyMissing) {
+					t.Error(err)
+					return
+				}
+				db.FrameAt(hi)
+				db.ActionAt(hi)
+				db.Len()
+			}
+		}(int64(i) + 100)
+	}
+
+	for time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if sampled.Load() == 0 {
+		t.Fatal("no sampler ever constructed a minibatch")
+	}
+	// The writer kept evicting the whole run; the window must still be
+	// exactly-capacity and internally consistent.
+	if db.Len() > capacity {
+		t.Fatalf("Len %d exceeds capacity %d", db.Len(), capacity)
+	}
+	mn, mx := db.Bounds()
+	if mx-mn+1 > int64(capacity) {
+		t.Fatalf("window (%d,%d) wider than capacity %d", mn, mx, capacity)
+	}
+}

@@ -1,0 +1,226 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// goldenDB is a naive map-backed implementation of the Replay
+// Database's storage contract, in the style of the pre-ring store: one
+// heap-allocated frame per tick, plain map lookups everywhere, and
+// full-scan bookkeeping. It implements the same *current* contract as
+// the arena ring — float32 value storage, the newest-Capacity-ticks
+// retention window, stale-write drops, Algorithm 1 sampling with the
+// same RNG consumption — with none of the ring's index arithmetic, so
+// the differential tests can drive both through randomized op
+// sequences and demand identical observations, rewards, gap-fills and
+// rejection decisions. (It is deliberately not the seed-commit store:
+// that one evicted by frame count and stored float64, semantics this
+// PR intentionally replaced.)
+type goldenDB struct {
+	cfg Config
+
+	frames  map[int64][]float32
+	actions map[int64]int32
+
+	hasAny    bool  // any tick ever admitted (frame or action)
+	hi        int64 // highest admitted tick
+	evictions int64
+	stale     int64
+}
+
+func newGolden(cfg Config) (*goldenDB, error) {
+	if _, err := New(cfg); err != nil { // same validation as the ring
+		return nil, err
+	}
+	return &goldenDB{
+		cfg:     cfg,
+		frames:  make(map[int64][]float32),
+		actions: make(map[int64]int32),
+	}, nil
+}
+
+// admit applies the retention window: advancing past hi evicts everything
+// older than Capacity, writes behind a bounded window are dropped.
+func (g *goldenDB) admit(t int64) bool {
+	if t < 0 {
+		return false
+	}
+	c := int64(g.cfg.Capacity)
+	switch {
+	case !g.hasAny:
+		g.hasAny = true
+		g.hi = t
+	case t > g.hi:
+		g.hi = t
+		if c > 0 {
+			for tick := range g.frames {
+				if tick <= t-c {
+					delete(g.frames, tick)
+					g.evictions++
+				}
+			}
+			for tick := range g.actions {
+				if tick <= t-c {
+					delete(g.actions, tick)
+				}
+			}
+		}
+	case c > 0 && t <= g.hi-c:
+		g.stale++
+		return false
+	}
+	return true
+}
+
+func (g *goldenDB) putFrame(tick int64, f Frame) error {
+	if len(f) != g.cfg.FrameWidth {
+		return fmt.Errorf("replay: frame width %d, want %d", len(f), g.cfg.FrameWidth)
+	}
+	if tick < 0 {
+		return errNegativeTick
+	}
+	if !g.admit(tick) {
+		return nil
+	}
+	row := make([]float32, len(f))
+	for j, v := range f {
+		row[j] = float32(v)
+	}
+	g.frames[tick] = row
+	return nil
+}
+
+func (g *goldenDB) putAction(tick int64, action int) {
+	if tick < 0 || !g.admit(tick) {
+		return
+	}
+	g.actions[tick] = int32(action)
+}
+
+func (g *goldenDB) len() int { return len(g.frames) }
+
+func (g *goldenDB) bounds() (min, max int64) {
+	if len(g.frames) == 0 {
+		return -1, -1
+	}
+	first := true
+	for t := range g.frames {
+		if first || t < min {
+			min = t
+		}
+		if first || t > max {
+			max = t
+		}
+		first = false
+	}
+	return min, max
+}
+
+func (g *goldenDB) frameAt(tick int64) (Frame, bool) {
+	row, ok := g.frames[tick]
+	if !ok {
+		return nil, false
+	}
+	return widenInto(nil, row), true
+}
+
+func (g *goldenDB) actionAt(tick int64) (int, bool) {
+	a, ok := g.actions[tick]
+	return int(a), ok
+}
+
+func (g *goldenDB) observationWidth() int { return g.cfg.FrameWidth * g.cfg.StackTicks }
+
+// observation is the map-walk twin of observationIntoFor.
+func (g *goldenDB) observation(t int64) ([]float64, error) {
+	s := int64(g.cfg.StackTicks)
+	w := g.cfg.FrameWidth
+	dst := make([]float64, g.observationWidth())
+	missing := 0
+	var lastGood []float32
+	for i := int64(0); i < s; i++ {
+		f, ok := g.frames[t-s+1+i]
+		if !ok {
+			missing++
+			f = lastGood
+		} else {
+			lastGood = f
+		}
+		off := int(i) * w
+		if f == nil {
+			continue // dst already zero
+		}
+		for j, v := range f[:w] {
+			dst[off+j] = float64(v)
+		}
+	}
+	if float64(missing) > g.cfg.MissingTolerance*float64(s) {
+		return nil, errTooManyMissing
+	}
+	return dst, nil
+}
+
+// constructMinibatch is Algorithm 1 over the maps, drawing and rejecting
+// timestamps in exactly the order the ring implementation does so both
+// consume an identical RNG stream.
+func (g *goldenDB) constructMinibatch(rng *rand.Rand, n int, rf RewardFunc) (*Batch[float64], error) {
+	if len(g.frames) == 0 {
+		return nil, ErrInsufficientData
+	}
+	minF, maxF := g.bounds()
+	lo := minF + int64(g.cfg.StackTicks) - 1
+	hi := maxF - 1
+	if hi < lo {
+		return nil, ErrInsufficientData
+	}
+	w := g.observationWidth()
+	b := &Batch[float64]{
+		States:     make([]float64, n*w),
+		NextStates: make([]float64, n*w),
+		Width:      w,
+	}
+	have := 0
+	maxAttempts := 50 * n
+	for attempts := 0; have < n && attempts < maxAttempts; attempts++ {
+		t := lo + rng.Int63n(hi-lo+1)
+		a, ok := g.actionAt(t)
+		if !ok {
+			continue
+		}
+		s0, err := g.observation(t)
+		if err != nil {
+			continue
+		}
+		s1, err := g.observation(t + 1)
+		if err != nil {
+			continue
+		}
+		cur, okCur := g.frameAt(t)
+		next, okNext := g.frameAt(t + 1)
+		if !okCur || !okNext {
+			continue
+		}
+		copy(b.States[have*w:(have+1)*w], s0)
+		copy(b.NextStates[have*w:(have+1)*w], s1)
+		b.Actions = append(b.Actions, a)
+		b.Rewards = append(b.Rewards, rf(cur, next))
+		have++
+	}
+	if have < n {
+		return nil, fmt.Errorf("%w: gathered %d of %d", ErrInsufficientData, have, n)
+	}
+	b.N = n
+	return b, nil
+}
+
+// ticksSorted returns every tick holding a frame, ascending (test helper).
+func (g *goldenDB) ticksSorted() []int64 {
+	out := make([]int64, 0, len(g.frames))
+	for t := range g.frames {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -7,29 +7,106 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // Snapshot persistence. The SQLite file of the original prototype gave the
 // Replay DB durability across daemon restarts (§A.4: "different sessions
 // can use different ... replay database locations"). We provide the same
 // capability as an explicit snapshot: gob-encoded tables behind flate.
+//
+// Version 2 writes the arena ring natively: one contiguous []float32
+// frame slab (occupied rows compacted in tick order) plus parallel
+// tick/flag/action arrays — no per-frame boxing, no float64 widening, so
+// a v2 snapshot is less than half the bytes of v1 before compression.
+// Version 1 files (per-tick [][]float64 frames) remain readable; their
+// values narrow to float32 on load exactly as a live PutFrame would.
+//
+// Both versions decode through one struct: gob matches fields by name
+// and ignores absences in either direction, so the v1 fields simply stay
+// nil when decoding a v2 stream and vice versa.
 
 type snapshotFile struct {
 	Magic   string
 	Version int
 	Cfg     Config
+
+	// Version 1: one boxed float64 frame per tick.
 	Ticks   []int64
 	Frames  [][]float64
 	ATicks  []int64
 	Actions []int
+
+	// Version 2: the ring, compacted. V2Ticks lists every occupied tick
+	// ascending with its presence flags in V2Flags; ticks with slotFrame
+	// own the next FrameWidth values of V2Slab, ticks with slotAction own
+	// the next entry of V2Acts.
+	V2Ticks   []int64
+	V2Flags   []uint8
+	V2Slab    []float32
+	V2Acts    []int32
+	Evictions int64
+	Stale     int64
 }
 
 const (
 	snapshotMagic   = "CAPES-REPLAY"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
-// Save serializes the database to w.
+// maxLoadSpan bounds the tick span a snapshot may claim relative to its
+// record count. The ring is dense over the window's tick span, so a
+// corrupted (or adversarial) snapshot declaring a few records scattered
+// across an astronomical tick range would otherwise make Load allocate
+// the whole span. Any tick stream sampled at least once per 1024 ticks
+// fits; real CAPES streams are one frame per tick.
+func maxLoadSpan(records int) int64 {
+	return 4096 + 1024*int64(records)
+}
+
+func checkLoadSpan(first, last int64, records int) error {
+	if span := last - first + 1; span > maxLoadSpan(records) {
+		return fmt.Errorf("replay: snapshot spans %d ticks with only %d records", span, records)
+	}
+	return nil
+}
+
+// checkLoadCells bounds the ring allocation a snapshot implies —
+// span slots × FrameWidth floats — proportionally to the data the file
+// actually carries (dataLen: decoded frame values + tick entries). The
+// ring allocates every slot's frame row whether or not a frame is
+// present, so without this a tiny file declaring a huge FrameWidth and
+// one action-only tick (no slab bytes to back it) would make Load
+// attempt an arbitrarily large allocation. Legit snapshots carry
+// ≈ one slot of data per slot; factor 64 covers gappy windows.
+func checkLoadCells(first, last int64, width, dataLen int) error {
+	const (
+		maxLoadWidth = 1 << 24 // frame values per tick; far above any real PI layout
+		// maxLoadCells caps the slab outright: 2 GiB of float32 — above
+		// the paper-scale replay DB (70 h × 1760 PIs ≈ 0.45 G cells) —
+		// because the proportional rule below can be amplified by a
+		// highly compressible hostile file (dataLen measures decoded
+		// entries, and flate can decode GBs from MBs).
+		maxLoadCells = 1 << 29
+	)
+	if width <= 0 || width > maxLoadWidth {
+		return fmt.Errorf("replay: snapshot frame width %d outside (0, %d]", width, int64(maxLoadWidth))
+	}
+	span := last - first + 1
+	if span > (1<<62)/int64(width) { // overflow guard; span is already records-bounded
+		return fmt.Errorf("replay: snapshot span %d × width %d overflows", span, width)
+	}
+	cells := span * int64(width)
+	if cells > maxLoadCells {
+		return fmt.Errorf("replay: snapshot implies %d ring cells, limit %d", cells, int64(maxLoadCells))
+	}
+	if cells > 4096+64*int64(dataLen) {
+		return fmt.Errorf("replay: snapshot implies %d ring cells from %d data entries", cells, dataLen)
+	}
+	return nil
+}
+
+// Save serializes the database to w in the version-2 format.
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -37,14 +114,30 @@ func (db *DB) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sf := snapshotFile{Magic: snapshotMagic, Version: snapshotVersion, Cfg: db.cfg}
-	for t, f := range db.frames {
-		sf.Ticks = append(sf.Ticks, t)
-		sf.Frames = append(sf.Frames, f)
+	sf := snapshotFile{
+		Magic:     snapshotMagic,
+		Version:   snapshotVersion,
+		Cfg:       db.cfg,
+		Evictions: db.evictions,
+		Stale:     db.stale,
 	}
-	for t, a := range db.actions {
-		sf.ATicks = append(sf.ATicks, t)
-		sf.Actions = append(sf.Actions, a)
+	fw32 := db.cfg.FrameWidth
+	if db.slots > 0 {
+		for t := db.lo; t <= db.hi; t++ {
+			s := db.slotOf(t)
+			f := db.flags[s]
+			if f == 0 {
+				continue
+			}
+			sf.V2Ticks = append(sf.V2Ticks, t)
+			sf.V2Flags = append(sf.V2Flags, f)
+			if f&slotFrame != 0 {
+				sf.V2Slab = append(sf.V2Slab, db.slab[s*fw32:(s+1)*fw32]...)
+			}
+			if f&slotAction != 0 {
+				sf.V2Acts = append(sf.V2Acts, db.acts[s])
+			}
+		}
 	}
 	if err := gob.NewEncoder(fw).Encode(sf); err != nil {
 		return fmt.Errorf("replay: encode snapshot: %w", err)
@@ -52,7 +145,10 @@ func (db *DB) Save(w io.Writer) error {
 	return fw.Close()
 }
 
-// Load reconstructs a database from a snapshot written by Save.
+// Load reconstructs a database from a snapshot written by Save (either
+// version). All structural claims of the file are validated before use,
+// so a truncated or corrupted snapshot returns an error rather than a
+// panic or an inconsistent database.
 func Load(r io.Reader) (*DB, error) {
 	fr := flate.NewReader(r)
 	defer fr.Close()
@@ -63,21 +159,176 @@ func Load(r io.Reader) (*DB, error) {
 	if sf.Magic != snapshotMagic {
 		return nil, fmt.Errorf("replay: not a replay snapshot (magic %q)", sf.Magic)
 	}
-	if sf.Version != snapshotVersion {
+	switch sf.Version {
+	case 1:
+		return loadV1(&sf)
+	case 2:
+		return loadV2(&sf)
+	default:
 		return nil, fmt.Errorf("replay: unsupported snapshot version %d", sf.Version)
 	}
+}
+
+// loadV1 replays a version-1 table dump through the public write path.
+// Ticks are sorted first: v1 files recorded map iteration order, and the
+// ring's retention window is order-sensitive for inconsistent dumps.
+//
+// v1's Capacity counted retained *frames* (the map store's unit); the
+// ring's counts *ticks*. A sparse-tick v1 file can therefore span more
+// ticks than its Capacity — replaying it through a Capacity-sized
+// window would silently evict the oldest frames, so the window is
+// widened to the file's span and every record loads. Callers that care
+// about the current retention policy (capes session restore) re-home
+// the records into their own configuration afterwards.
+func loadV1(sf *snapshotFile) (*DB, error) {
+	if len(sf.Ticks) != len(sf.Frames) {
+		return nil, fmt.Errorf("replay: snapshot has %d ticks for %d frames", len(sf.Ticks), len(sf.Frames))
+	}
+	if len(sf.ATicks) != len(sf.Actions) {
+		return nil, fmt.Errorf("replay: snapshot has %d action ticks for %d actions", len(sf.ATicks), len(sf.Actions))
+	}
+	type rec struct {
+		tick  int64
+		frame []float64
+	}
+	recs := make([]rec, len(sf.Ticks))
+	for i, t := range sf.Ticks {
+		recs[i] = rec{t, sf.Frames[i]}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].tick < recs[j].tick })
+	cfg := sf.Cfg
+	if records := len(recs) + len(sf.ATicks); records > 0 {
+		first, last := int64(1<<62), int64(-1)
+		span := func(ticks []int64) {
+			for _, t := range ticks {
+				if t < first {
+					first = t
+				}
+				if t > last {
+					last = t
+				}
+			}
+		}
+		span(sf.Ticks)
+		span(sf.ATicks)
+		if err := checkLoadSpan(first, last, records); err != nil {
+			return nil, err
+		}
+		dataLen := len(sf.Ticks) + len(sf.ATicks)
+		for _, f := range sf.Frames {
+			dataLen += len(f)
+		}
+		if err := checkLoadCells(first, last, cfg.FrameWidth, dataLen); err != nil {
+			return nil, err
+		}
+		// Frames-unit → ticks-unit Capacity widening (see doc comment).
+		if ticksSpan := last - first + 1; cfg.Capacity > 0 && ticksSpan > int64(cfg.Capacity) {
+			cfg.Capacity = int(ticksSpan)
+		}
+	}
+	db, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if r.tick < 0 {
+			return nil, errNegativeTick
+		}
+		if err := db.PutFrame(r.tick, r.frame); err != nil {
+			return nil, err
+		}
+	}
+	order := make([]int, len(sf.ATicks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return sf.ATicks[order[i]] < sf.ATicks[order[j]] })
+	// The old map store kept the action table independent of the frame
+	// window, so a v1 file can hold action ticks past the last frame
+	// (collector errors at the end of a run). Replaying those would
+	// advance the ring window and evict real frames; they also can
+	// never complete a transition (Algorithm 1 needs the frame at t),
+	// so they are dropped instead.
+	_, maxFrame := db.Bounds()
+	for _, i := range order {
+		if sf.ATicks[i] > maxFrame {
+			continue
+		}
+		db.PutAction(sf.ATicks[i], sf.Actions[i])
+	}
+	return db, nil
+}
+
+// loadV2 rebuilds the ring from the compacted slab.
+func loadV2(sf *snapshotFile) (*DB, error) {
 	db, err := New(sf.Cfg)
 	if err != nil {
 		return nil, err
 	}
-	for i, t := range sf.Ticks {
-		if err := db.PutFrame(t, sf.Frames[i]); err != nil {
-			return nil, err
+	nFrames, nActs := 0, 0
+	if len(sf.V2Flags) != len(sf.V2Ticks) {
+		return nil, fmt.Errorf("replay: snapshot has %d flags for %d ticks", len(sf.V2Flags), len(sf.V2Ticks))
+	}
+	var prev int64 = -1
+	for i, t := range sf.V2Ticks {
+		if t < 0 || t <= prev {
+			return nil, fmt.Errorf("replay: snapshot ticks not ascending at %d", t)
+		}
+		prev = t
+		f := sf.V2Flags[i]
+		if f == 0 || f&^(slotFrame|slotAction) != 0 {
+			return nil, fmt.Errorf("replay: snapshot flag %#x invalid at tick %d", f, t)
+		}
+		if f&slotFrame != 0 {
+			nFrames++
+		}
+		if f&slotAction != 0 {
+			nActs++
 		}
 	}
-	for i, t := range sf.ATicks {
-		db.PutAction(t, sf.Actions[i])
+	if len(sf.V2Slab) != nFrames*sf.Cfg.FrameWidth {
+		return nil, fmt.Errorf("replay: snapshot slab holds %d values for %d frames of width %d",
+			len(sf.V2Slab), nFrames, sf.Cfg.FrameWidth)
 	}
+	if len(sf.V2Acts) != nActs {
+		return nil, fmt.Errorf("replay: snapshot has %d action values for %d action ticks", len(sf.V2Acts), nActs)
+	}
+	if n := len(sf.V2Ticks); n > 0 {
+		if err := checkLoadSpan(sf.V2Ticks[0], sf.V2Ticks[n-1], n); err != nil {
+			return nil, err
+		}
+		if err := checkLoadCells(sf.V2Ticks[0], sf.V2Ticks[n-1], sf.Cfg.FrameWidth, len(sf.V2Slab)+n); err != nil {
+			return nil, err
+		}
+		// A v2 file is written from a windowed ring, so its span can
+		// never exceed a bounded Capacity. Over-span means corruption;
+		// replaying it would silently evict records and desync the
+		// restored counters below.
+		if c := int64(sf.Cfg.Capacity); c > 0 && sf.V2Ticks[n-1]-sf.V2Ticks[0]+1 > c {
+			return nil, fmt.Errorf("replay: snapshot spans %d ticks, capacity %d",
+				sf.V2Ticks[n-1]-sf.V2Ticks[0]+1, c)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	w := sf.Cfg.FrameWidth
+	fi, ai := 0, 0
+	for i, t := range sf.V2Ticks {
+		f := sf.V2Flags[i]
+		if f&slotFrame != 0 {
+			db.putRowLocked(t, sf.V2Slab[fi*w:(fi+1)*w])
+			fi++
+		}
+		if f&slotAction != 0 {
+			db.putActionLocked(t, int(sf.V2Acts[ai]))
+			ai++
+		}
+	}
+	// Carry history counters across the restart; the replay above must
+	// not have dropped anything (ticks were validated ascending and
+	// in-window writes never evict more than the window allows).
+	db.evictions = sf.Evictions
+	db.stale = sf.Stale
 	return db, nil
 }
 
@@ -110,16 +361,18 @@ func LoadFile(path string) (*DB, error) {
 	return Load(f)
 }
 
-// MemoryBytes estimates the resident size of the database: frame and
-// action storage plus map overhead. Reported for the Table 2 "total size
-// of the Replay DB in memory" row.
+// MemoryBytes reports the resident size of the database: the float32
+// frame slab plus the parallel flag and action arrays. Reported for the
+// Table 2 "total size of the Replay DB in memory" row.
 func (db *DB) MemoryBytes() int64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	const mapEntryOverhead = 48 // bucket + key + header estimate
-	frameBytes := int64(db.count) * (int64(db.cfg.FrameWidth)*8 + mapEntryOverhead)
-	actionBytes := int64(len(db.actions)) * (8 + mapEntryOverhead)
-	return frameBytes + actionBytes
+	const (
+		slabElem = 4 // float32
+		actElem  = 4 // int32
+		flagElem = 1
+	)
+	return int64(len(db.slab))*slabElem + int64(db.slots)*(actElem+flagElem)
 }
 
 // DiskBytes returns the serialized snapshot size (Table 2 "total size of

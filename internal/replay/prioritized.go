@@ -137,7 +137,9 @@ func (p *PrioritizedSampler) ConstructMinibatch(rng *rand.Rand, n int, rf Reward
 	return b, ticks, nil
 }
 
-// fill materializes transition t into batch row `row`.
+// fill materializes transition t into batch row `row`, widening the
+// reward frames into the batch's own rfCur/rfNext scratch — the same
+// mechanism the uniform sampler uses — instead of allocating copies.
 func (p *PrioritizedSampler) fill(b *Batch[float64], row int, t int64, rf RewardFunc) bool {
 	w := b.Width
 	a, ok := p.db.ActionAt(t)
@@ -150,13 +152,14 @@ func (p *PrioritizedSampler) fill(b *Batch[float64], row int, t int64, rf Reward
 	if err := p.db.observationIntoLocked(b.NextStates[row*w:(row+1)*w], t+1); err != nil {
 		return false
 	}
-	cur, okCur := p.db.FrameAt(t)
-	next, okNext := p.db.FrameAt(t + 1)
-	if !okCur || !okNext {
+	fw := p.db.cfg.FrameWidth
+	b.rfCur = resizeSlice[float64](b.rfCur, fw)
+	b.rfNext = resizeSlice[float64](b.rfNext, fw)
+	if !p.db.frameInto(b.rfCur, t) || !p.db.frameInto(b.rfNext, t+1) {
 		return false
 	}
 	b.Actions = append(b.Actions, a)
-	b.Rewards = append(b.Rewards, rf(cur, next))
+	b.Rewards = append(b.Rewards, rf(b.rfCur, b.rfNext))
 	return true
 }
 

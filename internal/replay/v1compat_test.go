@@ -1,0 +1,280 @@
+package replay
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/gob"
+	"testing"
+)
+
+// v1 snapshot compatibility: Save now writes version 2 (the native
+// float32 slab), but version-1 files — per-tick boxed float64 frames in
+// map iteration order — must keep loading. These tests synthesize v1
+// bytes through the old encoder shape.
+
+type v1SnapshotFile struct {
+	Magic   string
+	Version int
+	Cfg     Config
+	Ticks   []int64
+	Frames  [][]float64
+	ATicks  []int64
+	Actions []int
+}
+
+func encodeV1(tb testing.TB, sf v1SnapshotFile) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := gob.NewEncoder(fw).Encode(sf); err != nil {
+		tb.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// legacyV1Snapshot is a well-formed version-1 file with out-of-order
+// ticks (v1 recorded map iteration order) and a sparse action table.
+func legacyV1Snapshot(tb testing.TB) []byte {
+	return encodeV1(tb, v1SnapshotFile{
+		Magic:   snapshotMagic,
+		Version: 1,
+		Cfg:     Config{FrameWidth: 2, StackTicks: 2, MissingTolerance: 0.2},
+		Ticks:   []int64{3, 1, 2, 5},
+		Frames:  [][]float64{{30, 31}, {10, 11}, {20, 21}, {50, 51}},
+		ATicks:  []int64{2, 1},
+		Actions: []int{7, 4},
+	})
+}
+
+func TestLoadV1Snapshot(t *testing.T) {
+	db, err := Load(bytes.NewReader(legacyV1Snapshot(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 4 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	mn, mx := db.Bounds()
+	if mn != 1 || mx != 5 {
+		t.Fatalf("Bounds = %d,%d", mn, mx)
+	}
+	f, ok := db.FrameAt(3)
+	if !ok || f[0] != 30 || f[1] != 31 {
+		t.Fatalf("FrameAt(3) = %v,%v", f, ok)
+	}
+	if a, ok := db.ActionAt(2); !ok || a != 7 {
+		t.Fatalf("ActionAt(2) = %d,%v", a, ok)
+	}
+	if _, ok := db.ActionAt(3); ok {
+		t.Fatal("phantom action at tick 3")
+	}
+	// A v1 file from a bounded DB replays through the same retention
+	// window the live writer uses: re-saving produces a v2 file with
+	// identical contents.
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("v1→v2 round trip Len %d → %d", db.Len(), db2.Len())
+	}
+}
+
+func TestLoadV1RejectsMalformed(t *testing.T) {
+	cases := []v1SnapshotFile{
+		{Magic: "WRONG", Version: 1, Cfg: Config{FrameWidth: 1, StackTicks: 1}},
+		{Magic: snapshotMagic, Version: 3, Cfg: Config{FrameWidth: 1, StackTicks: 1}},
+		{Magic: snapshotMagic, Version: 1, Cfg: Config{FrameWidth: 0, StackTicks: 1}},
+		{ // tick/frame table length mismatch
+			Magic: snapshotMagic, Version: 1,
+			Cfg:   Config{FrameWidth: 1, StackTicks: 1},
+			Ticks: []int64{1, 2}, Frames: [][]float64{{1}},
+		},
+		{ // frame width mismatch inside the table
+			Magic: snapshotMagic, Version: 1,
+			Cfg:   Config{FrameWidth: 2, StackTicks: 1},
+			Ticks: []int64{1}, Frames: [][]float64{{1}},
+		},
+		{ // negative tick
+			Magic: snapshotMagic, Version: 1,
+			Cfg:   Config{FrameWidth: 1, StackTicks: 1},
+			Ticks: []int64{-4}, Frames: [][]float64{{1}},
+		},
+		{ // absurd span for the record count
+			Magic: snapshotMagic, Version: 1,
+			Cfg:   Config{FrameWidth: 1, StackTicks: 1},
+			Ticks: []int64{0, 1 << 40}, Frames: [][]float64{{1}, {2}},
+		},
+	}
+	for i, sf := range cases {
+		if _, err := Load(bytes.NewReader(encodeV1(t, sf))); err == nil {
+			t.Fatalf("case %d: malformed v1 snapshot accepted", i)
+		}
+	}
+}
+
+// TestLoadV1ActionBeyondLastFrame pins the window interaction: the old
+// store's action table was independent of the frame window, so a v1
+// file can carry action ticks past the last frame. Loading must not let
+// them advance the bounded window and evict real frames.
+func TestLoadV1ActionBeyondLastFrame(t *testing.T) {
+	ticks := make([]int64, 100)
+	frames := make([][]float64, 100)
+	for i := range ticks {
+		ticks[i] = int64(i)
+		frames[i] = []float64{float64(i)}
+	}
+	db, err := Load(bytes.NewReader(encodeV1(t, v1SnapshotFile{
+		Magic: snapshotMagic, Version: 1,
+		Cfg:    Config{FrameWidth: 1, StackTicks: 1, Capacity: 100},
+		Ticks:  ticks,
+		Frames: frames,
+		ATicks: []int64{50, 199}, // 199: far past the last frame
+		Actions: []int{3,
+			4},
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 100 || db.Evictions() != 0 {
+		t.Fatalf("Len=%d Evictions=%d; stray action evicted frames", db.Len(), db.Evictions())
+	}
+	if a, ok := db.ActionAt(50); !ok || a != 3 {
+		t.Fatalf("ActionAt(50) = %d,%v", a, ok)
+	}
+	if _, ok := db.ActionAt(199); ok {
+		t.Fatal("untrainable action past the last frame survived the load")
+	}
+}
+
+// TestLoadV2RejectsOverSpan: a v2 file claiming more window span than
+// its own Capacity is corrupt (the windowed writer cannot produce it)
+// and must error rather than silently evict during replay.
+func TestLoadV2RejectsOverSpan(t *testing.T) {
+	db, err := New(Config{FrameWidth: 1, StackTicks: 1, Capacity: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := int64(0); tick < 100; tick++ {
+		db.PutFrame(tick, Frame{float64(tick)})
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Decode, shrink the claimed capacity below the span, re-encode.
+	fr := flate.NewReader(bytes.NewReader(buf.Bytes()))
+	var sf snapshotFile
+	if err := gob.NewDecoder(fr).Decode(&sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Cfg.Capacity = 10
+	var tampered bytes.Buffer
+	fw, _ := flate.NewWriter(&tampered, flate.BestSpeed)
+	if err := gob.NewEncoder(fw).Encode(sf); err != nil {
+		t.Fatal(err)
+	}
+	fw.Close()
+	if _, err := Load(&tampered); err == nil {
+		t.Fatal("over-span v2 snapshot accepted")
+	}
+}
+
+// TestLoadV1SparseCapacityWidened: v1's Capacity counted frames, not
+// ticks. A sparse-tick v1 file spanning more ticks than its Capacity
+// must load every frame (window widened to the span), not evict the
+// oldest through the reinterpreted tick window.
+func TestLoadV1SparseCapacityWidened(t *testing.T) {
+	const n, stride = 100, 5
+	ticks := make([]int64, n)
+	frames := make([][]float64, n)
+	for i := range ticks {
+		ticks[i] = int64(i * stride)
+		frames[i] = []float64{float64(i)}
+	}
+	db, err := Load(bytes.NewReader(encodeV1(t, v1SnapshotFile{
+		Magic: snapshotMagic, Version: 1,
+		Cfg:    Config{FrameWidth: 1, StackTicks: 1, Capacity: n},
+		Ticks:  ticks,
+		Frames: frames,
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != n || db.Evictions() != 0 {
+		t.Fatalf("Len=%d Evictions=%d; sparse v1 frames evicted on load", db.Len(), db.Evictions())
+	}
+	if got := db.Config().Capacity; got != (n-1)*stride+1 {
+		t.Fatalf("widened Capacity = %d, want file span %d", got, (n-1)*stride+1)
+	}
+	if f, ok := db.FrameAt(0); !ok || f[0] != 0 {
+		t.Fatalf("oldest sparse frame lost: %v,%v", f, ok)
+	}
+}
+
+// TestCheckLoadCellsAbsoluteCap: the slab bound must hold even when a
+// (decompressed) hostile file carries enough data entries to satisfy
+// the proportional rule — dataLen is attacker-inflatable via flate.
+func TestCheckLoadCellsAbsoluteCap(t *testing.T) {
+	// span 16384 × width 1<<20 = 2^34 cells, dataLen huge: proportional
+	// rule passes, absolute cap must reject.
+	if err := checkLoadCells(0, 16383, 1<<20, 1<<40); err == nil {
+		t.Fatal("absolute cell cap not enforced")
+	}
+	// Paper-scale legit load stays accepted: 252k ticks × 1760 PIs.
+	if err := checkLoadCells(0, 252000-1, 1760, 252000*1760+252000); err != nil {
+		t.Fatalf("paper-scale snapshot rejected: %v", err)
+	}
+}
+
+// TestLoadRejectsHostileWidth pins the allocation guard: a tiny
+// snapshot declaring an enormous FrameWidth with an action-only tick
+// (so no slab bytes back the width claim) must error out of Load, not
+// panic or attempt a span×width allocation.
+func TestLoadRejectsHostileWidth(t *testing.T) {
+	encode := func(sf snapshotFile) []byte {
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gob.NewEncoder(fw).Encode(sf); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for i, sf := range []snapshotFile{
+		{ // v2, width claim backed by nothing (nFrames == 0)
+			Magic: snapshotMagic, Version: 2,
+			Cfg:     Config{FrameWidth: 1 << 59, StackTicks: 1},
+			V2Ticks: []int64{7}, V2Flags: []uint8{slotAction}, V2Acts: []int32{1},
+		},
+		{ // v2, width large enough to OOM but under the overflow line
+			Magic: snapshotMagic, Version: 2,
+			Cfg:     Config{FrameWidth: 1 << 30, StackTicks: 1},
+			V2Ticks: []int64{7}, V2Flags: []uint8{slotAction}, V2Acts: []int32{1},
+		},
+		{ // v1 equivalent through the action table
+			Magic: snapshotMagic, Version: 1,
+			Cfg:    Config{FrameWidth: 1 << 30, StackTicks: 1},
+			ATicks: []int64{7}, Actions: []int{1},
+		},
+	} {
+		if _, err := Load(bytes.NewReader(encode(sf))); err == nil {
+			t.Fatalf("case %d: hostile-width snapshot accepted", i)
+		}
+	}
+}
