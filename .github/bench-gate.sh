@@ -10,8 +10,13 @@
 #
 # The baseline is host-sensitive: refresh it (run the bench job, commit
 # the uploaded bench.txt as .github/bench-baseline.txt) whenever the
-# runner hardware class changes, and whenever a PR intentionally changes
-# train-step performance. On shared-fleet runners the absolute numbers
+# runner hardware class changes, whenever a PR intentionally changes
+# train-step performance, and whenever the SIMD kernel tier a runner
+# lands on changes. Both files carry a "kernel-tier:" line (the CI bench
+# job appends it via `capes-inspect -tier`); when the tiers differ the
+# gate refuses to compare at all — an avx2 baseline against an sse run
+# is a hardware change, not a regression — and asks for a baseline
+# refresh instead. On shared-fleet runners the absolute numbers
 # can drift run to run with zero code change, so a second,
 # host-independent gate also runs: the float32 train step must stay
 # ≥1.4× faster than the float64 reference *within the same run* (the
@@ -22,6 +27,22 @@ set -euo pipefail
 base="$1"
 cur="$2"
 fail=0
+
+# Kernel-tier guard: absolute ns/op comparisons are only meaningful
+# within one SIMD tier. Missing lines (pre-tier baselines) only warn.
+tierOf() { awk '/^kernel-tier:/ {print $2; exit}' "$1"; }
+baseTier=$(tierOf "$base")
+curTier=$(tierOf "$cur")
+if [ -n "$baseTier" ] && [ -n "$curTier" ]; then
+  if [ "$baseTier" != "$curTier" ]; then
+    echo "bench-gate: baseline is from a different kernel tier ($baseTier) than this run ($curTier)."
+    echo "bench-gate: not a performance regression — regenerate .github/bench-baseline.txt on this runner class."
+    exit 1
+  fi
+  echo "bench-gate: kernel tier $curTier (matches baseline)"
+else
+  echo "bench-gate: WARNING: kernel-tier line missing from $([ -z "$baseTier" ] && echo baseline)$([ -z "$baseTier" ] && [ -z "$curTier" ] && echo ' and ')$([ -z "$curTier" ] && echo 'current run'); comparing anyway"
+fi
 
 mean() { # mean ns/op of every -count repetition of one benchmark
   # $1 is the bare name on GOMAXPROCS=1 hosts, name-N elsewhere.

@@ -8,6 +8,12 @@
 //	capes-inspect model.ckpt
 //	capes-inspect replay.db
 //	capes-inspect /var/lib/capes/session
+//	capes-inspect -tier
+//
+// -tier prints the SIMD kernel tier the tensor kernels run at on this
+// host (scalar|sse|avx2, honoring CAPES_SIMD) and exits — perf triage
+// uses it to tell hosts apart, and CI records it next to benchmark
+// baselines.
 package main
 
 import (
@@ -18,12 +24,17 @@ import (
 
 	"capes/internal/nn"
 	"capes/internal/replay"
+	"capes/internal/tensor"
 )
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: capes-inspect <model.ckpt | replay.db | session-dir>")
+		fmt.Fprintln(os.Stderr, "usage: capes-inspect <model.ckpt | replay.db | session-dir | -tier>")
 		os.Exit(2)
+	}
+	if os.Args[1] == "-tier" {
+		fmt.Println(tensor.KernelTier())
+		return
 	}
 	path := os.Args[1]
 	info, err := os.Stat(path)
@@ -101,6 +112,7 @@ func inspectReplay(path string, db *replay.DB) {
 
 func inspectSession(dir string) {
 	fmt.Printf("%s: CAPES session directory\n", dir)
+	fmt.Printf("  kernel tier:   %s (this host)\n", tensor.KernelTier())
 	manifest := filepath.Join(dir, "session.json")
 	if buf, err := os.ReadFile(manifest); err == nil {
 		var m map[string]any

@@ -7,6 +7,7 @@ import (
 
 	"capes/internal/nn"
 	"capes/internal/replay"
+	"capes/internal/tensor"
 )
 
 func TestInspectorsDoNotPanic(t *testing.T) {
@@ -42,6 +43,17 @@ func TestInspectorsDoNotPanic(t *testing.T) {
 	inspectReplay(dbPath, loadedDB)
 
 	inspectSession(dir) // dir contains model.ckpt + replay.db, no manifest
+}
+
+// TestKernelTierIsReportable: the -tier mode prints tensor.KernelTier,
+// which must be one of the three documented names so scripts (the CI
+// bench job records it next to baselines) can match on it.
+func TestKernelTierIsReportable(t *testing.T) {
+	switch tier := tensor.KernelTier(); tier {
+	case "scalar", "sse", "avx2":
+	default:
+		t.Fatalf("KernelTier() = %q, not a documented tier name", tier)
+	}
 }
 
 func TestCompactJSON(t *testing.T) {

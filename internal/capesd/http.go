@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+
+	"capes/internal/tensor"
 )
 
 // The HTTP/JSON control plane. Endpoints:
@@ -30,8 +32,9 @@ func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":       true,
-			"sessions": len(m.Sessions()),
+			"ok":          true,
+			"sessions":    len(m.Sessions()),
+			"kernel_tier": tensor.KernelTier(),
 		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {

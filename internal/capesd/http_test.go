@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"capes/internal/tensor"
 )
 
 func doJSON(t *testing.T, method, url string, body any, out any) int {
@@ -102,6 +104,21 @@ func TestControlPlaneLifecycle(t *testing.T) {
 	}
 	if agg.Totals.Sessions != 1 || agg.Totals.TrainSteps == 0 {
 		t.Fatalf("aggregate = %+v", agg.Totals)
+	}
+	if agg.KernelTier != tensor.KernelTier() {
+		t.Fatalf("aggregate kernel_tier = %q, want %q", agg.KernelTier, tensor.KernelTier())
+	}
+
+	// /healthz surfaces the tier too, for hosts scraped without /stats.
+	var tierHealth struct {
+		OK         bool   `json:"ok"`
+		KernelTier string `json:"kernel_tier"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/healthz", nil, &tierHealth); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if !tierHealth.OK || tierHealth.KernelTier != tensor.KernelTier() {
+		t.Fatalf("healthz = %+v", tierHealth)
 	}
 
 	// Pause / resume.

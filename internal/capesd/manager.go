@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"capes/internal/tensor"
 )
 
 // ErrSessionExists reports a Create against a name already in use (or
@@ -210,10 +212,14 @@ func (m *Manager) CheckpointAll() ([]string, map[string]error) {
 	return saved, errs
 }
 
-// AggregateStats is the whole-process control-plane view.
+// AggregateStats is the whole-process control-plane view. KernelTier
+// names the SIMD tier the process's tensor kernels run on (scalar/sse/
+// avx2) so perf numbers scraped from /stats can be compared across
+// hosts — bench baselines are only meaningful within one tier.
 type AggregateStats struct {
-	Sessions []SessionStats `json:"sessions"`
-	Totals   Totals         `json:"totals"`
+	Sessions   []SessionStats `json:"sessions"`
+	Totals     Totals         `json:"totals"`
+	KernelTier string         `json:"kernel_tier"`
 }
 
 // Totals sums the headline counters across sessions.
@@ -230,7 +236,7 @@ type Totals struct {
 
 // AggregateStats snapshots every session plus cross-session totals.
 func (m *Manager) AggregateStats() AggregateStats {
-	var agg AggregateStats
+	agg := AggregateStats{KernelTier: tensor.KernelTier()}
 	for _, s := range m.Sessions() {
 		st := s.Stats()
 		agg.Sessions = append(agg.Sessions, st)

@@ -93,7 +93,16 @@ type fusedTask[E tensor.Element] struct {
 }
 
 // RunRange implements tensor.Ranger over [lo, hi) of the flat arena.
+// Concrete float32 arenas (the deployed engine precision) route to the
+// SIMD-tier sweeps in tensor (SQRTPS/DIVPS are IEEE-exact, so every
+// tier matches the scalar loops below bit for bit — the sharded-
+// determinism contract is unchanged); named element types and float64
+// run the generic scalar loops.
 func (t *fusedTask[E]) RunRange(lo, hi int) {
+	if p32, ok := any(t.params).([]float32); ok {
+		t.runRange32(p32, lo, hi)
+		return
+	}
 	params, grads, fm, fv := t.params, t.grads, t.fm, t.fv
 	lrT, b1, b2, eps, scale := t.lrT, t.b1, t.b2, t.eps, t.scale
 	switch t.mode {
@@ -127,6 +136,32 @@ func (t *fusedTask[E]) RunRange(lo, hi int) {
 			fm[j], fv[j] = mj, vj
 			params[j] -= lrT * mj / (tensor.Sqrt(vj) + eps)
 		}
+	}
+}
+
+// runRange32 is the concrete-float32 shard body: one call into the
+// tier-dispatched fused sweep per mode. The E→float32 conversions are
+// value-preserving (E is float32 here) and the 1−x complements round
+// exactly as the generic loops' inline (1-b1)/(1-b2)/(1-alpha).
+func (t *fusedTask[E]) runRange32(p32 []float32, lo, hi int) {
+	g32 := any(t.grads).([]float32)
+	fm32 := any(t.fm).([]float32)
+	fv32 := any(t.fv).([]float32)
+	lrT, b1, b2 := float32(t.lrT), float32(t.b1), float32(t.b2)
+	eps, scale := float32(t.eps), float32(t.scale)
+	switch t.mode {
+	case fusedSoft:
+		tg := any(t.target).([]float32)
+		al := float32(t.al)
+		tensor.AdamSweepSoft32(p32[lo:hi], g32[lo:hi], fm32[lo:hi], fv32[lo:hi], tg[lo:hi],
+			lrT, b1, 1-b1, b2, 1-b2, eps, scale, al, 1-al)
+	case fusedHard:
+		tg := any(t.target).([]float32)
+		tensor.AdamSweepHard32(p32[lo:hi], g32[lo:hi], fm32[lo:hi], fv32[lo:hi], tg[lo:hi],
+			lrT, b1, 1-b1, b2, 1-b2, eps, scale)
+	default:
+		tensor.AdamSweep32(p32[lo:hi], g32[lo:hi], fm32[lo:hi], fv32[lo:hi],
+			lrT, b1, 1-b1, b2, 1-b2, eps, scale)
 	}
 }
 

@@ -1,0 +1,22 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(leaf, sub uint32) (ax, bx, cx, dx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, ax+8(FP)
+	MOVL BX, bx+12(FP)
+	MOVL CX, cx+16(FP)
+	MOVL DX, dx+20(FP)
+	RET
+
+// func xgetbv() (ax, dx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, ax+0(FP)
+	MOVL DX, dx+4(FP)
+	RET

@@ -1,18 +1,23 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Matrix-multiplication kernels. Each public entry point (MulInto,
 // MulTransAInto, MulTransBInto) validates shapes, then dispatches to a
 // cache-blocked, 4-way-unrolled kernel — serially for small products,
 // sharded over the package worker pool (pool.go) for large ones. The
-// kernels are generic over the element type; float32 instantiations run
-// the identical blocking/unrolling with half the memory traffic per
-// element. The naive reference kernels the package started with are kept
-// at the bottom of this file — always at their instantiated precision —
-// and the property tests in matmul_test.go hold the optimized kernels to
-// float64 references within precision-scaled reassociation tolerance on
-// ragged shapes.
+// kernels are generic over the element type; concrete float32 and
+// float64 matrices route to the SIMD specializations in matmul32.go /
+// matmul64.go (tier-dispatched vector inner loops plus packed-panel
+// operand layout), while named element types keep the generic scalar
+// path below. The naive reference kernels the package started with are
+// kept at the bottom of this file — always at their instantiated
+// precision — and the property tests in matmul_test.go hold the
+// optimized kernels to float64 references within precision-scaled
+// reassociation tolerance on ragged shapes.
 //
 // Blocking constants: a blockK×blockJ tile of the right-hand operand is
 // blockK*blockJ elements — 256 KiB at float64, 128 KiB at float32 —
@@ -21,6 +26,22 @@ import "fmt"
 const (
 	blockK = 128
 	blockJ = 256
+)
+
+// Panel packing: when the right-hand operand is wider than one tile,
+// the SIMD kernels repack the active blockK×blockJ tile into one of
+// these pooled buffers so its rows become contiguous (pitch seg instead
+// of b.Cols) and the vector inner loops stream unit-stride memory
+// whatever the caller's row pitch. Packing copies each tile element
+// once; it pays for itself only when enough destination rows reuse the
+// panel, so shards processing fewer than panelMinRows rows read b
+// directly. The pooled pointers keep parallel multiplications
+// allocation-free in steady state (one panel per in-flight shard).
+const panelMinRows = 8
+
+var (
+	panelPool32 = sync.Pool{New: func() any { b := make([]float32, blockK*blockJ); return &b }}
+	panelPool64 = sync.Pool{New: func() any { b := make([]float64, blockK*blockJ); return &b }}
 )
 
 // parallelFlops is the multiply-accumulate count above which a product
@@ -92,6 +113,10 @@ func MulTransBInto[E Element](dst, a, b *Matrix[E]) {
 func mulRows[E Element](dst, a, b *Matrix[E], lo, hi int) {
 	if d, x, y, ok := asF32(dst, a, b); ok {
 		mulRowsF32(d, x, y, lo, hi)
+		return
+	}
+	if d, x, y, ok := asF64(dst, a, b); ok {
+		mulRowsF64(d, x, y, lo, hi)
 		return
 	}
 	n, kTot := b.Cols, a.Cols
@@ -182,6 +207,10 @@ func mulTransARows[E Element](dst, a, b *Matrix[E], lo, hi int) {
 		mulTransAF32(d, x, y, lo, hi)
 		return
 	}
+	if d, x, y, ok := asF64(dst, a, b); ok {
+		mulTransAF64(d, x, y, lo, hi)
+		return
+	}
 	n, kTot, ac := b.Cols, a.Rows, a.Cols
 	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*n : (i+1)*n]
@@ -258,6 +287,10 @@ func mulTransARows[E Element](dst, a, b *Matrix[E], lo, hi int) {
 func mulTransBRows[E Element](dst, a, b *Matrix[E], lo, hi int) {
 	if d, x, y, ok := asF32(dst, a, b); ok {
 		mulTransBF32(d, x, y, lo, hi)
+		return
+	}
+	if d, x, y, ok := asF64(dst, a, b); ok {
+		mulTransBF64(d, x, y, lo, hi)
 		return
 	}
 	kTot, dn := a.Cols, b.Rows

@@ -3,13 +3,23 @@ package tensor
 // float32 kernel specializations. The generic kernels in matmul.go
 // dispatch here when the element type is exactly float32 (named
 // ~float32 types keep the generic scalar path): same cache blocking,
-// same row sharding, but the innermost loops run on the 4-lane float32
-// vector primitives of simd_amd64.s (scalar fallbacks elsewhere). Each
-// row's arithmetic is independent of the shard layout, so worker count
-// still never changes results bit for bit.
+// same row sharding, but the innermost loops run on the tier-dispatched
+// vector primitives of simd_amd64.go (8 AVX2 / 4 SSE float32 lanes per
+// instruction, scalar elsewhere — the wrappers handle ragged tails).
+// Each row's arithmetic is independent of the shard layout and of
+// whether the operand tile was packed, so worker count still never
+// changes results bit for bit.
 
 // mulRowsF32 is mulRows for float32: the (k-unrolled × j-segment) inner
-// update is a 4-operand AXPY over the destination segment.
+// update is a 4-operand AXPY over the destination segment. When b is
+// wider than one tile, the active blockK×blockJ tile is repacked once
+// per block into a contiguous panel (rows seg apart instead of b.Cols
+// apart) that every destination row in the shard then sweeps — the
+// vector kernels stream unit-stride panel rows that share cache lines
+// regardless of b's row pitch. Packing copies each tile element once
+// and is amortized over the hi-lo destination rows, so it is skipped
+// for thin shards (and unnecessary when n ≤ blockJ: whole rows of b are
+// already contiguous).
 func mulRowsF32(dst, a, b *Matrix[float32], lo, hi int) {
 	n, kTot := b.Cols, a.Cols
 	for i := lo; i < hi; i++ {
@@ -18,47 +28,76 @@ func mulRowsF32(dst, a, b *Matrix[float32], lo, hi int) {
 			drow[j] = 0
 		}
 	}
+	var panel []float32
+	pack := n > blockJ && hi-lo >= panelMinRows
+	if pack {
+		pp := panelPool32.Get().(*[]float32)
+		panel = *pp
+		defer panelPool32.Put(pp)
+	}
 	for k0 := 0; k0 < kTot; k0 += blockK {
-		k1 := k0 + blockK
-		if k1 > kTot {
-			k1 = kTot
-		}
+		k1 := min(k0+blockK, kTot)
+		kext := k1 - k0
 		for j0 := 0; j0 < n; j0 += blockJ {
-			j1 := j0 + blockJ
-			if j1 > n {
-				j1 = n
-			}
+			j1 := min(j0+blockJ, n)
 			seg := j1 - j0
-			n4 := seg &^ 3
-			for i := lo; i < hi; i++ {
-				arow := a.Data[i*kTot : (i+1)*kTot]
-				drow := dst.Data[i*n+j0 : i*n+j1]
-				k := k0
-				for ; k+4 <= k1; k += 4 {
-					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
-					b0 := b.Data[k*n+j0 : k*n+j1]
-					b1 := b.Data[(k+1)*n+j0 : (k+1)*n+j1]
-					b2 := b.Data[(k+2)*n+j0 : (k+2)*n+j1]
-					b3 := b.Data[(k+3)*n+j0 : (k+3)*n+j1]
-					if n4 > 0 {
-						saxpy4SSE(drow[:n4], b0[:n4], b1[:n4], b2[:n4], b3[:n4], a0, a1, a2, a3)
+			// bp holds the active tile: either the packed panel (row
+			// pitch seg) or a view into b itself (row pitch n).
+			bp, pitch := b.Data[k0*n+j0:], n
+			if pack {
+				for k := 0; k < kext; k++ {
+					copy(panel[k*seg:(k+1)*seg], b.Data[(k0+k)*n+j0:(k0+k)*n+j1])
+				}
+				bp, pitch = panel, seg
+			}
+			// Register-block pairs of destination rows: saxpy4x2 feeds
+			// two accumulating rows from one load of the tile vectors,
+			// halving the dominant tile read traffic. Per-row rounding
+			// is unchanged, and shard chunks are even, so pairing is
+			// identical at any worker count.
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				arow0 := a.Data[i*kTot+k0 : i*kTot+k1]
+				arow1 := a.Data[(i+1)*kTot+k0 : (i+1)*kTot+k1]
+				drow0 := dst.Data[i*n+j0 : i*n+j1]
+				drow1 := dst.Data[(i+1)*n+j0 : (i+1)*n+j1]
+				k := 0
+				for ; k+4 <= kext; k += 4 {
+					b0 := bp[k*pitch : k*pitch+seg]
+					b1 := bp[(k+1)*pitch : (k+1)*pitch+seg]
+					b2 := bp[(k+2)*pitch : (k+2)*pitch+seg]
+					b3 := bp[(k+3)*pitch : (k+3)*pitch+seg]
+					saxpy4x2(drow0, drow1, b0, b1, b2, b3,
+						arow0[k], arow0[k+1], arow0[k+2], arow0[k+3],
+						arow1[k], arow1[k+1], arow1[k+2], arow1[k+3])
+				}
+				for ; k < kext; k++ {
+					brow := bp[k*pitch : k*pitch+seg]
+					if av := arow0[k]; av != 0 {
+						saxpy1(drow0, brow, av)
 					}
-					for j := n4; j < seg; j++ {
-						drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					if av := arow1[k]; av != 0 {
+						saxpy1(drow1, brow, av)
 					}
 				}
-				for ; k < k1; k++ {
+			}
+			for ; i < hi; i++ {
+				arow := a.Data[i*kTot+k0 : i*kTot+k1]
+				drow := dst.Data[i*n+j0 : i*n+j1]
+				k := 0
+				for ; k+4 <= kext; k += 4 {
+					b0 := bp[k*pitch : k*pitch+seg]
+					b1 := bp[(k+1)*pitch : (k+1)*pitch+seg]
+					b2 := bp[(k+2)*pitch : (k+2)*pitch+seg]
+					b3 := bp[(k+3)*pitch : (k+3)*pitch+seg]
+					saxpy4(drow, b0, b1, b2, b3, arow[k], arow[k+1], arow[k+2], arow[k+3])
+				}
+				for ; k < kext; k++ {
 					av := arow[k]
 					if av == 0 {
 						continue
 					}
-					brow := b.Data[k*n+j0 : k*n+j1]
-					if n4 > 0 {
-						saxpy1SSE(drow[:n4], brow[:n4], av)
-					}
-					for j := n4; j < seg; j++ {
-						drow[j] += av * brow[j]
-					}
+					saxpy1(drow, bp[k*pitch:k*pitch+seg], av)
 				}
 			}
 		}
@@ -67,10 +106,57 @@ func mulRowsF32(dst, a, b *Matrix[float32], lo, hi int) {
 
 // mulTransAF32 is mulTransARows for float32: each destination row is an
 // AXPY accumulation of b's rows weighted by one (strided) column of a.
+// b's rows are read whole and are already unit-stride, so no packing is
+// needed here.
 func mulTransAF32(dst, a, b *Matrix[float32], lo, hi int) {
 	n, kTot, ac := b.Cols, a.Rows, a.Cols
-	n4 := n &^ 3
-	for i := lo; i < hi; i++ {
+	// Register-block pairs of destination rows (adjacent columns of a,
+	// so the strided a loads share cache lines): saxpy4x2 streams each
+	// row of b once for both accumulating rows. Shard chunks are even,
+	// so pairing — and the all-zero quad skip, decided per pair — is
+	// identical at any worker count.
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		drow0 := dst.Data[i*n : (i+1)*n]
+		drow1 := dst.Data[(i+1)*n : (i+2)*n]
+		for j := range drow0 {
+			drow0[j] = 0
+		}
+		for j := range drow1 {
+			drow1[j] = 0
+		}
+		k := 0
+		for ; k+4 <= kTot; k += 4 {
+			a00 := a.Data[k*ac+i]
+			a01 := a.Data[(k+1)*ac+i]
+			a02 := a.Data[(k+2)*ac+i]
+			a03 := a.Data[(k+3)*ac+i]
+			a10 := a.Data[k*ac+i+1]
+			a11 := a.Data[(k+1)*ac+i+1]
+			a12 := a.Data[(k+2)*ac+i+1]
+			a13 := a.Data[(k+3)*ac+i+1]
+			if a00 == 0 && a01 == 0 && a02 == 0 && a03 == 0 &&
+				a10 == 0 && a11 == 0 && a12 == 0 && a13 == 0 {
+				continue
+			}
+			b0 := b.Data[k*n : (k+1)*n]
+			b1 := b.Data[(k+1)*n : (k+2)*n]
+			b2 := b.Data[(k+2)*n : (k+3)*n]
+			b3 := b.Data[(k+3)*n : (k+4)*n]
+			saxpy4x2(drow0, drow1, b0, b1, b2, b3,
+				a00, a01, a02, a03, a10, a11, a12, a13)
+		}
+		for ; k < kTot; k++ {
+			brow := b.Data[k*n : (k+1)*n]
+			if av := a.Data[k*ac+i]; av != 0 {
+				saxpy1(drow0, brow, av)
+			}
+			if av := a.Data[k*ac+i+1]; av != 0 {
+				saxpy1(drow1, brow, av)
+			}
+		}
+	}
+	for ; i < hi; i++ {
 		drow := dst.Data[i*n : (i+1)*n]
 		for j := range drow {
 			drow[j] = 0
@@ -88,54 +174,32 @@ func mulTransAF32(dst, a, b *Matrix[float32], lo, hi int) {
 			b1 := b.Data[(k+1)*n : (k+2)*n]
 			b2 := b.Data[(k+2)*n : (k+3)*n]
 			b3 := b.Data[(k+3)*n : (k+4)*n]
-			if n4 > 0 {
-				saxpy4SSE(drow[:n4], b0[:n4], b1[:n4], b2[:n4], b3[:n4], a0, a1, a2, a3)
-			}
-			for j := n4; j < n; j++ {
-				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-			}
+			saxpy4(drow, b0, b1, b2, b3, a0, a1, a2, a3)
 		}
 		for ; k < kTot; k++ {
 			av := a.Data[k*ac+i]
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[k*n : (k+1)*n]
-			if n4 > 0 {
-				saxpy1SSE(drow[:n4], brow[:n4], av)
-			}
-			for j := n4; j < n; j++ {
-				drow[j] += av * brow[j]
-			}
+			saxpy1(drow, b.Data[k*n:(k+1)*n], av)
 		}
 	}
 }
 
 // mulTransBF32 is mulTransBRows for float32: each output element is a
 // vector dot product along the shared k axis, with b tiled so the
-// active rows stay cache-resident.
+// active rows stay cache-resident. Both operand rows are already
+// unit-stride, so no packing is needed here either.
 func mulTransBF32(dst, a, b *Matrix[float32], lo, hi int) {
 	kTot, dn := a.Cols, b.Rows
 	const blockTB = 64
-	k4 := kTot &^ 3
 	for j0 := 0; j0 < dn; j0 += blockTB {
-		j1 := j0 + blockTB
-		if j1 > dn {
-			j1 = dn
-		}
+		j1 := min(j0+blockTB, dn)
 		for i := lo; i < hi; i++ {
 			arow := a.Data[i*kTot : (i+1)*kTot]
 			drow := dst.Data[i*dn : (i+1)*dn]
 			for j := j0; j < j1; j++ {
-				brow := b.Data[j*kTot : (j+1)*kTot]
-				var s float32
-				if k4 > 0 {
-					s = sdotSSE(arow[:k4], brow[:k4])
-				}
-				for k := k4; k < kTot; k++ {
-					s += arow[k] * brow[k]
-				}
-				drow[j] = s
+				drow[j] = sdot(arow, b.Data[j*kTot:(j+1)*kTot])
 			}
 		}
 	}

@@ -1,0 +1,186 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Runtime-dispatched SIMD kernel tiers.
+//
+// The vector primitives behind the matmul kernels and the fused Adam
+// sweep come in three tiers, selected once at process start:
+//
+//	scalar  portable Go loops (every architecture)
+//	sse     amd64 baseline: 4 float32 / 2 float64 lanes per XMM register
+//	avx2    8 float32 lanes per YMM register (float64 stays on the SSE2
+//	        kernels), used only when CPUID+XGETBV confirm the CPU *and*
+//	        the OS support AVX state
+//
+// Detection happens in init (feature_amd64.go); the CAPES_SIMD
+// environment variable (scalar|sse|avx2) overrides it for testing and
+// perf triage, clamped to what the host actually supports. KernelTier
+// reports the active tier — capesd's /stats and /healthz payloads and
+// `capes-inspect -tier` surface it so profiles from different hosts can
+// be told apart.
+//
+// Dispatch contract (see simd_amd64.go for the per-routine details):
+// the tier is read per wrapper call, vector bodies run on the largest
+// lane-aligned prefix, and the remainder always falls through to the
+// scalar loops below. Every vector operation used is IEEE-exact
+// (mul/add/sub/sqrt/div are correctly rounded, and the AVX2 kernels
+// deliberately use separate VMULPS+VADDPS rather than FMA), so for the
+// elementwise primitives — the saxpy/daxpy family and the Adam sweep —
+// every tier produces bit-identical results element for element. Only
+// the dot-product reductions differ across tiers (wider accumulators
+// change the summation order), which the precision-scaled equivalence
+// tolerances already cover. Shard boundaries land mid-slice without
+// changing results for the same reason, so worker count never changes
+// results bit for bit on any tier.
+
+// Kernel tiers, in strictly increasing capability order.
+const (
+	tierScalar int32 = iota
+	tierSSE
+	tierAVX2
+)
+
+var tierNames = [...]string{"scalar", "sse", "avx2"}
+
+// activeTier is the tier the wrapper functions dispatch on. bestTier is
+// the host ceiling established at init; forced tiers are clamped to it.
+var (
+	activeTier atomic.Int32
+	bestTier   int32
+)
+
+func init() {
+	bestTier = detectBestTier()
+	tier := bestTier
+	if env := os.Getenv("CAPES_SIMD"); env != "" {
+		if forced, ok := tierByName(env); ok && forced < tier {
+			tier = forced
+		}
+		// Unknown names and tiers above the host ceiling keep the
+		// detected best: a daemon must not lose its vector units to a
+		// typo, and CAPES_SIMD=avx2 on an SSE-only host stays "sse".
+	}
+	activeTier.Store(tier)
+}
+
+func tierByName(name string) (int32, bool) {
+	for i, n := range tierNames {
+		if n == name {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// KernelTier reports the active SIMD tier ("scalar", "sse" or "avx2").
+// Perf triage uses it to tell hosts apart: bench baselines are only
+// comparable within one tier.
+func KernelTier() string { return tierNames[activeTier.Load()] }
+
+// SetKernelTier forces the active tier by name, clamped to what the
+// host supports, and returns the tier actually applied. It exists for
+// tests (forced-tier equivalence suites) and live triage; unknown names
+// error. Not synchronized with kernels already in flight — switch tiers
+// only between operations.
+func SetKernelTier(name string) (applied string, err error) {
+	t, ok := tierByName(name)
+	if !ok {
+		return KernelTier(), fmt.Errorf("tensor: unknown kernel tier %q (want scalar|sse|avx2)", name)
+	}
+	if t > bestTier {
+		t = bestTier
+	}
+	activeTier.Store(t)
+	return tierNames[t], nil
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations. These are the portable tier, the
+// tail handlers for every vector tier, and the golden references the
+// forced-tier property tests compare against. The float32 Adam loops
+// must mirror the generic loops in nn/adam.go operation for operation —
+// same expression tree, same association — so routing a concrete
+// float32 sweep through here (at any tier) is bit-invisible.
+
+func saxpy4Scalar(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32) {
+	for j := range dst {
+		dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j]
+	}
+}
+
+func saxpy1Scalar(dst, x0 []float32, a0 float32) {
+	for j := range dst {
+		dst[j] += a0 * x0[j]
+	}
+}
+
+func sdotScalar(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	j := 0
+	for ; j+4 <= len(a); j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; j < len(a); j++ {
+		s += a[j] * b[j]
+	}
+	return s
+}
+
+func daxpy4Scalar(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64) {
+	for j := range dst {
+		dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j]
+	}
+}
+
+func daxpy1Scalar(dst, x0 []float64, a0 float64) {
+	for j := range dst {
+		dst[j] += a0 * x0[j]
+	}
+}
+
+func ddotScalar(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= len(a); j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; j < len(a); j++ {
+		s += a[j] * b[j]
+	}
+	return s
+}
+
+func adamSweepScalar(params, grads, fm, fv []float32, lrT, b1, omb1, b2, omb2, eps, scale float32) {
+	for j := range params {
+		gj := grads[j] * scale
+		mj := b1*fm[j] + omb1*gj
+		vj := b2*fv[j] + omb2*gj*gj
+		fm[j], fv[j] = mj, vj
+		params[j] -= lrT * mj / (Sqrt(vj) + eps)
+	}
+}
+
+func adamSweepSoftScalar(params, grads, fm, fv, target []float32, lrT, b1, omb1, b2, omb2, eps, scale, al, omal float32) {
+	for j := range params {
+		gj := grads[j] * scale
+		mj := b1*fm[j] + omb1*gj
+		vj := b2*fv[j] + omb2*gj*gj
+		fm[j], fv[j] = mj, vj
+		p := params[j] - lrT*mj/(Sqrt(vj)+eps)
+		params[j] = p
+		target[j] = target[j]*omal + p*al
+	}
+}

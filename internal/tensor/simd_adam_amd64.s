@@ -1,0 +1,239 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Vectorized fused Adam sweeps (float32). Each iteration computes, for
+// one vector of lanes and in exactly the scalar expression order:
+//
+//	gj = grads[j]*scale
+//	mj = b1*fm[j] + omb1*gj            (omb1 = 1-β₁, precomputed)
+//	vj = b2*fv[j] + (omb2*gj)*gj
+//	fm[j], fv[j] = mj, vj
+//	p  = params[j] - (lrT*mj)/(sqrt(vj)+eps)
+//	params[j] = p
+//	target[j] = target[j]*omal + p*al  (Soft variants only)
+//
+// SQRTPS/DIVPS are IEEE correctly rounded like MULPS/ADDPS/SUBPS, so
+// these bodies are bit-identical to the scalar loops in simd.go (and to
+// the generic loops in nn/adam.go) element for element — the sweep's
+// shard- and tier-determinism contract survives vectorization intact.
+// Callers guarantee len(params) % 4 == 0 (SSE) / % 8 == 0 (AVX2).
+
+// func adamSweepSSE(params, grads, fm, fv []float32, lrT, b1, omb1, b2, omb2, eps, scale float32)
+TEXT ·adamSweepSSE(SB), NOSPLIT, $0-124
+	MOVQ params_base+0(FP), DI
+	MOVQ params_len+8(FP), CX
+	MOVQ grads_base+24(FP), SI
+	MOVQ fm_base+48(FP), R8
+	MOVQ fv_base+72(FP), R9
+	MOVSS lrT+96(FP), X5
+	SHUFPS $0x00, X5, X5
+	MOVSS b1+100(FP), X6
+	SHUFPS $0x00, X6, X6
+	MOVSS omb1+104(FP), X7
+	SHUFPS $0x00, X7, X7
+	MOVSS b2+108(FP), X8
+	SHUFPS $0x00, X8, X8
+	MOVSS omb2+112(FP), X9
+	SHUFPS $0x00, X9, X9
+	MOVSS eps+116(FP), X10
+	SHUFPS $0x00, X10, X10
+	MOVSS scale+120(FP), X11
+	SHUFPS $0x00, X11, X11
+	XORQ AX, AX
+
+adamsse_loop:
+	CMPQ AX, CX
+	JGE  adamsse_done
+	MOVUPS (SI)(AX*4), X0
+	MULPS  X11, X0
+	MOVUPS (R8)(AX*4), X1
+	MULPS  X6, X1
+	MOVAPS X0, X2
+	MULPS  X7, X2
+	ADDPS  X2, X1
+	MOVUPS X1, (R8)(AX*4)
+	MOVAPS X0, X2
+	MULPS  X9, X2
+	MULPS  X0, X2
+	MOVUPS (R9)(AX*4), X3
+	MULPS  X8, X3
+	ADDPS  X2, X3
+	MOVUPS X3, (R9)(AX*4)
+	SQRTPS X3, X3
+	ADDPS  X10, X3
+	MULPS  X5, X1
+	DIVPS  X3, X1
+	MOVUPS (DI)(AX*4), X0
+	SUBPS  X1, X0
+	MOVUPS X0, (DI)(AX*4)
+	ADDQ   $4, AX
+	JMP    adamsse_loop
+
+adamsse_done:
+	RET
+
+// func adamSweepSoftSSE(params, grads, fm, fv, target []float32, lrT, b1, omb1, b2, omb2, eps, scale, al, omal float32)
+TEXT ·adamSweepSoftSSE(SB), NOSPLIT, $0-156
+	MOVQ params_base+0(FP), DI
+	MOVQ params_len+8(FP), CX
+	MOVQ grads_base+24(FP), SI
+	MOVQ fm_base+48(FP), R8
+	MOVQ fv_base+72(FP), R9
+	MOVQ target_base+96(FP), R10
+	MOVSS lrT+120(FP), X5
+	SHUFPS $0x00, X5, X5
+	MOVSS b1+124(FP), X6
+	SHUFPS $0x00, X6, X6
+	MOVSS omb1+128(FP), X7
+	SHUFPS $0x00, X7, X7
+	MOVSS b2+132(FP), X8
+	SHUFPS $0x00, X8, X8
+	MOVSS omb2+136(FP), X9
+	SHUFPS $0x00, X9, X9
+	MOVSS eps+140(FP), X10
+	SHUFPS $0x00, X10, X10
+	MOVSS scale+144(FP), X11
+	SHUFPS $0x00, X11, X11
+	MOVSS al+148(FP), X12
+	SHUFPS $0x00, X12, X12
+	MOVSS omal+152(FP), X13
+	SHUFPS $0x00, X13, X13
+	XORQ AX, AX
+
+adamsoftsse_loop:
+	CMPQ AX, CX
+	JGE  adamsoftsse_done
+	MOVUPS (SI)(AX*4), X0
+	MULPS  X11, X0
+	MOVUPS (R8)(AX*4), X1
+	MULPS  X6, X1
+	MOVAPS X0, X2
+	MULPS  X7, X2
+	ADDPS  X2, X1
+	MOVUPS X1, (R8)(AX*4)
+	MOVAPS X0, X2
+	MULPS  X9, X2
+	MULPS  X0, X2
+	MOVUPS (R9)(AX*4), X3
+	MULPS  X8, X3
+	ADDPS  X2, X3
+	MOVUPS X3, (R9)(AX*4)
+	SQRTPS X3, X3
+	ADDPS  X10, X3
+	MULPS  X5, X1
+	DIVPS  X3, X1
+	MOVUPS (DI)(AX*4), X0
+	SUBPS  X1, X0
+	MOVUPS X0, (DI)(AX*4)
+	MOVAPS X0, X2
+	MULPS  X12, X2
+	MOVUPS (R10)(AX*4), X3
+	MULPS  X13, X3
+	ADDPS  X2, X3
+	MOVUPS X3, (R10)(AX*4)
+	ADDQ   $4, AX
+	JMP    adamsoftsse_loop
+
+adamsoftsse_done:
+	RET
+
+// func adamSweepAVX2(params, grads, fm, fv []float32, lrT, b1, omb1, b2, omb2, eps, scale float32)
+TEXT ·adamSweepAVX2(SB), NOSPLIT, $0-124
+	MOVQ params_base+0(FP), DI
+	MOVQ params_len+8(FP), CX
+	MOVQ grads_base+24(FP), SI
+	MOVQ fm_base+48(FP), R8
+	MOVQ fv_base+72(FP), R9
+	VBROADCASTSS lrT+96(FP), Y5
+	VBROADCASTSS b1+100(FP), Y6
+	VBROADCASTSS omb1+104(FP), Y7
+	VBROADCASTSS b2+108(FP), Y8
+	VBROADCASTSS omb2+112(FP), Y9
+	VBROADCASTSS eps+116(FP), Y10
+	VBROADCASTSS scale+120(FP), Y11
+	XORQ AX, AX
+
+adamavx_loop:
+	CMPQ AX, CX
+	JGE  adamavx_done
+	VMOVUPS (SI)(AX*4), Y0
+	VMULPS  Y11, Y0, Y0
+	VMOVUPS (R8)(AX*4), Y1
+	VMULPS  Y6, Y1, Y1
+	VMULPS  Y7, Y0, Y2
+	VADDPS  Y2, Y1, Y1
+	VMOVUPS Y1, (R8)(AX*4)
+	VMULPS  Y9, Y0, Y2
+	VMULPS  Y0, Y2, Y2
+	VMOVUPS (R9)(AX*4), Y3
+	VMULPS  Y8, Y3, Y3
+	VADDPS  Y2, Y3, Y3
+	VMOVUPS Y3, (R9)(AX*4)
+	VSQRTPS Y3, Y3
+	VADDPS  Y10, Y3, Y3
+	VMULPS  Y5, Y1, Y1
+	VDIVPS  Y3, Y1, Y1
+	VMOVUPS (DI)(AX*4), Y0
+	VSUBPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ    $8, AX
+	JMP     adamavx_loop
+
+adamavx_done:
+	VZEROUPPER
+	RET
+
+// func adamSweepSoftAVX2(params, grads, fm, fv, target []float32, lrT, b1, omb1, b2, omb2, eps, scale, al, omal float32)
+TEXT ·adamSweepSoftAVX2(SB), NOSPLIT, $0-156
+	MOVQ params_base+0(FP), DI
+	MOVQ params_len+8(FP), CX
+	MOVQ grads_base+24(FP), SI
+	MOVQ fm_base+48(FP), R8
+	MOVQ fv_base+72(FP), R9
+	MOVQ target_base+96(FP), R10
+	VBROADCASTSS lrT+120(FP), Y5
+	VBROADCASTSS b1+124(FP), Y6
+	VBROADCASTSS omb1+128(FP), Y7
+	VBROADCASTSS b2+132(FP), Y8
+	VBROADCASTSS omb2+136(FP), Y9
+	VBROADCASTSS eps+140(FP), Y10
+	VBROADCASTSS scale+144(FP), Y11
+	VBROADCASTSS al+148(FP), Y12
+	VBROADCASTSS omal+152(FP), Y13
+	XORQ AX, AX
+
+adamsoftavx_loop:
+	CMPQ AX, CX
+	JGE  adamsoftavx_done
+	VMOVUPS (SI)(AX*4), Y0
+	VMULPS  Y11, Y0, Y0
+	VMOVUPS (R8)(AX*4), Y1
+	VMULPS  Y6, Y1, Y1
+	VMULPS  Y7, Y0, Y2
+	VADDPS  Y2, Y1, Y1
+	VMOVUPS Y1, (R8)(AX*4)
+	VMULPS  Y9, Y0, Y2
+	VMULPS  Y0, Y2, Y2
+	VMOVUPS (R9)(AX*4), Y3
+	VMULPS  Y8, Y3, Y3
+	VADDPS  Y2, Y3, Y3
+	VMOVUPS Y3, (R9)(AX*4)
+	VSQRTPS Y3, Y3
+	VADDPS  Y10, Y3, Y3
+	VMULPS  Y5, Y1, Y1
+	VDIVPS  Y3, Y1, Y1
+	VMOVUPS (DI)(AX*4), Y0
+	VSUBPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	VMULPS  Y12, Y0, Y2
+	VMOVUPS (R10)(AX*4), Y3
+	VMULPS  Y13, Y3, Y3
+	VADDPS  Y2, Y3, Y3
+	VMOVUPS Y3, (R10)(AX*4)
+	ADDQ    $8, AX
+	JMP     adamsoftavx_loop
+
+adamsoftavx_done:
+	VZEROUPPER
+	RET

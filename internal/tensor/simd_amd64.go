@@ -2,40 +2,255 @@
 
 package tensor
 
-// SSE vector primitives for the float32 kernels. SSE2 is part of the
-// amd64 baseline (GOAMD64=v1), so no runtime feature detection is
-// needed: every amd64 build gets 4 float32 lanes per XMM register,
-// which is where the float32 hot path's end-to-end speedup over float64
-// comes from on compute-bound hosts (Go's scalar codegen issues one
+// amd64 vector-primitive dispatch. Per-tier routine inventory:
+//
+//	routine      scalar  sse (XMM)              avx2 (YMM)
+//	saxpy4/1     Go      saxpy4SSE/saxpy1SSE    saxpy4AVX2/saxpy1AVX2
+//	sdot         Go      sdotSSE                sdotAVX2
+//	daxpy4/1     Go      daxpy4SSE2/daxpy1SSE2  (float64 stays on SSE2)
+//	ddot         Go      ddotSSE2               (float64 stays on SSE2)
+//	adamSweep*   Go      adamSweepSSE{,Soft}    adamSweepAVX2{,Soft}
+//
+// SSE2 is part of the amd64 baseline (GOAMD64=v1), so the sse tier
+// needs no feature detection; the avx2 tier is gated by the CPUID/
+// XGETBV probe in feature_amd64.go. Go's scalar codegen issues one
 // MULSS/MULSD per element regardless of width; these kernels issue one
-// MULPS per four float32s). All operations are IEEE-exact (MULPS/ADDPS/
-// SQRTPS are correctly rounded), so the vector kernels round identically
-// to the scalar float32 loops element for element — only the summation
-// *order* of reductions differs, which the precision-scaled equivalence
-// tolerances already cover.
+// MULPS per 4 (sse) or 8 (avx2) float32s and one MULPD per 2 float64s.
 //
-// The assembly bodies live in simd_amd64.s; callers must pass slice
-// lengths that are multiples of 4 (they mask with &^3 and handle tails
-// in Go).
-
-const haveSIMD32 = true
-
-// saxpy4SSE computes dst[j] += a0·x0[j] + a1·x1[j] + a2·x2[j] + a3·x3[j]
-// for j in [0, len(dst)). len(dst) must be a multiple of 4 and each xi
-// at least as long as dst.
+// Tail-handling rule: every assembly body requires its slice length to
+// be a multiple of the tier's lane count (4/8 for float32, 2 for
+// float64 — the bodies may internally unroll wider and step down, e.g.
+// saxpy4SSE runs 8-wide then 4-wide). The Go wrappers below mask the
+// length down (&^3, &^7, &^1), hand the aligned prefix to the assembly
+// and finish the remainder with the scalar loops from simd.go, so
+// callers never see an alignment requirement and len<lane-count slices
+// (the action path's odd widths) work on every tier.
 //
+// Rounding contract: the vector bodies use only IEEE-exact operations —
+// MULPS/ADDPS/SUBPS/MULPD/ADDPD and, in the Adam sweep, SQRTPS/DIVPS —
+// and the AVX2 kernels deliberately issue separate multiply+add instead
+// of FMA. The axpy family and the Adam sweep therefore round identically
+// to the scalar loops element for element, on every tier, wherever the
+// vector/tail boundary falls; only the dot reductions (sdot/ddot) vary
+// across tiers, by accumulator-order reassociation the equivalence
+// tolerances cover. float32(math.Sqrt(float64(x))) in the scalar loops
+// equals SQRTPS(x) bit for bit: float64's 53-bit mantissa exceeds the
+// 2·24+2 bits after which the double rounding is exact.
+
+// saxpy4 computes dst[j] += a0·x0[j] + a1·x1[j] + a2·x2[j] + a3·x3[j]
+// for j in [0, len(dst)); each xi must be at least as long as dst.
+func saxpy4(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32) {
+	j := 0
+	switch activeTier.Load() {
+	case tierAVX2:
+		if n8 := len(dst) &^ 7; n8 > 0 {
+			saxpy4AVX2(dst[:n8], x0, x1, x2, x3, a0, a1, a2, a3)
+			j = n8
+		}
+	case tierSSE:
+		if n4 := len(dst) &^ 3; n4 > 0 {
+			saxpy4SSE(dst[:n4], x0, x1, x2, x3, a0, a1, a2, a3)
+			j = n4
+		}
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j]
+	}
+}
+
+// saxpy1 computes dst[j] += a0·x0[j].
+func saxpy1(dst, x0 []float32, a0 float32) {
+	j := 0
+	switch activeTier.Load() {
+	case tierAVX2:
+		if n8 := len(dst) &^ 7; n8 > 0 {
+			saxpy1AVX2(dst[:n8], x0, a0)
+			j = n8
+		}
+	case tierSSE:
+		if n4 := len(dst) &^ 3; n4 > 0 {
+			saxpy1SSE(dst[:n4], x0, a0)
+			j = n4
+		}
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += a0 * x0[j]
+	}
+}
+
+// saxpy4x2 runs saxpy4 for two destination rows against the same four
+// operand rows. On the avx2 tier the operand vectors stay in registers
+// across both rows, halving the tile read traffic that bounds the
+// blocked matmuls; other tiers decompose into two saxpy4 calls. Either
+// way each row rounds exactly as a lone saxpy4 over it would, so the
+// row pairing in the callers never changes results.
+func saxpy4x2(dst0, dst1, x0, x1, x2, x3 []float32, a00, a01, a02, a03, a10, a11, a12, a13 float32) {
+	if activeTier.Load() == tierAVX2 {
+		j := 0
+		if n8 := len(dst0) &^ 7; n8 > 0 {
+			saxpy4x2AVX2(dst0[:n8], dst1, x0, x1, x2, x3, a00, a01, a02, a03, a10, a11, a12, a13)
+			j = n8
+		}
+		for ; j < len(dst0); j++ {
+			dst0[j] += a00*x0[j] + a01*x1[j] + a02*x2[j] + a03*x3[j]
+			dst1[j] += a10*x0[j] + a11*x1[j] + a12*x2[j] + a13*x3[j]
+		}
+		return
+	}
+	saxpy4(dst0, x0, x1, x2, x3, a00, a01, a02, a03)
+	saxpy4(dst1, x0, x1, x2, x3, a10, a11, a12, a13)
+}
+
+// sdot returns Σ a[j]·b[j]; len(b) must be ≥ len(a). The reduction
+// order is fixed per tier, so results are deterministic within one
+// process but differ a few ULPs across tiers.
+func sdot(a, b []float32) float32 {
+	switch activeTier.Load() {
+	case tierAVX2:
+		if n8 := len(a) &^ 7; n8 > 0 {
+			s := sdotAVX2(a[:n8], b)
+			for j := n8; j < len(a); j++ {
+				s += a[j] * b[j]
+			}
+			return s
+		}
+	case tierSSE:
+		if n4 := len(a) &^ 3; n4 > 0 {
+			s := sdotSSE(a[:n4], b)
+			for j := n4; j < len(a); j++ {
+				s += a[j] * b[j]
+			}
+			return s
+		}
+	}
+	return sdotScalar(a, b)
+}
+
+// daxpy4 is saxpy4 at float64 (2 SSE2 lanes on the sse tier and above).
+func daxpy4(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64) {
+	j := 0
+	if activeTier.Load() >= tierSSE {
+		if n2 := len(dst) &^ 1; n2 > 0 {
+			daxpy4SSE2(dst[:n2], x0, x1, x2, x3, a0, a1, a2, a3)
+			j = n2
+		}
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j]
+	}
+}
+
+// daxpy1 is saxpy1 at float64.
+func daxpy1(dst, x0 []float64, a0 float64) {
+	j := 0
+	if activeTier.Load() >= tierSSE {
+		if n2 := len(dst) &^ 1; n2 > 0 {
+			daxpy1SSE2(dst[:n2], x0, a0)
+			j = n2
+		}
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += a0 * x0[j]
+	}
+}
+
+// ddot is sdot at float64.
+func ddot(a, b []float64) float64 {
+	if activeTier.Load() >= tierSSE {
+		if n2 := len(a) &^ 1; n2 > 0 {
+			s := ddotSSE2(a[:n2], b)
+			for j := n2; j < len(a); j++ {
+				s += a[j] * b[j]
+			}
+			return s
+		}
+	}
+	return ddotScalar(a, b)
+}
+
+// adamSweep32 runs the fused Adam moment/step update over the float32
+// arenas (see AdamSweep32 in adamsweep.go for the formula).
+func adamSweep32(params, grads, fm, fv []float32, lrT, b1, omb1, b2, omb2, eps, scale float32) {
+	j := 0
+	switch activeTier.Load() {
+	case tierAVX2:
+		if n8 := len(params) &^ 7; n8 > 0 {
+			adamSweepAVX2(params[:n8], grads, fm, fv, lrT, b1, omb1, b2, omb2, eps, scale)
+			j = n8
+		}
+	case tierSSE:
+		if n4 := len(params) &^ 3; n4 > 0 {
+			adamSweepSSE(params[:n4], grads, fm, fv, lrT, b1, omb1, b2, omb2, eps, scale)
+			j = n4
+		}
+	}
+	if j < len(params) {
+		adamSweepScalar(params[j:], grads[j:], fm[j:], fv[j:], lrT, b1, omb1, b2, omb2, eps, scale)
+	}
+}
+
+// adamSweepSoft32 is adamSweep32 with the fused soft target update
+// target[j] = target[j]·(1−α) + p·α.
+func adamSweepSoft32(params, grads, fm, fv, target []float32, lrT, b1, omb1, b2, omb2, eps, scale, al, omal float32) {
+	j := 0
+	switch activeTier.Load() {
+	case tierAVX2:
+		if n8 := len(params) &^ 7; n8 > 0 {
+			adamSweepSoftAVX2(params[:n8], grads, fm, fv, target, lrT, b1, omb1, b2, omb2, eps, scale, al, omal)
+			j = n8
+		}
+	case tierSSE:
+		if n4 := len(params) &^ 3; n4 > 0 {
+			adamSweepSoftSSE(params[:n4], grads, fm, fv, target, lrT, b1, omb1, b2, omb2, eps, scale, al, omal)
+			j = n4
+		}
+	}
+	if j < len(params) {
+		adamSweepSoftScalar(params[j:], grads[j:], fm[j:], fv[j:], target[j:], lrT, b1, omb1, b2, omb2, eps, scale, al, omal)
+	}
+}
+
+// Assembly bodies. Slice lengths must be lane-aligned as described in
+// the header; the wrappers above are the only callers.
+
 //go:noescape
 func saxpy4SSE(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32)
 
-// saxpy1SSE computes dst[j] += a0·x0[j]. len(dst) must be a multiple
-// of 4.
-//
 //go:noescape
 func saxpy1SSE(dst, x0 []float32, a0 float32)
 
-// sdotSSE returns Σ a[j]·b[j]. len(a) must be a multiple of 4 and
-// len(b) ≥ len(a). The reduction runs in two vector accumulators folded
-// at the end — a fixed order, so results are deterministic.
-//
 //go:noescape
 func sdotSSE(a, b []float32) float32
+
+//go:noescape
+func saxpy4AVX2(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32)
+
+//go:noescape
+func saxpy1AVX2(dst, x0 []float32, a0 float32)
+
+//go:noescape
+func sdotAVX2(a, b []float32) float32
+
+//go:noescape
+func saxpy4x2AVX2(dst0, dst1, x0, x1, x2, x3 []float32, a00, a01, a02, a03, a10, a11, a12, a13 float32)
+
+//go:noescape
+func daxpy4SSE2(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64)
+
+//go:noescape
+func daxpy1SSE2(dst, x0 []float64, a0 float64)
+
+//go:noescape
+func ddotSSE2(a, b []float64) float64
+
+//go:noescape
+func adamSweepSSE(params, grads, fm, fv []float32, lrT, b1, omb1, b2, omb2, eps, scale float32)
+
+//go:noescape
+func adamSweepSoftSSE(params, grads, fm, fv, target []float32, lrT, b1, omb1, b2, omb2, eps, scale, al, omal float32)
+
+//go:noescape
+func adamSweepAVX2(params, grads, fm, fv []float32, lrT, b1, omb1, b2, omb2, eps, scale float32)
+
+//go:noescape
+func adamSweepSoftAVX2(params, grads, fm, fv, target []float32, lrT, b1, omb1, b2, omb2, eps, scale, al, omal float32)

@@ -1,0 +1,235 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2-tier float32 kernels: 8 lanes per YMM register, 16 elements per
+// main-loop iteration. Multiplies and adds are issued separately
+// (VMULPS + VADDPS, never FMA) so every element rounds exactly as the
+// scalar and SSE paths do — the tiers differ only in dot-reduction
+// order. Callers (the wrappers in simd_amd64.go) guarantee len % 8 == 0.
+// Every routine ends with VZEROUPPER so mixing with SSE code in the
+// callers costs no AVX→SSE transition penalty.
+
+// func saxpy4AVX2(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32)
+// dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j], len(dst) % 8 == 0.
+TEXT ·saxpy4AVX2(SB), NOSPLIT, $0-136
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x0_base+24(FP), R8
+	MOVQ x1_base+48(FP), R9
+	MOVQ x2_base+72(FP), R10
+	MOVQ x3_base+96(FP), R11
+	VBROADCASTSS a0+120(FP), Y4
+	VBROADCASTSS a1+124(FP), Y5
+	VBROADCASTSS a2+128(FP), Y6
+	VBROADCASTSS a3+132(FP), Y7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+saxpy4avx_loop16:
+	CMPQ AX, DX
+	JGE  saxpy4avx_tail8
+	VMOVUPS (R8)(AX*4), Y0
+	VMOVUPS 32(R8)(AX*4), Y8
+	VMULPS  Y4, Y0, Y0
+	VMULPS  Y4, Y8, Y8
+	VMOVUPS (R9)(AX*4), Y1
+	VMOVUPS 32(R9)(AX*4), Y9
+	VMULPS  Y5, Y1, Y1
+	VMULPS  Y5, Y9, Y9
+	VADDPS  Y1, Y0, Y0
+	VADDPS  Y9, Y8, Y8
+	VMOVUPS (R10)(AX*4), Y2
+	VMOVUPS 32(R10)(AX*4), Y10
+	VMULPS  Y6, Y2, Y2
+	VMULPS  Y6, Y10, Y10
+	VADDPS  Y2, Y0, Y0
+	VADDPS  Y10, Y8, Y8
+	VMOVUPS (R11)(AX*4), Y3
+	VMOVUPS 32(R11)(AX*4), Y11
+	VMULPS  Y7, Y3, Y3
+	VMULPS  Y7, Y11, Y11
+	VADDPS  Y3, Y0, Y0
+	VADDPS  Y11, Y8, Y8
+	VMOVUPS (DI)(AX*4), Y12
+	VMOVUPS 32(DI)(AX*4), Y13
+	VADDPS  Y12, Y0, Y0
+	VADDPS  Y13, Y8, Y8
+	VMOVUPS Y0, (DI)(AX*4)
+	VMOVUPS Y8, 32(DI)(AX*4)
+	ADDQ    $16, AX
+	JMP     saxpy4avx_loop16
+
+saxpy4avx_tail8:
+	CMPQ AX, CX
+	JGE  saxpy4avx_done
+	VMOVUPS (R8)(AX*4), Y0
+	VMULPS  Y4, Y0, Y0
+	VMOVUPS (R9)(AX*4), Y1
+	VMULPS  Y5, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	VMOVUPS (R10)(AX*4), Y2
+	VMULPS  Y6, Y2, Y2
+	VADDPS  Y2, Y0, Y0
+	VMOVUPS (R11)(AX*4), Y3
+	VMULPS  Y7, Y3, Y3
+	VADDPS  Y3, Y0, Y0
+	VMOVUPS (DI)(AX*4), Y12
+	VADDPS  Y12, Y0, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ    $8, AX
+	JMP     saxpy4avx_tail8
+
+saxpy4avx_done:
+	VZEROUPPER
+	RET
+
+// func saxpy1AVX2(dst, x0 []float32, a0 float32)
+// dst[j] += a0*x0[j], len(dst) % 8 == 0.
+TEXT ·saxpy1AVX2(SB), NOSPLIT, $0-52
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x0_base+24(FP), R8
+	VBROADCASTSS a0+48(FP), Y4
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+saxpy1avx_loop16:
+	CMPQ AX, DX
+	JGE  saxpy1avx_tail8
+	VMOVUPS (R8)(AX*4), Y0
+	VMOVUPS 32(R8)(AX*4), Y1
+	VMULPS  Y4, Y0, Y0
+	VMULPS  Y4, Y1, Y1
+	VMOVUPS (DI)(AX*4), Y2
+	VMOVUPS 32(DI)(AX*4), Y3
+	VADDPS  Y2, Y0, Y0
+	VADDPS  Y3, Y1, Y1
+	VMOVUPS Y0, (DI)(AX*4)
+	VMOVUPS Y1, 32(DI)(AX*4)
+	ADDQ    $16, AX
+	JMP     saxpy1avx_loop16
+
+saxpy1avx_tail8:
+	CMPQ AX, CX
+	JGE  saxpy1avx_done
+	VMOVUPS (R8)(AX*4), Y0
+	VMULPS  Y4, Y0, Y0
+	VMOVUPS (DI)(AX*4), Y2
+	VADDPS  Y2, Y0, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ    $8, AX
+	JMP     saxpy1avx_tail8
+
+saxpy1avx_done:
+	VZEROUPPER
+	RET
+
+// func sdotAVX2(a, b []float32) float32
+// Returns sum(a[j]*b[j]); len(a) % 8 == 0. Two 8-lane accumulators
+// folded at the end — a fixed reduction order, so deterministic (but a
+// different order than the SSE and scalar tiers).
+TEXT ·sdotAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+sdotavx_loop16:
+	CMPQ AX, DX
+	JGE  sdotavx_tail8
+	VMOVUPS (SI)(AX*4), Y2
+	VMOVUPS (DI)(AX*4), Y3
+	VMULPS  Y3, Y2, Y2
+	VADDPS  Y2, Y0, Y0
+	VMOVUPS 32(SI)(AX*4), Y4
+	VMOVUPS 32(DI)(AX*4), Y5
+	VMULPS  Y5, Y4, Y4
+	VADDPS  Y4, Y1, Y1
+	ADDQ    $16, AX
+	JMP     sdotavx_loop16
+
+sdotavx_tail8:
+	CMPQ AX, CX
+	JGE  sdotavx_fold
+	VMOVUPS (SI)(AX*4), Y2
+	VMOVUPS (DI)(AX*4), Y3
+	VMULPS  Y3, Y2, Y2
+	VADDPS  Y2, Y0, Y0
+	ADDQ    $8, AX
+	JMP     sdotavx_tail8
+
+sdotavx_fold:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VZEROUPPER
+	ADDPS        X1, X0
+	MOVAPS       X0, X1
+	MOVHLPS      X0, X1
+	ADDPS        X1, X0
+	MOVAPS       X0, X1
+	SHUFPS       $0x55, X1, X1
+	ADDSS        X1, X0
+	MOVSS        X0, ret+48(FP)
+	RET
+
+// func saxpy4x2AVX2(dst0, dst1, x0, x1, x2, x3 []float32, a00, a01, a02, a03, a10, a11, a12, a13 float32)
+// Register-blocked pair of saxpy4s: the four operand-row vectors are
+// loaded once and feed both destination rows, halving the dominant
+// operand-tile read traffic in the blocked matmuls. Per-row arithmetic
+// and rounding are exactly saxpy4's. len(dst0) % 8 == 0.
+TEXT ·saxpy4x2AVX2(SB), NOSPLIT, $0-176
+	MOVQ dst0_base+0(FP), DI
+	MOVQ dst0_len+8(FP), CX
+	MOVQ dst1_base+24(FP), BX
+	MOVQ x0_base+48(FP), R8
+	MOVQ x1_base+72(FP), R9
+	MOVQ x2_base+96(FP), R10
+	MOVQ x3_base+120(FP), R11
+	VBROADCASTSS a00+144(FP), Y7
+	VBROADCASTSS a01+148(FP), Y8
+	VBROADCASTSS a02+152(FP), Y9
+	VBROADCASTSS a03+156(FP), Y10
+	VBROADCASTSS a10+160(FP), Y11
+	VBROADCASTSS a11+164(FP), Y12
+	VBROADCASTSS a12+168(FP), Y13
+	VBROADCASTSS a13+172(FP), Y14
+	XORQ AX, AX
+
+saxpy4x2avx_loop8:
+	CMPQ AX, CX
+	JGE  saxpy4x2avx_done
+	VMOVUPS (R8)(AX*4), Y0
+	VMOVUPS (R9)(AX*4), Y1
+	VMOVUPS (R10)(AX*4), Y2
+	VMOVUPS (R11)(AX*4), Y3
+	VMULPS  Y7, Y0, Y4
+	VMULPS  Y8, Y1, Y6
+	VADDPS  Y6, Y4, Y4
+	VMULPS  Y9, Y2, Y6
+	VADDPS  Y6, Y4, Y4
+	VMULPS  Y10, Y3, Y6
+	VADDPS  Y6, Y4, Y4
+	VADDPS  (DI)(AX*4), Y4, Y4
+	VMOVUPS Y4, (DI)(AX*4)
+	VMULPS  Y11, Y0, Y5
+	VMULPS  Y12, Y1, Y6
+	VADDPS  Y6, Y5, Y5
+	VMULPS  Y13, Y2, Y6
+	VADDPS  Y6, Y5, Y5
+	VMULPS  Y14, Y3, Y6
+	VADDPS  Y6, Y5, Y5
+	VADDPS  (BX)(AX*4), Y5, Y5
+	VMOVUPS Y5, (BX)(AX*4)
+	ADDQ    $8, AX
+	JMP     saxpy4x2avx_loop8
+
+saxpy4x2avx_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,176 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// SSE2 float64 kernels: 2 lanes per XMM register, 4 elements per
+// main-loop iteration. These vectorize the golden-reference precision —
+// SSE2 is the amd64 baseline, so like the float32 SSE kernels they need
+// no feature detection (the avx2 tier reuses them for float64). All
+// operations are IEEE-exact, so results round identically to the scalar
+// loops element for element; only ddot's reduction order differs.
+// Callers (the wrappers in simd_amd64.go) guarantee len % 2 == 0.
+
+// func daxpy4SSE2(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64)
+// dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j], len(dst) % 2 == 0.
+TEXT ·daxpy4SSE2(SB), NOSPLIT, $0-152
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x0_base+24(FP), R8
+	MOVQ x1_base+48(FP), R9
+	MOVQ x2_base+72(FP), R10
+	MOVQ x3_base+96(FP), R11
+	MOVSD a0+120(FP), X4
+	UNPCKLPD X4, X4
+	MOVSD a1+128(FP), X5
+	UNPCKLPD X5, X5
+	MOVSD a2+136(FP), X6
+	UNPCKLPD X6, X6
+	MOVSD a3+144(FP), X7
+	UNPCKLPD X7, X7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+daxpy4_loop4:
+	CMPQ AX, DX
+	JGE  daxpy4_tail2
+	MOVUPD (R8)(AX*8), X0
+	MOVUPD 16(R8)(AX*8), X8
+	MULPD  X4, X0
+	MULPD  X4, X8
+	MOVUPD (R9)(AX*8), X1
+	MOVUPD 16(R9)(AX*8), X9
+	MULPD  X5, X1
+	MULPD  X5, X9
+	ADDPD  X1, X0
+	ADDPD  X9, X8
+	MOVUPD (R10)(AX*8), X2
+	MOVUPD 16(R10)(AX*8), X10
+	MULPD  X6, X2
+	MULPD  X6, X10
+	ADDPD  X2, X0
+	ADDPD  X10, X8
+	MOVUPD (R11)(AX*8), X3
+	MOVUPD 16(R11)(AX*8), X11
+	MULPD  X7, X3
+	MULPD  X7, X11
+	ADDPD  X3, X0
+	ADDPD  X11, X8
+	MOVUPD (DI)(AX*8), X12
+	MOVUPD 16(DI)(AX*8), X13
+	ADDPD  X12, X0
+	ADDPD  X13, X8
+	MOVUPD X0, (DI)(AX*8)
+	MOVUPD X8, 16(DI)(AX*8)
+	ADDQ   $4, AX
+	JMP    daxpy4_loop4
+
+daxpy4_tail2:
+	CMPQ AX, CX
+	JGE  daxpy4_done
+	MOVUPD (R8)(AX*8), X0
+	MULPD  X4, X0
+	MOVUPD (R9)(AX*8), X1
+	MULPD  X5, X1
+	ADDPD  X1, X0
+	MOVUPD (R10)(AX*8), X2
+	MULPD  X6, X2
+	ADDPD  X2, X0
+	MOVUPD (R11)(AX*8), X3
+	MULPD  X7, X3
+	ADDPD  X3, X0
+	MOVUPD (DI)(AX*8), X12
+	ADDPD  X12, X0
+	MOVUPD X0, (DI)(AX*8)
+	ADDQ   $2, AX
+	JMP    daxpy4_tail2
+
+daxpy4_done:
+	RET
+
+// func daxpy1SSE2(dst, x0 []float64, a0 float64)
+// dst[j] += a0*x0[j], len(dst) % 2 == 0.
+TEXT ·daxpy1SSE2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x0_base+24(FP), R8
+	MOVSD a0+48(FP), X4
+	UNPCKLPD X4, X4
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+daxpy1_loop4:
+	CMPQ AX, DX
+	JGE  daxpy1_tail2
+	MOVUPD (R8)(AX*8), X0
+	MOVUPD 16(R8)(AX*8), X1
+	MULPD  X4, X0
+	MULPD  X4, X1
+	MOVUPD (DI)(AX*8), X2
+	MOVUPD 16(DI)(AX*8), X3
+	ADDPD  X2, X0
+	ADDPD  X3, X1
+	MOVUPD X0, (DI)(AX*8)
+	MOVUPD X1, 16(DI)(AX*8)
+	ADDQ   $4, AX
+	JMP    daxpy1_loop4
+
+daxpy1_tail2:
+	CMPQ AX, CX
+	JGE  daxpy1_done
+	MOVUPD (R8)(AX*8), X0
+	MULPD  X4, X0
+	MOVUPD (DI)(AX*8), X2
+	ADDPD  X2, X0
+	MOVUPD X0, (DI)(AX*8)
+	ADDQ   $2, AX
+	JMP    daxpy1_tail2
+
+daxpy1_done:
+	RET
+
+// func ddotSSE2(a, b []float64) float64
+// Returns sum(a[j]*b[j]); len(a) % 2 == 0. Two 2-lane accumulators,
+// folded at the end — a fixed reduction order, so deterministic.
+TEXT ·ddotSSE2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	XORPS X0, X0
+	XORPS X1, X1
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+ddot_loop4:
+	CMPQ AX, DX
+	JGE  ddot_tail2
+	MOVUPD (SI)(AX*8), X2
+	MOVUPD (DI)(AX*8), X3
+	MULPD  X3, X2
+	ADDPD  X2, X0
+	MOVUPD 16(SI)(AX*8), X4
+	MOVUPD 16(DI)(AX*8), X5
+	MULPD  X5, X4
+	ADDPD  X4, X1
+	ADDQ   $4, AX
+	JMP    ddot_loop4
+
+ddot_tail2:
+	CMPQ AX, CX
+	JGE  ddot_fold
+	MOVUPD (SI)(AX*8), X2
+	MOVUPD (DI)(AX*8), X3
+	MULPD  X3, X2
+	ADDPD  X2, X0
+	ADDQ   $2, AX
+	JMP    ddot_tail2
+
+ddot_fold:
+	ADDPD    X1, X0
+	MOVAPS   X0, X1
+	UNPCKHPD X1, X1
+	ADDSD    X1, X0
+	MOVSD    X0, ret+48(FP)
+	RET

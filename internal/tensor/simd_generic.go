@@ -2,38 +2,47 @@
 
 package tensor
 
-// Portable fallbacks for the float32 vector primitives. Non-amd64
-// builds run these scalar loops (the compiler may still auto-select
-// wider instructions on some targets); the float32 specializations in
-// matmul32.go call them through the same names, so the kernel structure
-// is identical everywhere.
+// Portable fallbacks. Non-amd64 builds have no assembly tiers, so the
+// best tier is scalar, the CAPES_SIMD knob can only confirm it, and the
+// primitive wrappers route straight to the scalar loops in simd.go (the
+// compiler may still auto-select wider instructions on some targets).
+// The kernel structure above these calls is identical everywhere.
 
-const haveSIMD32 = false
+func detectBestTier() int32 { return tierScalar }
 
-func saxpy4SSE(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32) {
-	for j := range dst {
-		dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j]
-	}
+func saxpy4(dst, x0, x1, x2, x3 []float32, a0, a1, a2, a3 float32) {
+	saxpy4Scalar(dst, x0, x1, x2, x3, a0, a1, a2, a3)
 }
 
-func saxpy1SSE(dst, x0 []float32, a0 float32) {
-	for j := range dst {
-		dst[j] += a0 * x0[j]
-	}
+func saxpy1(dst, x0 []float32, a0 float32) {
+	saxpy1Scalar(dst, x0, a0)
 }
 
-func sdotSSE(a, b []float32) float32 {
-	var s0, s1, s2, s3 float32
-	j := 0
-	for ; j+4 <= len(a); j += 4 {
-		s0 += a[j] * b[j]
-		s1 += a[j+1] * b[j+1]
-		s2 += a[j+2] * b[j+2]
-		s3 += a[j+3] * b[j+3]
-	}
-	s := s0 + s1 + s2 + s3
-	for ; j < len(a); j++ {
-		s += a[j] * b[j]
-	}
-	return s
+func saxpy4x2(dst0, dst1, x0, x1, x2, x3 []float32, a00, a01, a02, a03, a10, a11, a12, a13 float32) {
+	saxpy4Scalar(dst0, x0, x1, x2, x3, a00, a01, a02, a03)
+	saxpy4Scalar(dst1, x0, x1, x2, x3, a10, a11, a12, a13)
+}
+
+func sdot(a, b []float32) float32 {
+	return sdotScalar(a, b)
+}
+
+func daxpy4(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64) {
+	daxpy4Scalar(dst, x0, x1, x2, x3, a0, a1, a2, a3)
+}
+
+func daxpy1(dst, x0 []float64, a0 float64) {
+	daxpy1Scalar(dst, x0, a0)
+}
+
+func ddot(a, b []float64) float64 {
+	return ddotScalar(a, b)
+}
+
+func adamSweep32(params, grads, fm, fv []float32, lrT, b1, omb1, b2, omb2, eps, scale float32) {
+	adamSweepScalar(params, grads, fm, fv, lrT, b1, omb1, b2, omb2, eps, scale)
+}
+
+func adamSweepSoft32(params, grads, fm, fv, target []float32, lrT, b1, omb1, b2, omb2, eps, scale, al, omal float32) {
+	adamSweepSoftScalar(params, grads, fm, fv, target, lrT, b1, omb1, b2, omb2, eps, scale, al, omal)
 }

@@ -1,0 +1,315 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Forced-tier property tests: every primitive and kernel must behave on
+// every tier the host can run — including non-multiple-of-lane tails,
+// len<8 vectors and the packed-panel layouts — and the elementwise
+// primitives must match the scalar references bit for bit (the rounding
+// contract in simd_amd64.go), not merely within tolerance.
+
+// forEachTier runs f once per kernel tier this host supports, forcing
+// the tier for the duration and restoring the original afterwards.
+func forEachTier(t *testing.T, f func(t *testing.T)) {
+	t.Helper()
+	orig := KernelTier()
+	defer SetKernelTier(orig)
+	for _, tier := range tierNames {
+		applied, err := SetKernelTier(tier)
+		if err != nil {
+			t.Fatalf("SetKernelTier(%q): %v", tier, err)
+		}
+		if applied != tier {
+			continue // host cannot run this tier; clamped
+		}
+		t.Run(tier, f)
+	}
+}
+
+func TestSetKernelTier(t *testing.T) {
+	orig := KernelTier()
+	defer SetKernelTier(orig)
+	if _, err := SetKernelTier("avx512"); err == nil {
+		t.Fatal("unknown tier name did not error")
+	}
+	applied, err := SetKernelTier("scalar")
+	if err != nil || applied != "scalar" || KernelTier() != "scalar" {
+		t.Fatalf("force scalar: applied=%q tier=%q err=%v", applied, KernelTier(), err)
+	}
+	// Forcing above the host ceiling clamps instead of erroring.
+	applied, err = SetKernelTier("avx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != KernelTier() {
+		t.Fatalf("applied %q but KernelTier reports %q", applied, KernelTier())
+	}
+}
+
+// simdLens covers empty and len<lane-count slices, exact lane
+// multiples of every tier (4, 8, 16) and ragged tails around them.
+var simdLens = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 11, 15, 16, 17, 23, 31, 32, 33, 63, 67}
+
+func randSlice32(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.Float64()*2 - 1)
+	}
+	return s
+}
+
+func randSlice64(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.Float64()*2 - 1
+	}
+	return s
+}
+
+// TestAxpyPrimitivesBitIdenticalAcrossTiers: the saxpy/daxpy family is
+// elementwise IEEE-exact, so every tier must agree with the scalar
+// reference bit for bit on every length, including tails.
+func TestAxpyPrimitivesBitIdenticalAcrossTiers(t *testing.T) {
+	forEachTier(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(51))
+		for _, n := range simdLens {
+			x0, x1 := randSlice32(rng, n), randSlice32(rng, n)
+			x2, x3 := randSlice32(rng, n), randSlice32(rng, n)
+			base := randSlice32(rng, n)
+			a0, a1 := float32(rng.NormFloat64()), float32(rng.NormFloat64())
+			a2, a3 := float32(rng.NormFloat64()), float32(rng.NormFloat64())
+
+			got, want := append([]float32(nil), base...), append([]float32(nil), base...)
+			saxpy4(got, x0, x1, x2, x3, a0, a1, a2, a3)
+			saxpy4Scalar(want, x0, x1, x2, x3, a0, a1, a2, a3)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("saxpy4 n=%d deviates at %d: %v vs %v", n, j, got[j], want[j])
+				}
+			}
+
+			got0 := append([]float32(nil), base...)
+			got1 := append([]float32(nil), base...)
+			want1 := append([]float32(nil), base...)
+			saxpy4x2(got0, got1, x0, x1, x2, x3, a0, a1, a2, a3, a3, a2, a1, a0)
+			saxpy4Scalar(want1, x0, x1, x2, x3, a3, a2, a1, a0)
+			for j := range want {
+				if got0[j] != want[j] || got1[j] != want1[j] {
+					t.Fatalf("saxpy4x2 n=%d deviates at %d", n, j)
+				}
+			}
+
+			got, want = append([]float32(nil), base...), append([]float32(nil), base...)
+			saxpy1(got, x0, a0)
+			saxpy1Scalar(want, x0, a0)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("saxpy1 n=%d deviates at %d", n, j)
+				}
+			}
+
+			y0, y1 := randSlice64(rng, n), randSlice64(rng, n)
+			y2, y3 := randSlice64(rng, n), randSlice64(rng, n)
+			base64 := randSlice64(rng, n)
+			d0, d1 := rng.NormFloat64(), rng.NormFloat64()
+			d2, d3 := rng.NormFloat64(), rng.NormFloat64()
+
+			got64, want64 := append([]float64(nil), base64...), append([]float64(nil), base64...)
+			daxpy4(got64, y0, y1, y2, y3, d0, d1, d2, d3)
+			daxpy4Scalar(want64, y0, y1, y2, y3, d0, d1, d2, d3)
+			for j := range want64 {
+				if got64[j] != want64[j] {
+					t.Fatalf("daxpy4 n=%d deviates at %d", n, j)
+				}
+			}
+
+			got64, want64 = append([]float64(nil), base64...), append([]float64(nil), base64...)
+			daxpy1(got64, y0, d0)
+			daxpy1Scalar(want64, y0, d0)
+			for j := range want64 {
+				if got64[j] != want64[j] {
+					t.Fatalf("daxpy1 n=%d deviates at %d", n, j)
+				}
+			}
+		}
+	})
+}
+
+// TestDotPrimitivesMatchScalarAcrossTiers: the dot reductions may
+// reassociate across tiers, so they are held to the scalar references
+// within an accumulation-scaled tolerance instead of bitwise.
+func TestDotPrimitivesMatchScalarAcrossTiers(t *testing.T) {
+	forEachTier(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(53))
+		for _, n := range simdLens {
+			a32, b32 := randSlice32(rng, n), randSlice32(rng, n)
+			got32 := float64(sdot(a32, b32))
+			want32 := float64(sdotScalar(a32, b32))
+			if tol := equivTol[float32](n + 1); math.Abs(got32-want32) > tol {
+				t.Fatalf("sdot n=%d: %g vs scalar %g (tol %g)", n, got32, want32, tol)
+			}
+			a64, b64 := randSlice64(rng, n), randSlice64(rng, n)
+			got64 := ddot(a64, b64)
+			want64 := ddotScalar(a64, b64)
+			if tol := equivTol[float64](n + 1); math.Abs(got64-want64) > tol {
+				t.Fatalf("ddot n=%d: %g vs scalar %g (tol %g)", n, got64, want64, tol)
+			}
+		}
+	})
+}
+
+// TestAdamSweepBitIdenticalAcrossTiers: SQRTPS/DIVPS are correctly
+// rounded, so the vectorized fused Adam sweep must reproduce the scalar
+// loops bit for bit at every tier, every length, all three modes. This
+// is the contract that lets the deployed float32 engine change kernel
+// tiers (or hosts) without changing training trajectories.
+func TestAdamSweepBitIdenticalAcrossTiers(t *testing.T) {
+	const (
+		lrT   = 1.3e-4
+		b1    = 0.9
+		b2    = 0.999
+		eps   = 1e-8
+		scale = 0.73
+		al    = 0.01
+	)
+	type state struct{ p, g, fm, fv, tg []float32 }
+	mk := func(n int, seed int64) state {
+		rng := rand.New(rand.NewSource(seed))
+		s := state{
+			p: randSlice32(rng, n), g: randSlice32(rng, n),
+			fm: randSlice32(rng, n), tg: randSlice32(rng, n),
+		}
+		s.fv = make([]float32, n)
+		for i := range s.fv {
+			s.fv[i] = float32(rng.Float64()) // second moments are non-negative
+		}
+		return s
+	}
+	clone := func(s state) state {
+		return state{
+			p:  append([]float32(nil), s.p...),
+			g:  append([]float32(nil), s.g...),
+			fm: append([]float32(nil), s.fm...),
+			fv: append([]float32(nil), s.fv...),
+			tg: append([]float32(nil), s.tg...),
+		}
+	}
+	forEachTier(t, func(t *testing.T) {
+		for _, n := range simdLens {
+			ref := mk(n, int64(100+n))
+
+			plain, want := clone(ref), clone(ref)
+			AdamSweep32(plain.p, plain.g, plain.fm, plain.fv, lrT, b1, 1-b1, b2, 1-b2, eps, scale)
+			adamSweepScalar(want.p, want.g, want.fm, want.fv, lrT, b1, 1-b1, b2, 1-b2, eps, scale)
+			for j := 0; j < n; j++ {
+				if plain.p[j] != want.p[j] || plain.fm[j] != want.fm[j] || plain.fv[j] != want.fv[j] {
+					t.Fatalf("AdamSweep32 n=%d deviates at %d", n, j)
+				}
+			}
+
+			soft, wantSoft := clone(ref), clone(ref)
+			AdamSweepSoft32(soft.p, soft.g, soft.fm, soft.fv, soft.tg, lrT, b1, 1-b1, b2, 1-b2, eps, scale, al, 1-al)
+			adamSweepSoftScalar(wantSoft.p, wantSoft.g, wantSoft.fm, wantSoft.fv, wantSoft.tg, lrT, b1, 1-b1, b2, 1-b2, eps, scale, al, 1-al)
+			for j := 0; j < n; j++ {
+				if soft.p[j] != wantSoft.p[j] || soft.tg[j] != wantSoft.tg[j] ||
+					soft.fm[j] != wantSoft.fm[j] || soft.fv[j] != wantSoft.fv[j] {
+					t.Fatalf("AdamSweepSoft32 n=%d deviates at %d", n, j)
+				}
+			}
+
+			hard := clone(ref)
+			AdamSweepHard32(hard.p, hard.g, hard.fm, hard.fv, hard.tg, lrT, b1, 1-b1, b2, 1-b2, eps, scale)
+			for j := 0; j < n; j++ {
+				if hard.p[j] != want.p[j] || hard.tg[j] != want.p[j] {
+					t.Fatalf("AdamSweepHard32 n=%d deviates at %d", n, j)
+				}
+			}
+		}
+	})
+}
+
+// TestKernelEquivalenceAcrossTiers drives the full matmul kernels —
+// including the packed-panel layouts — against the float64 naive golden
+// references on every tier, at both concrete precisions, across ragged
+// shapes. panelShapes adds right-hand operands wider than blockJ so the
+// pack/no-pack and partial-tile paths all execute.
+func TestKernelEquivalenceAcrossTiers(t *testing.T) {
+	panelShapes := append([][3]int{
+		{panelMinRows, 40, blockJ + 64},     // packed, ragged panel tail
+		{panelMinRows - 1, 40, blockJ + 64}, // too thin to pack, same width
+		{9, blockK + 5, 2*blockJ + 3},       // packed, odd rows, multi-tile
+	}, raggedShapes...)
+	forEachTier(t, func(t *testing.T) {
+		checkKernelsAgainstGolden[float32](t, panelShapes)
+		checkKernelsAgainstGolden[float64](t, panelShapes)
+	})
+}
+
+// TestMulIntoPackedMatchesUnpacked pins the packing invariant: the
+// panel changes memory layout, never arithmetic. Products computed
+// through the packed path (enough rows to pack) must equal row-group
+// products below panelMinRows (unpacked) bit for bit.
+func TestMulIntoPackedMatchesUnpacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	const rows, k, n = 4 * panelMinRows, 37, blockJ + 96
+	a := randomMatrix[float32](rng, rows, k)
+	b := randomMatrix[float32](rng, k, n)
+	packed := New[float32](rows, n)
+	MulInto(packed, a, b) // rows ≥ panelMinRows and n > blockJ → packs
+
+	group := New[float32](2, n) // 2 rows < panelMinRows → direct reads
+	for r := 0; r < rows; r += 2 {
+		ga := FromSlice(2, k, a.Data[r*k:(r+2)*k])
+		MulInto(group, ga, b)
+		for j, v := range group.Data {
+			if packed.Data[r*n+j] != v {
+				t.Fatalf("packed row %d deviates at %d: %v vs %v", r+j/n, j%n, packed.Data[r*n+j], v)
+			}
+		}
+	}
+}
+
+// TestMulIntoPanelAllocFree: panel packing recycles pooled buffers, so
+// steady-state large multiplications stay 0 allocs/op at both
+// precisions (the end-to-end TrainStep alloc tests depend on it).
+func TestMulIntoPanelAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; panel recycling cannot be asserted")
+	}
+	rng := rand.New(rand.NewSource(61))
+	a32 := randomMatrix[float32](rng, 32, 640)
+	b32 := randomMatrix[float32](rng, 640, 640)
+	dst32 := New[float32](32, 640)
+	a64 := randomMatrix[float64](rng, 32, 640)
+	b64 := randomMatrix[float64](rng, 640, 640)
+	dst64 := New[float64](32, 640)
+	MulInto(dst32, a32, b32) // warm pools
+	MulInto(dst64, a64, b64)
+	if n := testing.AllocsPerRun(20, func() {
+		MulInto(dst32, a32, b32)
+		MulInto(dst64, a64, b64)
+	}); n != 0 {
+		t.Fatalf("packed MulInto allocates %v per run", n)
+	}
+}
+
+// BenchmarkAdamSweep measures the fused optimizer sweep alone (the
+// ~11%-of-train-step share PERF.md tracks) at the deployed precision.
+func BenchmarkAdamSweep(b *testing.B) {
+	const n = 640*640*2 + 640*5 // ≈ the obs256 Q-network arena
+	rng := rand.New(rand.NewSource(1))
+	params, grads := randSlice32(rng, n), randSlice32(rng, n)
+	fm, fv := make([]float32, n), make([]float32, n)
+	target := make([]float32, n)
+	b.Run("f32/soft", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(4 * n))
+		for i := 0; i < b.N; i++ {
+			AdamSweepSoft32(params, grads, fm, fv, target, 1e-4, 0.9, 0.1, 0.999, 0.001, 1e-8, 1, 0.01, 0.99)
+		}
+	})
+}
