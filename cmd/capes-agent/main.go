@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -111,6 +112,12 @@ func main() {
 				continue // the Replay DB tolerates missing ticks (§3.5)
 			}
 			if err := a.SendIndicators(tick, vals); err != nil {
+				// The agent reconnects on its own; a tick lost while the
+				// link is down is the same as a failed collect — skip it.
+				if errors.Is(err, agent.ErrReconnecting) {
+					fmt.Fprintf(os.Stderr, "capes-agent: tick %d skipped: %v\n", tick, err)
+					continue
+				}
 				fatal(err)
 			}
 		}

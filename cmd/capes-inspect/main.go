@@ -9,27 +9,42 @@
 //	capes-inspect replay.db
 //	capes-inspect /var/lib/capes/session
 //	capes-inspect -tier
+//	capes-inspect -stats 127.0.0.1:8080
 //
 // -tier prints the SIMD kernel tier the tensor kernels run at on this
 // host (scalar|sse|avx2, honoring CAPES_SIMD) and exits — perf triage
 // uses it to tell hosts apart, and CI records it next to benchmark
 // baselines.
+//
+// -stats fetches a live capesd's /stats endpoint and prints each
+// session's engine and transport health — the quickest way to see
+// whether agents are flapping (reconnects/evictions) or frames are
+// being gap-filled or dropped.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
+	"capes/internal/capesd"
 	"capes/internal/nn"
 	"capes/internal/replay"
 	"capes/internal/tensor"
 )
 
 func main() {
+	if len(os.Args) == 3 && os.Args[1] == "-stats" {
+		if err := inspectStats(os.Args[2]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: capes-inspect <model.ckpt | replay.db | session-dir | -tier>")
+		fmt.Fprintln(os.Stderr, "usage: capes-inspect <model.ckpt | replay.db | session-dir | -tier | -stats addr>")
 		os.Exit(2)
 	}
 	if os.Args[1] == "-tier" {
@@ -128,6 +143,45 @@ func inspectSession(dir string) {
 		fmt.Println()
 		inspectReplay(filepath.Join(dir, "replay.db"), db)
 	}
+}
+
+// inspectStats pulls a live capesd control plane's /stats and prints a
+// per-session health summary, transport counters included.
+func inspectStats(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("capesd %s: /stats returned %s", addr, resp.Status)
+	}
+	var agg capesd.AggregateStats
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		return fmt.Errorf("capesd %s: decoding /stats: %w", addr, err)
+	}
+
+	fmt.Printf("%s: capesd, %d sessions (%d running), kernel tier %s\n",
+		addr, agg.Totals.Sessions, agg.Totals.Running, agg.KernelTier)
+	for _, s := range agg.Sessions {
+		tr := s.Transport
+		fmt.Printf("\n%s (%s) on %s\n", s.Name, s.State, s.Addr)
+		fmt.Printf("  engine:        %d train steps, %d replay records, %d vetoes\n",
+			s.Engine.TrainSteps, s.Engine.ReplayRecords, s.Engine.Vetoes)
+		fmt.Printf("  agents:        %d hellos, %d reconnects, %d evictions, %d heartbeats\n",
+			tr.Hellos, tr.Reconnects, tr.Evictions, tr.Heartbeats)
+		fmt.Printf("  frames:        %d complete, %d partial (%d gap-filled slots), %d dropped, %d pending\n",
+			tr.CompleteFrames, tr.PartialFrames, tr.GapFilledSlots, tr.DroppedTicks, tr.PendingTicks)
+		fmt.Printf("  actions:       %d sent, %d dropped\n", tr.ActionsSent, tr.DroppedActions)
+		if tr.StaleIndicators > 0 {
+			fmt.Printf("  stale drops:   %d (old-epoch indicators discarded)\n", tr.StaleIndicators)
+		}
+	}
+	t := agg.Totals
+	fmt.Printf("\ntotals: %d reconnects, %d evictions, %d partial frames, %d dropped ticks, %d dropped actions\n",
+		t.Reconnects, t.Evictions, t.PartialFrames, t.DroppedTicks, t.DroppedActions)
+	return nil
 }
 
 func compactJSON(v any) string {

@@ -15,9 +15,15 @@
 //
 //	capesd    -config capesd.json &   # sessions on :7070 and :7071
 //	capes-sim -sessions 127.0.0.1:7070,127.0.0.1:7071 -ticks 3600
+//
+// With -chaos, every agent connects through a seeded fault-injecting
+// proxy (connection kills, stalls, latency, one-way partitions) to
+// demonstrate the transport's reconnect and gap-fill behavior against a
+// live capesd; -chaos-seed replays the same fault schedule.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"capes/internal/agent"
+	"capes/internal/faultnet"
 	"capes/internal/storesim"
 	"capes/internal/workload"
 )
@@ -61,6 +68,12 @@ type clusterOpts struct {
 	ticks   int64
 	seed    int64
 	report  int64
+	// chaos interposes a seeded faultnet proxy between the agents and
+	// the daemon: connection kills, latency, stalls and one-way
+	// partitions, for demonstrating (and soak-testing) the transport's
+	// reconnect/gap-fill behavior end to end.
+	chaos     bool
+	chaosSeed int64
 }
 
 // runCluster builds a cluster + its node agents and drives ticks until
@@ -79,6 +92,31 @@ func runCluster(opts clusterOpts, stop <-chan struct{}) error {
 		return err
 	}
 
+	// In chaos mode the agents dial a fault-injecting proxy instead of
+	// the daemon directly. The kill budget floor stays well above the
+	// handshake size so registration itself always survives.
+	dialAddr := opts.daemon
+	var px *faultnet.Proxy
+	if opts.chaos {
+		px, err = faultnet.New("127.0.0.1:0", opts.daemon, faultnet.Config{
+			Seed:           opts.chaosSeed,
+			KillAfterMin:   32 << 10,
+			KillAfterMax:   256 << 10,
+			StallEvery:     128 << 10,
+			StallFor:       500 * time.Millisecond,
+			LatencyMax:     2 * time.Millisecond,
+			PartitionProb:  0.2,
+			PartitionAfter: 16 << 10,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos proxy for %s: %w", opts.daemon, err)
+		}
+		defer px.Close()
+		dialAddr = px.Addr()
+		fmt.Printf("capes-sim: %schaos proxy %s -> %s (seed %d)\n",
+			opts.label, dialAddr, opts.daemon, opts.chaosSeed)
+	}
+
 	// One agent per simulated client; client 0 doubles as the control
 	// agent that applies broadcast parameter changes cluster-wide (the
 	// evaluation tunes all clients to the same values).
@@ -88,7 +126,7 @@ func runCluster(opts clusterOpts, stop <-chan struct{}) error {
 		if i == 0 {
 			role = "monitor+control"
 		}
-		a, err := agent.Dial(opts.daemon, i, storesim.NumClientPIs, role)
+		a, err := dialRetry(dialAddr, i, storesim.NumClientPIs, role)
 		if err != nil {
 			return fmt.Errorf("connecting node %d to %s: %w", i, opts.daemon, err)
 		}
@@ -114,10 +152,23 @@ func runCluster(opts clusterOpts, stop <-chan struct{}) error {
 	pis := make([]float64, storesim.NumClientPIs)
 	var tick int64
 	var sumTput float64
+	var skipped int64
+	report := func(reason string) {
+		fmt.Printf("capes-sim: %s%s at tick %d", opts.label, reason, tick)
+		if skipped > 0 {
+			fmt.Printf(", %d sends skipped while reconnecting", skipped)
+		}
+		fmt.Println()
+		if px != nil {
+			st := px.Stats()
+			fmt.Printf("capes-sim: %schaos: %d conns, %d kills, %d stalls, %d partitions, %d B dropped\n",
+				opts.label, st.Connections, st.Kills, st.Stalls, st.Partitions, st.BytesDropped)
+		}
+	}
 	for {
 		select {
 		case <-stop:
-			fmt.Printf("capes-sim: %sstopped at tick %d\n", opts.label, tick)
+			report("stopped")
 			return nil
 		case <-ticker.C:
 			tick++
@@ -125,6 +176,13 @@ func runCluster(opts clusterOpts, stop <-chan struct{}) error {
 			for i, a := range agents {
 				cluster.ClientPIs(i, pis)
 				if err := a.SendIndicators(tick, pis); err != nil {
+					// A reconnecting agent loses this tick at the source;
+					// the daemon gap-fills around it. Anything else
+					// (closed, registration rejected) is fatal.
+					if errors.Is(err, agent.ErrReconnecting) {
+						skipped++
+						continue
+					}
 					return fmt.Errorf("node %d send: %w", i, err)
 				}
 			}
@@ -142,10 +200,29 @@ func runCluster(opts clusterOpts, stop <-chan struct{}) error {
 			if opts.ticks > 0 && tick >= opts.ticks {
 				fmt.Printf("capes-sim: %sdone after %d ticks, mean throughput %.2f MB/s\n",
 					opts.label, tick, sumTput/float64(tick)/1e6)
+				report("done")
 				return nil
 			}
 		}
 	}
+}
+
+// dialRetry connects one node agent, retrying briefly: in chaos mode
+// the first dial can race a proxy fault, and on a normal boot capesd
+// may still be binding its listener.
+func dialRetry(addr string, node, numPIs int, role string) (*agent.NodeAgent, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+		a, err := agent.Dial(addr, node, numPIs, role)
+		if err == nil {
+			return a, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 func main() {
@@ -159,6 +236,8 @@ func main() {
 		ticks    = flag.Int64("ticks", 0, "stop after this many ticks (0 = run until signal)")
 		seed     = flag.Int64("seed", 1, "random seed (cluster i uses seed+i)")
 		report   = flag.Int64("report-every", 600, "print throughput every N ticks")
+		chaos    = flag.Bool("chaos", false, "route agents through a fault-injecting proxy (kills, stalls, latency, partitions)")
+		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed (cluster i uses seed+i; same seed replays the same faults)")
 	)
 	flag.Parse()
 
@@ -197,6 +276,9 @@ func main() {
 			ticks:   *ticks,
 			seed:    *seed + int64(i),
 			report:  *report,
+
+			chaos:     *chaos,
+			chaosSeed: *chaosSd + int64(i),
 		}
 		if len(addrs) > 1 {
 			opts.label = fmt.Sprintf("[%s] ", addr)

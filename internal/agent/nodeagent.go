@@ -1,0 +1,475 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"capes/internal/wire"
+)
+
+// ErrReconnecting reports that the agent's connection to the daemon is
+// down and a background reconnect (with exponential backoff) is in
+// progress. Callers should skip the tick — the Replay DB tolerates
+// missing samples (§3.5) — and retry on the next one.
+var ErrReconnecting = errors.New("agent: reconnecting")
+
+// ErrClosed reports an operation on an agent after Close.
+var ErrClosed = errors.New("agent: closed")
+
+// Opts tunes the node agent's fault-tolerance behavior. The zero value
+// means "use the default" for every field.
+type Opts struct {
+	// BackoffMin/BackoffMax bound the exponential reconnect backoff.
+	// Each failed attempt doubles the delay from BackoffMin up to
+	// BackoffMax, jittered uniformly into [delay/2, delay] so a herd of
+	// agents does not reconnect in lockstep. Defaults 50ms and 5s.
+	BackoffMin, BackoffMax time.Duration
+	// DialTimeout bounds one connect + registration handshake.
+	// Default 5s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds every message write. Default 10s.
+	WriteTimeout time.Duration
+	// HeartbeatInterval is how often an idle connection is kept alive
+	// for the daemon's liveness deadline. Negative disables heartbeats.
+	// Default 2s.
+	HeartbeatInterval time.Duration
+	// MaxAttempts caps consecutive failed reconnect attempts before the
+	// agent gives up permanently (Actions closes, sends return the
+	// terminal error). 0 retries forever.
+	MaxAttempts int
+	// Seed seeds the backoff jitter; 0 derives one from the node id so
+	// runs stay reproducible.
+	Seed int64
+	// OnReconnect, when non-nil, is called after each successful
+	// reconnect with the new session epoch (observability/test hook).
+	OnReconnect func(epoch uint64)
+}
+
+func (o Opts) withDefaults(nodeID int) Opts {
+	if o.BackoffMin == 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = int64(nodeID) + 1
+	}
+	return o
+}
+
+// permanentError marks a failure no amount of retrying will fix (the
+// daemon rejected the registration).
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// NodeAgent is the client side: the Monitoring Agent (ships differential
+// PI updates) and Control Agent (receives actions) for one node. A
+// dropped connection does not kill it: a supervisor goroutine redials
+// with exponential backoff and a fresh session epoch, the Actions
+// channel stays open across reconnects, and sends during an outage
+// return ErrReconnecting.
+type NodeAgent struct {
+	addr   string
+	nodeID int
+	numPIs int
+	role   string
+	opts   Opts
+
+	actions chan wire.Action
+	done    chan struct{}
+
+	mu         sync.Mutex
+	conn       net.Conn // nil while reconnecting
+	enc        *wire.DiffEncoder
+	epoch      uint64
+	closed     bool
+	failed     error // terminal failure; sends return it
+	reconnects int64
+	sentBytes  int64
+	sentMsgs   int64
+}
+
+// Dial connects a node agent to the Interface Daemon with default
+// fault-tolerance options. role is "monitor", "control" or
+// "monitor+control".
+func Dial(addr string, nodeID, numPIs int, role string) (*NodeAgent, error) {
+	return DialOpts(addr, nodeID, numPIs, role, Opts{})
+}
+
+// DialOpts is Dial with explicit fault-tolerance options. The initial
+// connection is synchronous — a daemon that is down or rejects the
+// registration fails the call — and only later drops are retried.
+func DialOpts(addr string, nodeID, numPIs int, role string, opts Opts) (*NodeAgent, error) {
+	a := &NodeAgent{
+		addr:    addr,
+		nodeID:  nodeID,
+		numPIs:  numPIs,
+		role:    role,
+		opts:    opts.withDefaults(nodeID),
+		actions: make(chan wire.Action, 64),
+		done:    make(chan struct{}),
+	}
+	conn, err := a.handshake(1)
+	if err != nil {
+		return nil, err
+	}
+	a.conn = conn
+	a.epoch = 1
+	a.enc = wire.NewDiffEncoder(nodeID, numPIs)
+	go a.supervise(conn)
+	go a.heartbeatLoop()
+	return a, nil
+}
+
+// handshake dials and registers one connection carrying epoch.
+func (a *NodeAgent) handshake(epoch uint64) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", a.addr, a.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	host, _ := conn.LocalAddr().(*net.TCPAddr)
+	hello := &wire.Envelope{Type: wire.MsgHello, Hello: &wire.Hello{
+		NodeID: a.nodeID, Role: a.role, NumPIs: a.numPIs,
+		Hostname: fmt.Sprint(host), Epoch: epoch, Proto: wire.ProtoVersion,
+	}}
+	conn.SetDeadline(time.Now().Add(a.opts.DialTimeout))
+	if err := wire.WriteMsg(conn, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, err := wire.ReadMsg(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	if ack.Type != wire.MsgAck || ack.Ack == nil || !ack.Ack.OK {
+		conn.Close()
+		if ack.Ack != nil {
+			return nil, permanentError{fmt.Errorf("agent: registration rejected: %s", ack.Ack.Error)}
+		}
+		return nil, permanentError{fmt.Errorf("agent: registration rejected")}
+	}
+	return conn, nil
+}
+
+// supervise owns the connection lifecycle: read actions until the
+// connection drops, then redial with backoff and a bumped epoch. The
+// actions channel closes only on Close or a terminal failure.
+func (a *NodeAgent) supervise(conn net.Conn) {
+	defer close(a.actions)
+	for {
+		a.readLoop(conn)
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			return
+		}
+		if a.conn == conn {
+			a.conn = nil
+		}
+		a.mu.Unlock()
+		conn.Close()
+		next, err := a.redial()
+		if err != nil {
+			a.mu.Lock()
+			a.failed = err
+			a.mu.Unlock()
+			return
+		}
+		if next == nil {
+			return // closed while redialing
+		}
+		conn = next
+	}
+}
+
+// readLoop delivers actions from one connection until it errors.
+func (a *NodeAgent) readLoop(conn net.Conn) {
+	for {
+		env, err := wire.ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		if env.Type == wire.MsgAction && env.Action != nil {
+			select {
+			case a.actions <- *env.Action:
+			default: // drop if the consumer is stuck; next action supersedes
+			}
+		}
+	}
+}
+
+// redial reconnects with exponential backoff + jitter. Returns the new
+// connection, (nil, nil) when the agent was closed meanwhile, or a
+// terminal error when the daemon rejects us or MaxAttempts is spent.
+func (a *NodeAgent) redial() (net.Conn, error) {
+	rng := rand.New(rand.NewSource(a.opts.Seed + int64(a.currentEpoch())))
+	attempt := 0
+	for {
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			return nil, nil
+		}
+		epoch := a.epoch + 1
+		a.mu.Unlock()
+
+		conn, err := a.handshake(epoch)
+		if err == nil {
+			if !a.adopt(conn, epoch) {
+				conn.Close()
+				return nil, nil
+			}
+			if a.opts.OnReconnect != nil {
+				a.opts.OnReconnect(epoch)
+			}
+			return conn, nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return nil, perm.err
+		}
+		attempt++
+		if a.opts.MaxAttempts > 0 && attempt >= a.opts.MaxAttempts {
+			return nil, fmt.Errorf("agent: giving up after %d reconnect attempts: %w", attempt, err)
+		}
+		select {
+		case <-a.done:
+			return nil, nil
+		case <-time.After(a.backoff(rng, attempt)):
+		}
+	}
+}
+
+// adopt installs a freshly-registered connection: new epoch, reset
+// DiffEncoder (the first Encode re-sends the full vector, resyncing the
+// daemon's fresh decoder). Returns false if the agent closed meanwhile.
+func (a *NodeAgent) adopt(conn net.Conn, epoch uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return false
+	}
+	a.conn = conn
+	a.epoch = epoch
+	a.enc = wire.NewDiffEncoder(a.nodeID, a.numPIs)
+	a.reconnects++
+	return true
+}
+
+// backoff computes the jittered delay for the given 1-based attempt.
+func (a *NodeAgent) backoff(rng *rand.Rand, attempt int) time.Duration {
+	d := a.opts.BackoffMin
+	for i := 1; i < attempt && d < a.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > a.opts.BackoffMax {
+		d = a.opts.BackoffMax
+	}
+	// Jitter into [d/2, d].
+	half := int64(d / 2)
+	return time.Duration(half + rng.Int63n(half+1))
+}
+
+func (a *NodeAgent) currentEpoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// heartbeatLoop keeps the current connection alive for the daemon's
+// liveness deadline while no indicators flow.
+func (a *NodeAgent) heartbeatLoop() {
+	if a.opts.HeartbeatInterval <= 0 {
+		return
+	}
+	t := time.NewTicker(a.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-t.C:
+			a.mu.Lock()
+			if a.closed {
+				a.mu.Unlock()
+				return
+			}
+			conn := a.conn
+			if conn == nil {
+				a.mu.Unlock()
+				continue
+			}
+			env := &wire.Envelope{Type: wire.MsgHeartbeat, Heartbeat: &wire.Heartbeat{
+				NodeID: a.nodeID, Epoch: a.epoch,
+			}}
+			conn.SetWriteDeadline(time.Now().Add(a.opts.WriteTimeout))
+			err := wire.WriteMsg(conn, env)
+			if err != nil {
+				a.conn = nil
+			}
+			a.mu.Unlock()
+			if err != nil {
+				conn.Close() // wakes the supervisor's readLoop into a redial
+			}
+		}
+	}
+}
+
+// send frames and writes one envelope on the live connection, kicking a
+// reconnect when the write fails.
+func (a *NodeAgent) send(env *wire.Envelope) error {
+	buf, err := wire.Encode(env)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrClosed
+	}
+	if a.failed != nil {
+		err := a.failed
+		a.mu.Unlock()
+		return err
+	}
+	conn := a.conn
+	if conn == nil {
+		a.mu.Unlock()
+		return ErrReconnecting
+	}
+	conn.SetWriteDeadline(time.Now().Add(a.opts.WriteTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		a.conn = nil
+		a.mu.Unlock()
+		conn.Close() // wakes the supervisor's readLoop into a redial
+		return fmt.Errorf("%w: %v", ErrReconnecting, err)
+	}
+	a.sentBytes += int64(len(buf))
+	a.sentMsgs++
+	a.mu.Unlock()
+	return nil
+}
+
+// SendIndicators diffs and ships this tick's PI vector. During an
+// outage it returns ErrReconnecting; the tick is skipped, and after the
+// background reconnect the fresh encoder re-sends the full vector.
+func (a *NodeAgent) SendIndicators(tick int64, pis []float64) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrClosed
+	}
+	if a.failed != nil {
+		err := a.failed
+		a.mu.Unlock()
+		return err
+	}
+	if a.conn == nil {
+		a.mu.Unlock()
+		return ErrReconnecting
+	}
+	// Encode under the lock: the encoder's prev-state must stay in
+	// lockstep with the connection it was created for.
+	msg, err := a.enc.Encode(tick, pis)
+	if err != nil {
+		a.mu.Unlock()
+		return err
+	}
+	msg.Epoch = a.epoch
+	conn := a.conn
+	buf, err := wire.Encode(&wire.Envelope{Type: wire.MsgIndicators, Indicators: msg})
+	if err != nil {
+		a.mu.Unlock()
+		return err
+	}
+	conn.SetWriteDeadline(time.Now().Add(a.opts.WriteTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		a.conn = nil
+		a.mu.Unlock()
+		conn.Close() // wakes the supervisor's readLoop into a redial
+		return fmt.Errorf("%w: %v", ErrReconnecting, err)
+	}
+	a.sentBytes += int64(len(buf))
+	a.sentMsgs++
+	a.mu.Unlock()
+	return nil
+}
+
+// SendWorkloadChange notifies the daemon that a new workload started.
+// Like SendIndicators it returns ErrClosed after Close and
+// ErrReconnecting during an outage.
+func (a *NodeAgent) SendWorkloadChange(tick int64, name string) error {
+	return a.send(&wire.Envelope{
+		Type:           wire.MsgWorkloadChange,
+		WorkloadChange: &wire.WorkloadChange{Tick: tick, Name: name},
+	})
+}
+
+// Actions returns the channel of received parameter-change commands.
+// The channel stays open across reconnects and closes on Close (or a
+// terminal reconnect failure).
+func (a *NodeAgent) Actions() <-chan wire.Action { return a.actions }
+
+// TrafficStats returns bytes and messages sent so far (Table 2's
+// "average message size per client").
+func (a *NodeAgent) TrafficStats() (bytes, msgs int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sentBytes, a.sentMsgs
+}
+
+// Epoch returns the current session epoch (1 on the first connection,
+// +1 per reconnect).
+func (a *NodeAgent) Epoch() uint64 { return a.currentEpoch() }
+
+// Reconnects returns how many times the agent has reconnected.
+func (a *NodeAgent) Reconnects() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reconnects
+}
+
+// Connected reports whether the agent currently holds a live,
+// registered connection.
+func (a *NodeAgent) Connected() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.conn != nil && a.failed == nil && !a.closed
+}
+
+// Close shuts the agent down: the connection is closed, the supervisor
+// and heartbeat goroutines exit, and Actions closes.
+func (a *NodeAgent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	conn := a.conn
+	a.conn = nil
+	a.mu.Unlock()
+	close(a.done)
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}

@@ -68,6 +68,20 @@ type SessionConfig struct {
 	// RewardMode is "delta" (default) or "absolute".
 	RewardMode string `json:"reward_mode,omitempty"`
 
+	// Transport fault-tolerance knobs (zero = agent package defaults).
+	// LivenessTimeoutMs evicts an agent connection that sends nothing —
+	// not even a heartbeat — for this long.
+	LivenessTimeoutMs int `json:"liveness_timeout_ms,omitempty"`
+	// PartialFrameMs bounds how long the daemon waits for stragglers
+	// before resolving a tick by gap-filling from each missing node's
+	// last known vector (or dropping it, see DropIncomplete).
+	PartialFrameMs int `json:"partial_frame_ms,omitempty"`
+	// MaxPendingTicks bounds the in-flight tick assembly map; the oldest
+	// tick is force-resolved when the bound is exceeded.
+	MaxPendingTicks int `json:"max_pending_ticks,omitempty"`
+	// DropIncomplete drops ticks that time out instead of gap-filling.
+	DropIncomplete bool `json:"drop_incomplete,omitempty"`
+
 	// Optional hyperparameter overrides (zero = Table 1 default).
 	TrainStartTicks   int64 `json:"train_start_ticks,omitempty"`
 	TrainEvery        int64 `json:"train_every,omitempty"`
@@ -156,6 +170,9 @@ func (sc *SessionConfig) Validate() error {
 	}
 	if sc.PIsPerClient < 0 || sc.ObsTicks < 0 {
 		return fmt.Errorf("session %s: negative pis_per_client/obs_ticks", sc.Name)
+	}
+	if sc.LivenessTimeoutMs < 0 || sc.PartialFrameMs < 0 || sc.MaxPendingTicks < 0 {
+		return fmt.Errorf("session %s: negative transport knob (liveness_timeout_ms/partial_frame_ms/max_pending_ticks)", sc.Name)
 	}
 	// monitor_only + exploit together is valid: a pure-collection daemon
 	// that neither trains nor acts (the old capesd accepted both flags).

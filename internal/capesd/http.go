@@ -31,10 +31,27 @@ import (
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// The transport summary makes agent-connectivity trouble visible
+		// from the liveness probe: climbing evictions/dropped counters on
+		// a "healthy" daemon mean the cluster is flapping.
+		var tr struct {
+			Reconnects     int64 `json:"reconnects"`
+			Evictions      int64 `json:"evictions"`
+			DroppedTicks   int64 `json:"dropped_ticks"`
+			DroppedActions int64 `json:"dropped_actions"`
+		}
+		for _, s := range m.Sessions() {
+			st := s.Stats().Transport
+			tr.Reconnects += st.Reconnects
+			tr.Evictions += st.Evictions
+			tr.DroppedTicks += st.DroppedTicks
+			tr.DroppedActions += st.DroppedActions
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":          true,
 			"sessions":    len(m.Sessions()),
 			"kernel_tier": tensor.KernelTier(),
+			"transport":   tr,
 		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {

@@ -9,7 +9,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"capes/internal/agent"
 	"capes/internal/tensor"
 )
 
@@ -243,5 +245,67 @@ func TestStartHTTPBindsAndServes(t *testing.T) {
 	m.Shutdown()
 	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
 		t.Fatal("control plane still serving after shutdown")
+	}
+}
+
+// TestTransportStatsSurfacedOverHTTP: the daemon-side fault-tolerance
+// counters must be visible per-session (/stats, /sessions/{name}),
+// in the cross-session totals, and summarized on /healthz.
+func TestTransportStatsSurfacedOverHTTP(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	s, err := m.Create(SessionConfig{
+		Name: "flappy", Listen: "127.0.0.1:0", Clients: 1, PIsPerClient: 4,
+		LivenessTimeoutMs: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A registered agent that goes silent must be evicted at the
+	// configured liveness deadline (we disable its heartbeats so the
+	// 80ms session knob is actually what fires).
+	a, err := agent.DialOpts(s.Addr(), 0, 4, "monitor", agent.Opts{
+		HeartbeatInterval: -1, MaxAttempts: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var st SessionStats
+		doJSON(t, "GET", srv.URL+"/sessions/flappy", nil, &st)
+		if st.Transport.Evictions >= 1 && st.Transport.Hellos >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var agg AggregateStats
+	if code := doJSON(t, "GET", srv.URL+"/stats", nil, &agg); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if len(agg.Sessions) != 1 || agg.Sessions[0].Transport.Evictions < 1 {
+		t.Fatalf("transport stats missing from /stats: %+v", agg)
+	}
+	if agg.Totals.Evictions < 1 {
+		t.Fatalf("transport totals not aggregated: %+v", agg.Totals)
+	}
+
+	var health struct {
+		OK        bool `json:"ok"`
+		Transport struct {
+			Evictions int64 `json:"evictions"`
+		} `json:"transport"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if !health.OK || health.Transport.Evictions < 1 {
+		t.Fatalf("healthz transport summary missing: %+v", health)
 	}
 }

@@ -232,6 +232,14 @@ type Totals struct {
 	Vetoes        int64 `json:"vetoes"`
 	TrainErrors   int64 `json:"train_errors"`
 	MissedSamples int64 `json:"missed_samples"`
+
+	// Transport fault-tolerance totals across every session's daemon.
+	Reconnects     int64 `json:"reconnects"`
+	Evictions      int64 `json:"evictions"`
+	PartialFrames  int64 `json:"partial_frames"`
+	GapFilledSlots int64 `json:"gap_filled_slots"`
+	DroppedTicks   int64 `json:"dropped_ticks"`
+	DroppedActions int64 `json:"dropped_actions"`
 }
 
 // AggregateStats snapshots every session plus cross-session totals.
@@ -250,6 +258,12 @@ func (m *Manager) AggregateStats() AggregateStats {
 		agg.Totals.Vetoes += st.Engine.Vetoes
 		agg.Totals.TrainErrors += st.Engine.TrainErrors
 		agg.Totals.MissedSamples += st.Engine.MissedSamples
+		agg.Totals.Reconnects += st.Transport.Reconnects
+		agg.Totals.Evictions += st.Transport.Evictions
+		agg.Totals.PartialFrames += st.Transport.PartialFrames
+		agg.Totals.GapFilledSlots += st.Transport.GapFilledSlots
+		agg.Totals.DroppedTicks += st.Transport.DroppedTicks
+		agg.Totals.DroppedActions += st.Transport.DroppedActions
 	}
 	return agg
 }

@@ -103,7 +103,7 @@ func newSession(cfg SessionConfig) (*Session, error) {
 		}
 	}
 
-	dmn, err := agent.NewDaemon(cfg.Listen, cfg.Clients, cfg.PIsPerClient,
+	dmn, err := agent.NewDaemonOpts(cfg.Listen, cfg.Clients, cfg.PIsPerClient,
 		func(tick int64, frame []float64) {
 			if s.paused.Load() {
 				return
@@ -118,6 +118,12 @@ func newSession(cfg SessionConfig) (*Session, error) {
 			s.mu.Lock()
 			s.workloadBumps++
 			s.mu.Unlock()
+		},
+		agent.DaemonOpts{
+			LivenessTimeout:     time.Duration(cfg.LivenessTimeoutMs) * time.Millisecond,
+			PartialFrameTimeout: time.Duration(cfg.PartialFrameMs) * time.Millisecond,
+			MaxPendingTicks:     cfg.MaxPendingTicks,
+			DropIncomplete:      cfg.DropIncomplete,
 		})
 	if err != nil {
 		return nil, fmt.Errorf("session %s: listen %s: %w", cfg.Name, cfg.Listen, err)
@@ -261,6 +267,10 @@ type SessionStats struct {
 	WorkloadBumps  int64       `json:"workload_bumps"`
 	CurrentValues  []float64   `json:"current_values"`
 	Engine         capes.Stats `json:"engine"`
+	// Transport counts the daemon-side fault-tolerance events:
+	// reconnects, evictions, gap-filled partial frames, dropped ticks
+	// and dropped actions for this session's agent transport.
+	Transport agent.TransportStats `json:"transport"`
 }
 
 // Stats snapshots the session (safe while agents are ticking it).
@@ -282,6 +292,7 @@ func (s *Session) Stats() SessionStats {
 		WorkloadBumps: bumps,
 		CurrentValues: s.eng.CurrentValues(),
 		Engine:        s.eng.Stats(),
+		Transport:     s.dmn.TransportStats(),
 	}
 	if !last.IsZero() {
 		st.LastCheckpoint = last.UTC().Format(time.RFC3339)

@@ -1,0 +1,301 @@
+// Package faultnet is a seeded, deterministic fault-injecting TCP proxy
+// for chaos-testing the agent ↔ daemon transport. It sits between
+// NodeAgents and the Interface Daemon and injects the partial failures
+// a real cluster produces: connection kills, added latency, stalls (a
+// frozen reader holding the TCP window shut), and one-way partitions
+// that silently discard traffic while the connection looks alive.
+//
+// Determinism: every fault decision is drawn from a per-connection RNG
+// derived from Config.Seed and the connection's accept index, and kill
+// points are counted in forwarded bytes rather than wall time — the
+// same seed and the same traffic produce the same fault schedule, so a
+// chaos-test failure replays.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config describes the fault mix. Zero values disable each fault.
+type Config struct {
+	// Seed drives every random decision; same seed → same schedule.
+	Seed int64
+	// KillAfterMin/Max: a connection is killed (both sides closed) after
+	// forwarding a client→server byte count drawn uniformly from
+	// [KillAfterMin, KillAfterMax]. KillAfterMax 0 disables kills.
+	// Handshakes survive if KillAfterMin exceeds the registration size.
+	KillAfterMin, KillAfterMax int64
+	// StallEvery injects a pause roughly every StallEvery client→server
+	// bytes: the proxy stops reading for StallFor, so the sender's TCP
+	// window fills — a frozen receiver, not a closed one. 0 disables.
+	StallEvery int64
+	// StallFor is the stall duration (longer than the daemon's liveness
+	// timeout exercises eviction + reconnect).
+	StallFor time.Duration
+	// LatencyMax adds a uniform [0, LatencyMax) delay before each
+	// forwarded chunk in both directions. 0 disables.
+	LatencyMax time.Duration
+	// PartitionProb is the per-connection probability of a one-way
+	// partition: after PartitionAfter server→client bytes, traffic in
+	// that direction is silently discarded (the agent stops seeing
+	// actions; the daemon notices nothing until liveness fires).
+	PartitionProb  float64
+	PartitionAfter int64
+}
+
+// Stats counts injected faults and forwarded traffic.
+type Stats struct {
+	Connections    int64 `json:"connections"`
+	Kills          int64 `json:"kills"`
+	Stalls         int64 `json:"stalls"`
+	Partitions     int64 `json:"partitions"`
+	BytesForwarded int64 `json:"bytes_forwarded"`
+	BytesDropped   int64 `json:"bytes_dropped"` // discarded by one-way partitions
+}
+
+// Proxy is one listening fault-injecting forwarder.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	cfg    Config
+
+	mu      sync.Mutex
+	stats   Stats
+	connIdx int64
+	hold    bool
+	pairs   map[*pair]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// pair is one proxied connection: the accepted client side and the
+// dialed server side, closed together exactly once.
+type pair struct {
+	client, server net.Conn
+	once           sync.Once
+}
+
+func (p *pair) closeBoth() {
+	p.once.Do(func() {
+		p.client.Close()
+		p.server.Close()
+	})
+}
+
+// plan is the deterministic fault schedule for one connection.
+type plan struct {
+	killAfter      int64 // client→server bytes until kill; -1 = never
+	stallEvery     int64
+	partitioned    bool
+	partitionAfter int64
+	c2s, s2c       *rand.Rand // per-direction latency draws
+}
+
+// planFor derives connection idx's schedule from the seed. Pure: the
+// determinism tests call it directly.
+func planFor(cfg Config, idx int64) plan {
+	rng := rand.New(rand.NewSource(cfg.Seed<<20 ^ idx))
+	pl := plan{
+		killAfter:  -1,
+		stallEvery: cfg.StallEvery,
+		c2s:        rand.New(rand.NewSource(cfg.Seed<<20 ^ idx ^ 0x5bd1e995)),
+		s2c:        rand.New(rand.NewSource(cfg.Seed<<20 ^ idx ^ 0x27d4eb2f)),
+	}
+	if cfg.KillAfterMax > 0 {
+		span := cfg.KillAfterMax - cfg.KillAfterMin
+		if span < 0 {
+			span = 0
+		}
+		pl.killAfter = cfg.KillAfterMin + rng.Int63n(span+1)
+	}
+	if cfg.PartitionProb > 0 && rng.Float64() < cfg.PartitionProb {
+		pl.partitioned = true
+		pl.partitionAfter = cfg.PartitionAfter
+	}
+	return pl
+}
+
+// New starts a proxy listening on listen (use "127.0.0.1:0") and
+// forwarding every connection to target through the fault schedule.
+func New(listen, target string, cfg Config) (*Proxy, error) {
+	if cfg.KillAfterMax > 0 && cfg.KillAfterMin > cfg.KillAfterMax {
+		return nil, fmt.Errorf("faultnet: KillAfterMin %d > KillAfterMax %d", cfg.KillAfterMin, cfg.KillAfterMax)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, cfg: cfg, pairs: make(map[*pair]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — point agents here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// SetHold controls a total outage: while held, new connections are
+// accepted and immediately closed (and existing pairs keep running —
+// combine with KillActive for a full blackout). Scripted tests use it
+// to pin agents in the reconnecting state.
+func (p *Proxy) SetHold(hold bool) {
+	p.mu.Lock()
+	p.hold = hold
+	p.mu.Unlock()
+}
+
+// KillActive closes every live proxied connection, counting each as a
+// kill. Scripted tests use it as a deterministic "pull the cable".
+func (p *Proxy) KillActive() {
+	p.mu.Lock()
+	pairs := make([]*pair, 0, len(p.pairs))
+	for pr := range p.pairs {
+		pairs = append(pairs, pr)
+	}
+	p.stats.Kills += int64(len(pairs))
+	p.mu.Unlock()
+	for _, pr := range pairs {
+		pr.closeBoth()
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed || p.hold {
+			p.mu.Unlock()
+			client.Close()
+			continue
+		}
+		idx := p.connIdx
+		p.connIdx++
+		p.stats.Connections++
+		p.mu.Unlock()
+
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		pr := &pair{client: client, server: server}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			pr.closeBoth()
+			continue
+		}
+		p.pairs[pr] = struct{}{}
+		p.mu.Unlock()
+
+		pl := planFor(p.cfg, idx)
+		if pl.partitioned {
+			p.mu.Lock()
+			p.stats.Partitions++
+			p.mu.Unlock()
+		}
+		p.wg.Add(2)
+		go p.forward(pr, pl, true)
+		go p.forward(pr, pl, false)
+	}
+}
+
+// forward pumps one direction of a pair through the fault schedule.
+// c2s (client→server) carries kill and stall faults; s2c carries the
+// one-way partition.
+func (p *Proxy) forward(pr *pair, pl plan, c2s bool) {
+	defer p.wg.Done()
+	defer func() {
+		pr.closeBoth()
+		p.mu.Lock()
+		delete(p.pairs, pr)
+		p.mu.Unlock()
+	}()
+	src, dst := pr.server, pr.client
+	rng := pl.s2c
+	if c2s {
+		src, dst = pr.client, pr.server
+		rng = pl.c2s
+	}
+	buf := make([]byte, 16<<10)
+	var fwd int64
+	nextStall := pl.stallEvery
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.cfg.LatencyMax > 0 {
+				time.Sleep(time.Duration(rng.Int63n(int64(p.cfg.LatencyMax))))
+			}
+			if c2s {
+				if nextStall > 0 && fwd+int64(n) >= nextStall {
+					p.mu.Lock()
+					p.stats.Stalls++
+					p.mu.Unlock()
+					time.Sleep(p.cfg.StallFor)
+					nextStall += pl.stallEvery
+				}
+				if pl.killAfter >= 0 && fwd+int64(n) > pl.killAfter {
+					p.mu.Lock()
+					p.stats.Kills++
+					p.mu.Unlock()
+					return
+				}
+			}
+			drop := !c2s && pl.partitioned && fwd >= pl.partitionAfter
+			if drop {
+				p.mu.Lock()
+				p.stats.BytesDropped += int64(n)
+				p.mu.Unlock()
+			} else {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+				p.mu.Lock()
+				p.stats.BytesForwarded += int64(n)
+				p.mu.Unlock()
+			}
+			fwd += int64(n)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the proxy: the listener closes, every live pair is torn
+// down, and all forwarder goroutines drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	pairs := make([]*pair, 0, len(p.pairs))
+	for pr := range p.pairs {
+		pairs = append(pairs, pr)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, pr := range pairs {
+		pr.closeBoth()
+	}
+	p.wg.Wait()
+	return err
+}

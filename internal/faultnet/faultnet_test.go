@@ -1,0 +1,228 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, KillAfterMin: 100, KillAfterMax: 10000, PartitionProb: 0.5, PartitionAfter: 64}
+	for idx := int64(0); idx < 64; idx++ {
+		a, b := planFor(cfg, idx), planFor(cfg, idx)
+		if a.killAfter != b.killAfter || a.partitioned != b.partitioned {
+			t.Fatalf("conn %d: plan not deterministic: %+v vs %+v", idx, a, b)
+		}
+	}
+	// Different seeds must differ somewhere across the schedule.
+	same := true
+	other := Config{Seed: 8, KillAfterMin: 100, KillAfterMax: 10000, PartitionProb: 0.5, PartitionAfter: 64}
+	for idx := int64(0); idx < 64; idx++ {
+		if planFor(cfg, idx).killAfter != planFor(other, idx).killAfter {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical kill schedules")
+	}
+}
+
+func TestProxyForwardsCleanly(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q", got)
+	}
+	st := p.Stats()
+	if st.Connections != 1 || st.BytesForwarded < int64(2*len(msg)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyKillsAfterBudget(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 3, KillAfterMin: 64, KillAfterMax: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Push well past the 64-byte kill budget; the conn must die.
+	junk := make([]byte, 256)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		if _, err := conn.Write(junk); err != nil {
+			break
+		}
+		// The read side observing EOF also proves the kill.
+		conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+		if _, err := conn.Read(junk); err != nil {
+			if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+				break
+			}
+		}
+	}
+	waitFor(t, func() bool { return p.Stats().Kills >= 1 }, "kill injection")
+}
+
+func TestProxyOneWayPartitionDropsServerToClient(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 1, PartitionProb: 1.0, PartitionAfter: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	// The echo must be swallowed by the partition.
+	conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded across a one-way partition")
+	}
+	waitFor(t, func() bool {
+		st := p.Stats()
+		return st.Partitions == 1 && st.BytesDropped >= 4
+	}, "partition accounting")
+}
+
+func TestHoldRefusesNewConns(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetHold(true)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		// Accepted then immediately closed: the first read must fail.
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+		if _, rerr := conn.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("held proxy forwarded a connection")
+		}
+		conn.Close()
+	}
+	p.SetHold(false)
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(conn2, got); err != nil {
+		t.Fatalf("proxy did not recover from hold: %v", err)
+	}
+}
+
+func TestKillActiveAndCloseIdempotent(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	var mu sync.Mutex
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		conns = append(conns, c)
+		mu.Unlock()
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.KillActive()
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("connection survived KillActive")
+		}
+		c.Close()
+	}
+	if got := p.Stats().Kills; got != 3 {
+		t.Fatalf("kills = %d, want 3", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal("second close must be nil")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("timeout: " + msg)
+}

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadMsg throws arbitrary byte streams at the frame decoder. The
+// decoder must never panic, never allocate unboundedly (MaxFrameBytes
+// caps the compressed payload, MaxDecodedBytes the inflated stream),
+// and anything it accepts must re-encode cleanly.
+func FuzzReadMsg(f *testing.F) {
+	// Valid frames of every message type.
+	seeds := []*Envelope{
+		{Type: MsgHello, Hello: &Hello{NodeID: 3, Role: "monitor+control", NumPIs: 10, Hostname: "client-3", Epoch: 2, Proto: ProtoVersion}},
+		{Type: MsgIndicators, Indicators: &Indicators{NodeID: 1, Tick: 42, Epoch: 1, Indices: []int{0, 5}, Values: []float64{1.5, -2}}},
+		{Type: MsgAction, Action: &Action{Tick: 7, Values: []float64{8, 20000}, ID: 2}},
+		{Type: MsgAck, Ack: &Ack{NodeID: 2, Tick: 7, OK: false, Error: "boom"}},
+		{Type: MsgWorkloadChange, WorkloadChange: &WorkloadChange{Tick: 9, Name: "fileserver"}},
+		{Type: MsgHeartbeat, Heartbeat: &Heartbeat{NodeID: 4, Epoch: 3}},
+	}
+	for _, env := range seeds {
+		buf, err := Encode(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		// Truncations exercise the unexpected-EOF paths.
+		f.Add(buf[:len(buf)/2])
+		f.Add(buf[:4])
+	}
+	// Length prefix lies about the payload.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 8, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4})
+	// A small decompression bomb: valid flate of 1 MB of zeros.
+	var z bytes.Buffer
+	zw, _ := flate.NewWriter(&z, flate.BestCompression)
+	zw.Write(make([]byte, 1<<20))
+	zw.Close()
+	bomb := make([]byte, 4+z.Len())
+	binary.BigEndian.PutUint32(bomb[:4], uint32(z.Len()))
+	copy(bomb[4:], z.Bytes())
+	f.Add(bomb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadMsg(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if _, err := Encode(env); err != nil {
+			t.Fatalf("accepted envelope does not re-encode: %v", err)
+		}
+	})
+}

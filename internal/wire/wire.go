@@ -11,9 +11,17 @@ import (
 	"compress/flate"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ProtoVersion is the wire protocol revision this package speaks.
+// Version 2 added session epochs (Hello.Epoch, Indicators.Epoch) and
+// heartbeats. Gob tolerates unknown/missing fields, so v1 peers
+// interoperate: a v1 Hello arrives with Epoch 0 and a v1 daemon simply
+// never sees heartbeats.
+const ProtoVersion = 2
 
 // MsgType discriminates protocol messages.
 type MsgType int
@@ -25,6 +33,7 @@ const (
 	MsgAction
 	MsgAck
 	MsgWorkloadChange
+	MsgHeartbeat
 )
 
 // String names the message type.
@@ -40,6 +49,8 @@ func (m MsgType) String() string {
 		return "ack"
 	case MsgWorkloadChange:
 		return "workload-change"
+	case MsgHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(m))
 	}
@@ -51,6 +62,14 @@ type Hello struct {
 	Role     string // "monitor", "control", or "monitor+control"
 	NumPIs   int    // indicators this node reports per sampling tick
 	Hostname string
+	// Epoch is the agent's session epoch: it starts at 1 on the first
+	// connection and increments on every reconnect. The daemon keys its
+	// DiffDecoder on it so differential state from a previous connection
+	// can never contaminate frames assembled after a reconnect. Legacy
+	// (v1) agents send 0.
+	Epoch uint64
+	// Proto is the sender's ProtoVersion (0 for legacy v1 agents).
+	Proto int
 }
 
 // Indicators carries one node's sampling tick, differentially encoded:
@@ -60,6 +79,20 @@ type Indicators struct {
 	Tick    int64
 	Indices []int     // which PI slots changed
 	Values  []float64 // their new values, aligned with Indices
+	// Epoch stamps the message with the connection's session epoch (see
+	// Hello.Epoch). The daemon drops indicators whose epoch does not
+	// match the node's current epoch — stale data from a dead
+	// connection that raced a reconnect.
+	Epoch uint64
+}
+
+// Heartbeat keeps an otherwise-idle connection visibly alive: the
+// daemon refreshes the sender's read deadline on every message it
+// receives, heartbeats included, and evicts connections that stay
+// silent past the liveness timeout.
+type Heartbeat struct {
+	NodeID int
+	Epoch  uint64
 }
 
 // Action tells Control Agents to apply a parameter vector.
@@ -92,6 +125,7 @@ type Envelope struct {
 	Action         *Action
 	Ack            *Ack
 	WorkloadChange *WorkloadChange
+	Heartbeat      *Heartbeat
 }
 
 // Encode serializes an envelope: gob → flate → 4-byte big-endian length
@@ -122,6 +156,41 @@ func Encode(env *Envelope) ([]byte, error) {
 // length prefixes).
 const MaxFrameBytes = 16 << 20
 
+// MaxDecodedBytes bounds the decompressed size of one frame.
+// MaxFrameBytes only limits the compressed payload; flate expands
+// highly redundant input ~1000×, so a 16 MB compressed bomb could
+// otherwise force multi-GB allocations inside gob. The cap is far
+// above any legitimate message (per-node indicator diffs are hundreds
+// of bytes; even a million-value action vector gobs to ~9 MB).
+const MaxDecodedBytes = 32 << 20
+
+// ErrDecodedTooLarge reports a frame whose decompressed stream exceeds
+// MaxDecodedBytes — a corrupt or hostile peer, not a framing glitch.
+var ErrDecodedTooLarge = errors.New("wire: decoded payload exceeds MaxDecodedBytes")
+
+// cappedReader stops feeding gob once the budget is spent. gob rewrites
+// reader errors on some paths, so the overrun is recorded in tripped
+// and ReadMsg checks it after a failed decode rather than trusting the
+// error chain.
+type cappedReader struct {
+	r       io.Reader
+	n       int64
+	tripped bool
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		c.tripped = true
+		return 0, ErrDecodedTooLarge
+	}
+	if int64(len(p)) > c.n {
+		p = p[:c.n]
+	}
+	n, err := c.r.Read(p)
+	c.n -= int64(n)
+	return n, err
+}
+
 // WriteMsg frames and writes an envelope to w.
 func WriteMsg(w io.Writer, env *Envelope) error {
 	buf, err := Encode(env)
@@ -148,8 +217,12 @@ func ReadMsg(r io.Reader) (*Envelope, error) {
 	}
 	zr := flate.NewReader(bytes.NewReader(payload))
 	defer zr.Close()
+	cr := &cappedReader{r: zr, n: MaxDecodedBytes}
 	var env Envelope
-	if err := gob.NewDecoder(zr).Decode(&env); err != nil {
+	if err := gob.NewDecoder(cr).Decode(&env); err != nil {
+		if cr.tripped {
+			return nil, fmt.Errorf("wire: decode: %w", ErrDecodedTooLarge)
+		}
 		return nil, fmt.Errorf("wire: decode: %w", err)
 	}
 	return &env, nil

@@ -2,6 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
 	"io"
 	"math/rand"
 	"net"
@@ -47,6 +50,94 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 				t.Fatalf("wc = %+v", got.WorkloadChange)
 			}
 		}
+	}
+}
+
+func TestHeartbeatAndEpochRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	hb := &Envelope{Type: MsgHeartbeat, Heartbeat: &Heartbeat{NodeID: 4, Epoch: 9}}
+	if err := WriteMsg(&buf, hb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgHeartbeat || got.Heartbeat == nil || got.Heartbeat.NodeID != 4 || got.Heartbeat.Epoch != 9 {
+		t.Fatalf("heartbeat = %+v", got.Heartbeat)
+	}
+
+	hello := &Envelope{Type: MsgHello, Hello: &Hello{NodeID: 1, Role: "monitor", NumPIs: 3, Epoch: 7, Proto: ProtoVersion}}
+	if err := WriteMsg(&buf, hello); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hello.Epoch != 7 || got.Hello.Proto != ProtoVersion {
+		t.Fatalf("hello = %+v", got.Hello)
+	}
+
+	ind := &Envelope{Type: MsgIndicators, Indicators: &Indicators{NodeID: 1, Tick: 5, Epoch: 7, Indices: []int{0}, Values: []float64{1}}}
+	if err := WriteMsg(&buf, ind); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Indicators.Epoch != 7 {
+		t.Fatalf("indicators = %+v", got.Indicators)
+	}
+}
+
+// frameBomb builds a legally-framed payload that flate-inflates into a
+// gob stream claiming one enormous message followed by zeros — a few
+// hundred KB on the wire, hundreds of MB decoded.
+func frameBomb(t *testing.T, claimedLen uint32, decodedSize int) []byte {
+	t.Helper()
+	var z bytes.Buffer
+	zw, err := flate.NewWriter(&z, flate.BestCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gob message framing: uvarint byte-count prefix (0xFC = "4 bytes
+	// follow", big-endian) then the message body.
+	header := []byte{0xFC, byte(claimedLen >> 24), byte(claimedLen >> 16), byte(claimedLen >> 8), byte(claimedLen)}
+	if _, err := zw.Write(header); err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]byte, 64<<10)
+	for written := 0; written < decodedSize; written += len(zeros) {
+		if _, err := zw.Write(zeros); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() > MaxFrameBytes {
+		t.Fatalf("bomb compressed to %d bytes, not under MaxFrameBytes", z.Len())
+	}
+	frame := make([]byte, 4+z.Len())
+	binary.BigEndian.PutUint32(frame[:4], uint32(z.Len()))
+	copy(frame[4:], z.Bytes())
+	return frame
+}
+
+func TestReadMsgRejectsDecompressionBomb(t *testing.T) {
+	// A gob message claiming 64 MB (2× MaxDecodedBytes), backed by
+	// 64 MB of zeros that compress to ~64 KB: ReadMsg must stop at
+	// MaxDecodedBytes and fail with ErrDecodedTooLarge instead of
+	// ballooning inside gob.
+	frame := frameBomb(t, 64<<20, 64<<20)
+	_, err := ReadMsg(bytes.NewReader(frame))
+	if err == nil {
+		t.Fatal("decompression bomb must be rejected")
+	}
+	if !errors.Is(err, ErrDecodedTooLarge) {
+		t.Fatalf("err = %v, want ErrDecodedTooLarge", err)
 	}
 }
 
@@ -182,7 +273,7 @@ func TestMessageSizeSmallInSteadyState(t *testing.T) {
 }
 
 func TestMsgTypeString(t *testing.T) {
-	for m := MsgHello; m <= MsgWorkloadChange; m++ {
+	for m := MsgHello; m <= MsgHeartbeat; m++ {
 		if m.String() == "" {
 			t.Fatal("unnamed message type")
 		}
