@@ -35,9 +35,14 @@ baseTier=$(tierOf "$base")
 curTier=$(tierOf "$cur")
 if [ -n "$baseTier" ] && [ -n "$curTier" ]; then
   if [ "$baseTier" != "$curTier" ]; then
+    # Not a regression and not a pass either: the comparison is simply
+    # undefined across tiers. Skip neutrally (exit 0 with a notice) so
+    # a runner-fleet reshuffle doesn't page anyone; the baseline still
+    # needs a refresh before the gate means anything again.
     echo "bench-gate: baseline is from a different kernel tier ($baseTier) than this run ($curTier)."
-    echo "bench-gate: not a performance regression — regenerate .github/bench-baseline.txt on this runner class."
-    exit 1
+    echo "bench-gate: SKIPPED — cross-tier comparison is undefined; regenerate .github/bench-baseline.txt on this runner class."
+    echo "::notice title=bench-gate skipped::baseline kernel tier ($baseTier) != runner tier ($curTier); refresh .github/bench-baseline.txt"
+    exit 0
   fi
   echo "bench-gate: kernel tier $curTier (matches baseline)"
 else

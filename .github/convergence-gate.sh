@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# convergence-gate.sh <baseline.txt> <bench-dir>
+#
+# Fails the nightly learning-quality job when CAPES converges
+# significantly slower than the committed baseline. <bench-dir> holds
+# the BENCH_convergence_<scenario>.json files a fresh capes-convergence
+# run wrote; <baseline.txt> (.github/convergence-baseline.txt) commits
+# one line per scenario:
+#
+#   <scenario> <time_to_threshold_ticks> <final_reward_mbps>
+#
+# The gate fails when a scenario no longer converges at all, or when
+# its time-to-threshold regressed more than 15% over the committed
+# value. Faster convergence never fails — refresh the baseline when a
+# PR intentionally improves learning so the gate tightens with it.
+#
+# The trajectories are fully deterministic (fixed seed, simulated
+# cluster, virtual clock), so unlike the perf bench gate no noise
+# tolerance beyond the 15% band is needed and the baseline is NOT
+# host-sensitive: any runner reproduces the committed numbers exactly
+# until the learning stack itself changes.
+set -euo pipefail
+
+base="$1"
+dir="$2"
+fail=0
+
+# field <json-file> <key> — extract one scalar from the (MarshalIndent,
+# known-shape) trajectory JSON without a JSON parser dependency.
+field() {
+  awk -F'[:,]' -v k="\"$2\"" '$1 ~ k {gsub(/[ \t]/, "", $2); print $2; exit}' "$1"
+}
+
+while read -r scenario baseTicks baseReward; do
+  case "$scenario" in ''|\#*) continue ;; esac
+  cur="$dir/BENCH_convergence_${scenario}.json"
+  if [ ! -f "$cur" ]; then
+    echo "convergence-gate: $scenario: no trajectory at $cur (scenario removed without refreshing the baseline?)"
+    fail=1
+    continue
+  fi
+  converged=$(field "$cur" converged)
+  ticks=$(field "$cur" time_to_threshold_ticks)
+  reward=$(field "$cur" final_reward)
+  if [ "$converged" != "true" ]; then
+    echo "convergence-gate: REGRESSION: $scenario no longer reaches its reward threshold (baseline: tick $baseTicks)"
+    fail=1
+    continue
+  fi
+  if ! awk -v o="$baseTicks" -v n="$ticks" -v s="$scenario" -v br="$baseReward" -v nr="$reward" 'BEGIN {
+    r = n / o
+    printf "convergence-gate: %-12s baseline tick %6d, current tick %6d (%.2fx)  final %s → %s MB/s\n", s, o, n, r, br, nr
+    exit (r > 1.15) ? 1 : 0
+  }'; then
+    echo "convergence-gate: REGRESSION: $scenario converges >15% slower than the committed baseline"
+    fail=1
+  fi
+done < "$base"
+
+exit "$fail"

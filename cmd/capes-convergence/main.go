@@ -1,0 +1,115 @@
+// capes-convergence is the nightly learning-quality harness: it trains
+// each committed scenario preset (internal/convergence) on the simulated
+// cluster with a fixed seed and writes one BENCH_convergence_<name>.json
+// trajectory file per scenario — time-to-threshold, final reward, AUC
+// and a downsampled reward curve. The same seed and scale always produce
+// byte-identical JSON, so .github/convergence-gate.sh can diff a fresh
+// run against the committed baseline with a plain tolerance check.
+//
+// Usage:
+//
+//	capes-convergence                         # all scenarios, CI scale
+//	capes-convergence -scenario seqwrite      # one scenario
+//	capes-convergence -out-dir bench -chart   # JSON + terminal curves
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"capes/internal/convergence"
+	"capes/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "capes-convergence:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("capes-convergence", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", "all", "comma-separated scenario names, or all")
+		scale    = fs.Float64("scale", 0.05, "session-duration scale (1.0 = paper schedule)")
+		seed     = fs.Int64("seed", 1, "random seed (results are byte-identical per seed)")
+		outDir   = fs.String("out-dir", ".", "directory for BENCH_convergence_<scenario>.json")
+		doChart  = fs.Bool("chart", false, "also render each reward curve to stdout")
+		list     = fs.Bool("list", false, "list committed scenarios and exit")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, sc := range convergence.Scenarios() {
+			fmt.Fprintf(out, "%-12s %gh @ threshold %g MB/s\n", sc.Name, sc.Hours, sc.Threshold)
+		}
+		return nil
+	}
+
+	var run []convergence.Scenario
+	if *scenario == "all" {
+		run = convergence.Scenarios()
+	} else {
+		for _, name := range strings.Split(*scenario, ",") {
+			sc, ok := convergence.ScenarioByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown scenario %q (try -list)", name)
+			}
+			run = append(run, sc)
+		}
+	}
+
+	o := experiment.DefaultOptions()
+	o.Scale = *scale
+	o.Seed = *seed
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	failed := 0
+	for _, sc := range run {
+		start := time.Now()
+		res, err := convergence.Run(sc, o)
+		if err != nil {
+			return err
+		}
+		// Two-space indent, trailing newline: the canonical form the gate
+		// and the determinism test both compare byte-for-byte.
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		path := filepath.Join(*outDir, "BENCH_convergence_"+sc.Name+".json")
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			return err
+		}
+		status := fmt.Sprintf("converged at tick %d/%d", res.TimeToThreshold, res.Ticks)
+		if !res.Converged {
+			status = "DID NOT CONVERGE"
+			failed++
+		}
+		fmt.Fprintf(out, "%-12s %s  final %.4g MB/s  auc %.4g  (%v) → %s\n",
+			sc.Name, status, res.FinalReward, res.RewardAUC,
+			time.Since(start).Round(time.Millisecond), path)
+		if *doChart {
+			fmt.Fprintln(out)
+			convergence.Render(out, res)
+			fmt.Fprintln(out)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scenario(s) did not reach their reward threshold", failed)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 //	capes-inspect /var/lib/capes/session
 //	capes-inspect -tier
 //	capes-inspect -stats 127.0.0.1:8080
+//	capes-inspect -watch 127.0.0.1:8080 mysession [interval]
 //
 // -tier prints the SIMD kernel tier the tensor kernels run at on this
 // host (scalar|sse|avx2, honoring CAPES_SIMD) and exits — perf triage
@@ -20,16 +21,24 @@
 // session's engine and transport health — the quickest way to see
 // whether agents are flapping (reconnects/evictions) or frames are
 // being gap-filled or dropped.
+//
+// -watch polls one session's /history endpoint with an incremental
+// ?since= cursor and live-renders its reward/loss/epsilon curves in the
+// terminal (redrawn every interval, default 2s) — a poor man's training
+// dashboard for a tuning run in progress. Ctrl-C to stop.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
+	"capes/internal/capes"
 	"capes/internal/capesd"
 	"capes/internal/nn"
 	"capes/internal/replay"
@@ -43,8 +52,22 @@ func main() {
 		}
 		return
 	}
+	if (len(os.Args) == 4 || len(os.Args) == 5) && os.Args[1] == "-watch" {
+		interval := 2 * time.Second
+		if len(os.Args) == 5 {
+			d, err := time.ParseDuration(os.Args[4])
+			if err != nil || d <= 0 {
+				fatal(fmt.Errorf("bad watch interval %q", os.Args[4]))
+			}
+			interval = d
+		}
+		if err := watchSession(os.Stdout, os.Args[2], os.Args[3], interval, 0); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: capes-inspect <model.ckpt | replay.db | session-dir | -tier | -stats addr>")
+		fmt.Fprintln(os.Stderr, "usage: capes-inspect <model.ckpt | replay.db | session-dir | -tier | -stats addr | -watch addr session [interval]>")
 		os.Exit(2)
 	}
 	if os.Args[1] == "-tier" {
@@ -182,6 +205,58 @@ func inspectStats(addr string) error {
 	fmt.Printf("\ntotals: %d reconnects, %d evictions, %d partial frames, %d dropped ticks, %d dropped actions\n",
 		t.Reconnects, t.Evictions, t.PartialFrames, t.DroppedTicks, t.DroppedActions)
 	return nil
+}
+
+// maxWatchPoints bounds client-side accumulation so an overnight watch
+// does not grow without bound; the newest window is what the 64-column
+// plots can resolve anyway.
+const maxWatchPoints = 4096
+
+// watchSession polls one session's /history endpoint with the ?since=
+// cursor (only new points cross the wire each round), accumulates the
+// trajectory client-side and redraws the reward/loss/epsilon curves in
+// place until interrupted. rounds bounds the number of redraws (0 =
+// forever; tests pass a small count).
+func watchSession(w io.Writer, addr, name string, interval time.Duration, rounds int) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	base := "http://" + addr + "/sessions/" + name
+	var pts []capes.HistoryPoint
+	cursor := int64(-1)
+	for i := 0; rounds == 0 || i < rounds; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		var hist capesd.HistoryResponse
+		if err := getJSON(client, base+"/history?since="+strconv.FormatInt(cursor, 10), &hist); err != nil {
+			return err
+		}
+		cursor = hist.Next
+		pts = append(pts, hist.Points...)
+		if len(pts) > maxWatchPoints {
+			pts = pts[len(pts)-maxWatchPoints:]
+		}
+		var st capesd.SessionStats
+		if err := getJSON(client, base, &st); err != nil {
+			return err
+		}
+		// Home + clear-to-end redraws in place instead of scrolling.
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+		capesd.RenderSessionChart(w, name, string(st.State), pts)
+		fmt.Fprintf(w, "\n(watching %s every %s — Ctrl-C to stop)\n", addr, interval)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 func compactJSON(v any) string {

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"capes/internal/capesd"
 	"capes/internal/nn"
 	"capes/internal/replay"
 	"capes/internal/tensor"
@@ -53,6 +57,49 @@ func TestKernelTierIsReportable(t *testing.T) {
 	case "scalar", "sse", "avx2":
 	default:
 		t.Fatalf("KernelTier() = %q, not a documented tier name", tier)
+	}
+}
+
+// TestStatsAndWatchAgainstLiveDaemon drives the -stats and -watch modes
+// against a real in-process capesd control plane: -stats must print the
+// session roster and totals, -watch must render the telemetry chart
+// frame (empty-ring form here — no agents are pumping frames) and
+// return after its round limit.
+func TestStatsAndWatchAgainstLiveDaemon(t *testing.T) {
+	m := capesd.NewManager()
+	defer m.Shutdown()
+	if _, err := m.Create(capesd.SessionConfig{
+		Name:         "probe",
+		Listen:       "127.0.0.1:0",
+		Clients:      2,
+		PIsPerClient: 4,
+		ObsTicks:     2,
+		Seed:         1,
+		HistoryEvery: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := m.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := inspectStats(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspectStats("127.0.0.1:1"); err == nil {
+		t.Fatal("stats against a dead daemon must error")
+	}
+
+	var out bytes.Buffer
+	if err := watchSession(&out, addr, "probe", time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "session probe") {
+		t.Fatalf("watch frame missing header:\n%s", out.String())
+	}
+	if err := watchSession(&out, addr, "ghost", time.Millisecond, 1); err == nil {
+		t.Fatal("watching an unknown session must error")
 	}
 }
 

@@ -44,6 +44,14 @@ type Config struct {
 	// choose to do solely monitoring or training on demand").
 	Training bool
 	Tuning   bool
+
+	// HistoryEvery samples one training-telemetry HistoryPoint per this
+	// many ticks (0 = every 10 ticks; negative disables recording). The
+	// reward field carries the objective of the latest collected frame,
+	// so samples landing between sampling ticks reuse the last value.
+	HistoryEvery int64
+	// HistoryCap bounds the telemetry ring (0 = 1024 points).
+	HistoryCap int
 }
 
 // LossPoint is one sample of the training loss trace (Figure 5).
@@ -96,6 +104,14 @@ type Engine struct {
 	actionCounts  []int64 // per action id
 	history       []ActionRecord
 	historyCap    int
+
+	// Training telemetry: the bounded time-series ring behind the
+	// /history and /chart endpoints, sampled every histEvery ticks.
+	// lastReward caches the objective of the newest collected frame so
+	// between-sample ticks and collector errors reuse it.
+	hist       *History
+	histEvery  int64
+	lastReward float64
 
 	// Hot-path scratch: the reusable minibatch every train tick samples
 	// into, and the observation buffer the action path fills. Both are
@@ -178,6 +194,14 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 	if checker == nil {
 		checker = NoopChecker
 	}
+	histEvery := cfg.HistoryEvery
+	if histEvery == 0 {
+		histEvery = 10
+	}
+	histCap := cfg.HistoryCap
+	if histCap <= 0 {
+		histCap = 1024
+	}
 	return &Engine{
 		cfg:          cfg,
 		db:           db,
@@ -191,6 +215,8 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 		lastAction:   NullAction,
 		actionCounts: make([]int64, cfg.Space.NumActions()),
 		historyCap:   256,
+		hist:         newHistory(histCap),
+		histEvery:    histEvery,
 		obsScratch:   make([]EnginePrecision, db.ObservationWidth()),
 	}, nil
 }
@@ -211,8 +237,11 @@ func (e *Engine) Tick(now int64) {
 		frame, err := e.collector()
 		if err != nil {
 			e.missedSamples++
-		} else if err := e.db.PutFrame(now, frame); err != nil {
-			e.missedSamples++
+		} else {
+			e.lastReward = e.cfg.Objective(frame)
+			if err := e.db.PutFrame(now, frame); err != nil {
+				e.missedSamples++
+			}
 		}
 	}
 
@@ -239,18 +268,37 @@ func (e *Engine) Tick(now int64) {
 		}
 	}
 
-	// Training step.
+	// Training step. ConstructMinibatchInto failing just means not
+	// enough data yet; either way the telemetry sample below still runs.
 	if e.cfg.Training && now >= h.TrainStartTicks && now%h.TrainEvery == 0 {
-		if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err != nil {
-			return // not enough data yet
+		if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err == nil {
+			if _, err := e.agent.TrainStep(&e.batch); err != nil {
+				e.trainErrors++
+			} else if e.agent.Steps()%25 == 0 {
+				e.lossTrace = append(e.lossTrace, LossPoint{Tick: now, Loss: e.agent.SmoothedLoss()})
+			}
 		}
-		if _, err := e.agent.TrainStep(&e.batch); err != nil {
-			e.trainErrors++
-			return
+	}
+
+	// Telemetry sample: one HistoryPoint per histEvery ticks, recorded
+	// last so this tick's training step is already reflected. Record is
+	// alloc-free, so the tick path stays 0 allocs/op.
+	if e.histEvery > 0 && now%e.histEvery == 0 {
+		random, calc := e.agent.ActionCounts()
+		eps := 0.0
+		if !e.exploit {
+			eps = e.agent.Epsilon.At(now)
 		}
-		if e.agent.Steps()%25 == 0 {
-			e.lossTrace = append(e.lossTrace, LossPoint{Tick: now, Loss: e.agent.SmoothedLoss()})
-		}
+		e.hist.Record(HistoryPoint{
+			Tick:          now,
+			Reward:        e.lastReward,
+			Loss:          e.agent.SmoothedLoss(),
+			TDErrEMA:      e.agent.TDErrorEMA(),
+			Epsilon:       eps,
+			TrainSteps:    e.agent.Steps(),
+			RandomActions: random,
+			CalcActions:   calc,
+		})
 	}
 }
 
@@ -397,7 +445,26 @@ func (e *Engine) LossTrace() []LossPoint {
 	return append([]LossPoint(nil), e.lossTrace...)
 }
 
-// Stats summarizes engine health counters.
+// History returns a copy of the retained training-telemetry window,
+// oldest first.
+func (e *Engine) History() []HistoryPoint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hist.Snapshot()
+}
+
+// HistorySince returns a copy of every telemetry point with
+// Tick > cursor, oldest first — the /history endpoint's cursor read.
+// Pass a negative cursor for the full retained window.
+func (e *Engine) HistorySince(cursor int64) []HistoryPoint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hist.Since(cursor)
+}
+
+// Stats summarizes engine health counters plus the newest telemetry
+// sample (LastReward/SmoothedLoss/TDErrorEMA/Epsilon are zero until the
+// first HistoryPoint lands).
 type Stats struct {
 	TrainSteps    int64
 	MissedSamples int64
@@ -407,6 +474,12 @@ type Stats struct {
 	ReplayBytes   int64 // resident bytes of the replay ring (arena accounting)
 	RandomActions int64
 	CalcActions   int64
+
+	HistoryPoints int     // telemetry samples retained in the ring
+	LastReward    float64 // objective of the newest sampled frame
+	SmoothedLoss  float64 // EWMA prediction error at the newest sample
+	TDErrorEMA    float64 // EWMA RMS TD error at the newest sample
+	Epsilon       float64 // exploration rate at the newest sample
 }
 
 // Stats returns the engine's counters.
@@ -414,6 +487,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	random, calc := e.agent.ActionCounts()
+	last := e.hist.Last()
 	return Stats{
 		TrainSteps:    e.agent.Steps(),
 		MissedSamples: e.missedSamples,
@@ -423,5 +497,10 @@ func (e *Engine) Stats() Stats {
 		ReplayBytes:   e.db.MemoryBytes(),
 		RandomActions: random,
 		CalcActions:   calc,
+		HistoryPoints: e.hist.Len(),
+		LastReward:    last.Reward,
+		SmoothedLoss:  last.Loss,
+		TDErrorEMA:    last.TDErrEMA,
+		Epsilon:       last.Epsilon,
 	}
 }

@@ -21,6 +21,7 @@ const (
 	modelFile    = "model.ckpt"
 	replayFile   = "replay.db"
 	manifestFile = "session.json"
+	historyFile  = "history.json"
 )
 
 // ErrNoSession reports that a session directory holds no checkpoint at
@@ -52,6 +53,15 @@ func (e *Engine) SaveSession(dir string) error {
 	}
 	if err := e.db.SaveFile(filepath.Join(dir, replayFile)); err != nil {
 		return fmt.Errorf("capes: save replay DB: %w", err)
+	}
+	// Telemetry travels with the checkpoint so a restored session keeps
+	// its reward/loss curves instead of starting the dashboard blank.
+	hbuf, err := json.Marshal(e.hist.Snapshot())
+	if err != nil {
+		return fmt.Errorf("capes: save history: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, historyFile), hbuf, 0o644); err != nil {
+		return fmt.Errorf("capes: save history: %w", err)
 	}
 	m := sessionManifest{
 		Version:       1,
@@ -121,6 +131,27 @@ func (e *Engine) RestoreSession(dir string) error {
 			return err
 		}
 	}
+	if err := e.loadHistory(filepath.Join(dir, historyFile)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// loadHistory restores the telemetry ring from a checkpoint. A missing
+// file is fine (pre-telemetry checkpoints); a corrupt one is not.
+func (e *Engine) loadHistory(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	var pts []HistoryPoint
+	if err := json.Unmarshal(buf, &pts); err != nil {
+		return fmt.Errorf("capes: bad history checkpoint: %w", err)
+	}
+	e.hist.restore(pts)
 	return nil
 }
 

@@ -88,6 +88,11 @@ type SessionConfig struct {
 	MinibatchSize     int   `json:"minibatch_size,omitempty"`
 	ReplayCapacity    int   `json:"replay_capacity,omitempty"`
 	ExplorationPeriod int64 `json:"exploration_period,omitempty"`
+
+	// Training-telemetry ring knobs (zero = engine defaults: one sample
+	// per 10 ticks, 1024 retained). history_every: -1 disables.
+	HistoryEvery int64 `json:"history_every,omitempty"`
+	HistoryCap   int   `json:"history_cap,omitempty"`
 }
 
 // TunableConfig mirrors capes.Tunable for JSON configs.
@@ -173,6 +178,9 @@ func (sc *SessionConfig) Validate() error {
 	}
 	if sc.LivenessTimeoutMs < 0 || sc.PartialFrameMs < 0 || sc.MaxPendingTicks < 0 {
 		return fmt.Errorf("session %s: negative transport knob (liveness_timeout_ms/partial_frame_ms/max_pending_ticks)", sc.Name)
+	}
+	if sc.HistoryCap < 0 {
+		return fmt.Errorf("session %s: negative history_cap", sc.Name)
 	}
 	// monitor_only + exploit together is valid: a pure-collection daemon
 	// that neither trains nor acts (the old capesd accepted both flags).
@@ -265,14 +273,16 @@ func (sc *SessionConfig) engineConfig() (capes.Config, error) {
 		mode = capes.RewardAbsolute
 	}
 	return capes.Config{
-		Hyper:      hyper,
-		Space:      space,
-		Objective:  obj,
-		RewardMode: mode,
-		FrameWidth: sc.Clients * sc.PIsPerClient,
-		Seed:       sc.Seed,
-		Training:   !sc.Exploit,
-		Tuning:     !sc.MonitorOnly,
+		Hyper:        hyper,
+		Space:        space,
+		Objective:    obj,
+		RewardMode:   mode,
+		FrameWidth:   sc.Clients * sc.PIsPerClient,
+		Seed:         sc.Seed,
+		Training:     !sc.Exploit,
+		Tuning:       !sc.MonitorOnly,
+		HistoryEvery: sc.HistoryEvery,
+		HistoryCap:   sc.HistoryCap,
 	}, nil
 }
 

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 
+	"capes/internal/capes"
 	"capes/internal/tensor"
 )
 
@@ -19,6 +21,8 @@ import (
 //	POST   /sessions                     create a session (SessionConfig body)
 //	GET    /sessions/{name}              one session's stats
 //	GET    /sessions/{name}/stats        same (explicit form)
+//	GET    /sessions/{name}/history      training telemetry (?since= cursor)
+//	GET    /sessions/{name}/chart        reward/loss/epsilon curves, text/plain
 //	POST   /sessions/{name}/pause        stop ticking, keep agents
 //	POST   /sessions/{name}/resume       resume ticking
 //	POST   /sessions/{name}/checkpoint   save to the session's checkpoint dir
@@ -108,6 +112,35 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
 		withSession(m, w, r, func(s *Session) {
 			writeJSON(w, http.StatusOK, s.Stats())
+		})
+	})
+	mux.HandleFunc("GET /sessions/{name}/history", func(w http.ResponseWriter, r *http.Request) {
+		withSession(m, w, r, func(s *Session) {
+			since := int64(-1)
+			if q := r.URL.Query().Get("since"); q != "" {
+				v, err := strconv.ParseInt(q, 10, 64)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("bad since cursor %q: %w", q, err))
+					return
+				}
+				since = v
+			}
+			pts := s.Engine().HistorySince(since)
+			if pts == nil {
+				pts = []capes.HistoryPoint{} // "points": [], never null
+			}
+			resp := HistoryResponse{Session: s.Name(), Points: pts, Next: since}
+			if len(pts) > 0 {
+				resp.Next = pts[len(pts)-1].Tick
+			}
+			writeJSON(w, http.StatusOK, resp)
+		})
+	})
+	mux.HandleFunc("GET /sessions/{name}/chart", func(w http.ResponseWriter, r *http.Request) {
+		withSession(m, w, r, func(s *Session) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			RenderSessionChart(w, s.Name(), string(s.State()), s.Engine().History())
 		})
 	})
 	mux.HandleFunc("POST /sessions/{name}/pause", func(w http.ResponseWriter, r *http.Request) {

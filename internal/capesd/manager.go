@@ -232,6 +232,7 @@ type Totals struct {
 	Vetoes        int64 `json:"vetoes"`
 	TrainErrors   int64 `json:"train_errors"`
 	MissedSamples int64 `json:"missed_samples"`
+	HistoryPoints int64 `json:"history_points"`
 
 	// Transport fault-tolerance totals across every session's daemon.
 	Reconnects     int64 `json:"reconnects"`
@@ -258,6 +259,7 @@ func (m *Manager) AggregateStats() AggregateStats {
 		agg.Totals.Vetoes += st.Engine.Vetoes
 		agg.Totals.TrainErrors += st.Engine.TrainErrors
 		agg.Totals.MissedSamples += st.Engine.MissedSamples
+		agg.Totals.HistoryPoints += int64(st.Engine.HistoryPoints)
 		agg.Totals.Reconnects += st.Transport.Reconnects
 		agg.Totals.Evictions += st.Transport.Evictions
 		agg.Totals.PartialFrames += st.Transport.PartialFrames

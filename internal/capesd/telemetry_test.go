@@ -1,0 +1,184 @@
+package capesd
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// historySession is testSession plus a dense telemetry cadence so a
+// short pump produces plenty of points.
+func historySession(name string) SessionConfig {
+	sc := testSession(name, "")
+	sc.HistoryEvery = 2
+	sc.HistoryCap = 64
+	return sc
+}
+
+func TestHistoryEndpointCursorSemantics(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	if code := doJSON(t, "POST", srv.URL+"/sessions", historySession("tel"), nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	pump(t, mustAddr(t, m, "tel"), 2, 4, 1, 100)
+	waitFor(t, func() bool {
+		var resp HistoryResponse
+		doJSON(t, "GET", srv.URL+"/sessions/tel/history", nil, &resp)
+		return len(resp.Points) >= 10
+	}, "telemetry points visible over HTTP")
+
+	// Full read: monotone ticks, cadence = history_every.
+	var full HistoryResponse
+	if code := doJSON(t, "GET", srv.URL+"/sessions/tel/history", nil, &full); code != http.StatusOK {
+		t.Fatal("history read failed")
+	}
+	if full.Session != "tel" {
+		t.Fatalf("session = %q", full.Session)
+	}
+	for i, p := range full.Points {
+		if p.Tick%2 != 0 {
+			t.Fatalf("point at tick %d, want history_every=2 cadence", p.Tick)
+		}
+		if i > 0 && p.Tick <= full.Points[i-1].Tick {
+			t.Fatal("ticks not monotone")
+		}
+	}
+	if full.Next != full.Points[len(full.Points)-1].Tick {
+		t.Fatalf("next = %d, want newest tick %d", full.Next, full.Points[len(full.Points)-1].Tick)
+	}
+
+	// Cursor read: strictly after the cursor, nothing replayed.
+	mid := full.Points[len(full.Points)/2].Tick
+	var tail HistoryResponse
+	doJSON(t, "GET", srv.URL+"/sessions/tel/history?since="+itoa(mid), nil, &tail)
+	for _, p := range tail.Points {
+		if p.Tick <= mid {
+			t.Fatalf("cursor %d replayed tick %d", mid, p.Tick)
+		}
+	}
+	wantLen := 0
+	for _, p := range full.Points {
+		if p.Tick > mid {
+			wantLen++
+		}
+	}
+	if len(tail.Points) < wantLen {
+		t.Fatalf("cursor read returned %d points, want >= %d", len(tail.Points), wantLen)
+	}
+
+	// A cursor at (or past) the newest tick returns no points and
+	// echoes the cursor, so pollers can feed Next back verbatim.
+	var empty HistoryResponse
+	doJSON(t, "GET", srv.URL+"/sessions/tel/history?since="+itoa(full.Next+1000), nil, &empty)
+	if len(empty.Points) != 0 || empty.Next != full.Next+1000 {
+		t.Fatalf("past-end cursor: %d points, next %d", len(empty.Points), empty.Next)
+	}
+
+	// Bad cursor → 400; unknown session → 404.
+	if code := doJSON(t, "GET", srv.URL+"/sessions/tel/history?since=bogus", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad cursor = %d, want 400", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/sessions/ghost/history", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session history = %d, want 404", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/sessions/ghost/chart", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session chart = %d, want 404", code)
+	}
+}
+
+func TestChartEndpointAndPausedSession(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	if code := doJSON(t, "POST", srv.URL+"/sessions", historySession("plot"), nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+
+	// Before any frames: the chart renders a no-telemetry notice.
+	body, ctype := getBody(t, srv.URL+"/sessions/plot/chart")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "no telemetry yet") {
+		t.Fatalf("empty chart body = %q", body)
+	}
+
+	pump(t, mustAddr(t, m, "plot"), 2, 4, 1, 100)
+	waitFor(t, func() bool {
+		var resp HistoryResponse
+		doJSON(t, "GET", srv.URL+"/sessions/plot/history", nil, &resp)
+		return len(resp.Points) >= 10
+	}, "telemetry points for chart")
+
+	body, _ = getBody(t, srv.URL+"/sessions/plot/chart")
+	for _, want := range []string{"session plot (running)", "reward (objective)", "training loss (EWMA)", "epsilon (exploration)"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("chart body missing %q:\n%s", want, body)
+		}
+	}
+
+	// Pause the session: history and chart stay readable, the state is
+	// reflected, and the curves stop advancing.
+	if code := doJSON(t, "POST", srv.URL+"/sessions/plot/pause", nil, nil); code != http.StatusOK {
+		t.Fatal("pause failed")
+	}
+	var frozen HistoryResponse
+	if code := doJSON(t, "GET", srv.URL+"/sessions/plot/history", nil, &frozen); code != http.StatusOK {
+		t.Fatal("paused history read failed")
+	}
+	var again HistoryResponse
+	doJSON(t, "GET", srv.URL+"/sessions/plot/history?since="+itoa(frozen.Next), nil, &again)
+	if len(again.Points) != 0 {
+		t.Fatalf("paused session advanced %d points", len(again.Points))
+	}
+	body, _ = getBody(t, srv.URL+"/sessions/plot/chart")
+	if !strings.Contains(body, "session plot (paused)") {
+		t.Fatalf("paused chart header missing:\n%s", body)
+	}
+
+	// Totals aggregate the telemetry ring sizes.
+	var agg AggregateStats
+	doJSON(t, "GET", srv.URL+"/stats", nil, &agg)
+	if agg.Totals.HistoryPoints < 10 {
+		t.Fatalf("totals history_points = %d", agg.Totals.HistoryPoints)
+	}
+}
+
+func mustAddr(t *testing.T, m *Manager, name string) string {
+	t.Helper()
+	s, ok := m.Get(name)
+	if !ok {
+		t.Fatalf("no session %q", name)
+	}
+	return s.Addr()
+}
+
+func getBody(t *testing.T, url string) (body, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	return string(buf), resp.Header.Get("Content-Type")
+}
+
+func itoa(v int64) string {
+	return strconv.FormatInt(v, 10)
+}

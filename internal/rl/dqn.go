@@ -88,6 +88,7 @@ type Agent[E tensor.Element] struct {
 	steps     int64
 	lastLoss  float64
 	lossEWMA  float64
+	tdErrEWMA float64
 	randTaken int64
 	calcTaken int64
 
@@ -312,10 +313,16 @@ func (a *Agent[E]) TrainStep(b *replay.Batch[E]) (float64, error) {
 	}
 
 	a.lastLoss = loss
+	// The minibatch loss is the mean squared TD error, so √loss is the
+	// RMS TD error of this batch — the natural "how wrong are the
+	// Bellman targets" scale for dashboards (it has the units of Q).
+	tdErr := math.Sqrt(loss)
 	if a.steps == 1 {
 		a.lossEWMA = loss
+		a.tdErrEWMA = tdErr
 	} else {
 		a.lossEWMA = a.lossEWMA*0.99 + loss*0.01
+		a.tdErrEWMA = a.tdErrEWMA*0.99 + tdErr*0.01
 	}
 	if a.steps%1000 == 0 {
 		if err := a.Online.CheckFinite(); err != nil {
@@ -333,6 +340,11 @@ func (a *Agent[E]) LastLoss() float64 { return a.lastLoss }
 
 // SmoothedLoss returns an EWMA of the training loss (Figure 5's series).
 func (a *Agent[E]) SmoothedLoss() float64 { return a.lossEWMA }
+
+// TDErrorEMA returns an EWMA of the per-batch RMS temporal-difference
+// error (√loss): the same signal as SmoothedLoss but in Q-value units,
+// so operators can read it against the reward scale.
+func (a *Agent[E]) TDErrorEMA() float64 { return a.tdErrEWMA }
 
 // SetDoubleDQN toggles the Double-DQN target rule at runtime.
 func (a *Agent[E]) SetDoubleDQN(on bool) { a.cfg.DoubleDQN = on }
