@@ -73,23 +73,25 @@ check() {
   fi
 }
 
-# ratio gates current-run f32 against current-run f64 of the same
-# benchmark — immune to runner-to-runner hardware drift.
+# ratio gates one benchmark against a reference benchmark within the
+# current run (speedup = reference ns/op ÷ subject ns/op) — immune to
+# runner-to-runner hardware drift. Used for the f32-vs-f64 acceptance
+# ratios and the pipelined-vs-serial / undertrain-vs-idle pairs.
 ratio() {
-  local f32name="$1" f64name="$2" minSpeedup="$3" f32 f64
-  f32=$(mean "$f32name" "$cur")
-  f64=$(mean "$f64name" "$cur")
-  if [ -z "$f32" ] || [ -z "$f64" ]; then
-    echo "bench-gate: ratio pair $f32name / $f64name missing from current run"
+  local subject="$1" reference="$2" minSpeedup="$3" subj ref
+  subj=$(mean "$subject" "$cur")
+  ref=$(mean "$reference" "$cur")
+  if [ -z "$subj" ] || [ -z "$ref" ]; then
+    echo "bench-gate: ratio pair $subject / $reference missing from current run"
     fail=1
     return
   fi
-  if ! awk -v a="$f32" -v b="$f64" -v m="$minSpeedup" -v n="$f32name" 'BEGIN {
+  if ! awk -v a="$subj" -v b="$ref" -v m="$minSpeedup" -v n="$subject" -v d="$reference" 'BEGIN {
     s = b / a
-    printf "bench-gate: %-34s f32 is %.2fx the f64 reference this run (floor %.2fx)\n", n, s, m
+    printf "bench-gate: %-34s %.2fx vs %s this run (floor %.2fx)\n", n, s, d, m
     exit (s < m) ? 1 : 0
   }'; then
-    echo "bench-gate: REGRESSION: $f32name lost its float32 speedup over float64"
+    echo "bench-gate: REGRESSION: $subject fell below its required margin against $reference"
     fail=1
   fi
 }
@@ -115,5 +117,24 @@ ratio "BenchmarkSelectAction/f32" "BenchmarkSelectAction/f64" 1.4
 # seed-style map store within the same run (measured ~4× on the
 # reference host).
 ratio "BenchmarkReplayPut/ring" "BenchmarkReplayPut/map" 2.5
+
+# The pipelined control loop (PERF.md "Pipelined control loop"): one
+# full engine tick at the deployed obs256 shape in both modes, and the
+# published-snapshot action path. The backward gradient GEMM feeding
+# the tick (paired sdot2 kernels) is gated alongside.
+check "BenchmarkEngineTick/serial/obs256"
+check "BenchmarkEngineTick/pipelined/obs256"
+check "BenchmarkSelectActionPublished/idle/f32"
+check "BenchmarkMulTransBInto/f32"
+
+# Host-independent: the pipelined tick must stay at or below the serial
+# tick within the same run (ratio is serial/pipelined; the tick is
+# train-step-bound so the overlap win is a few percent — the floor at
+# 0.95 is "never meaningfully slower", with the absolute checks above
+# catching drift), and the action path under a concurrent trainer must
+# stay within 2× of its idle latency (ratio is idle/undertrain, floor
+# 0.5 — the decoupling acceptance).
+ratio "BenchmarkEngineTick/pipelined/obs256" "BenchmarkEngineTick/serial/obs256" 0.95
+ratio "BenchmarkSelectActionPublished/undertrain/f32" "BenchmarkSelectActionPublished/idle/f32" 0.5
 
 exit "$fail"

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeGateFixture lays out a baseline file and one trajectory JSON the
+// way .github/convergence-gate.sh expects them.
+func writeGateFixture(t *testing.T, baselineLine string, ticks int, converged bool, auc float64) (baseline, dir string) {
+	t.Helper()
+	root := t.TempDir()
+	baseline = filepath.Join(root, "baseline.txt")
+	if err := os.WriteFile(baseline, []byte("# comment line\n"+baselineLine+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir = filepath.Join(root, "out")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{
+  "scenario": "demo",
+  "converged": %v,
+  "time_to_threshold_ticks": %d,
+  "final_reward": 5.0,
+  "reward_auc": %g
+}`, converged, ticks, auc)
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_convergence_demo.json"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return baseline, dir
+}
+
+func runGate(t *testing.T, baseline, dir string) (string, error) {
+	t.Helper()
+	script, err := filepath.Abs(filepath.Join("..", "..", ".github", "convergence-gate.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("bash", script, baseline, dir).CombinedOutput()
+	return string(out), err
+}
+
+// TestConvergenceGateScript drives the committed CI gate end to end:
+// a healthy trajectory passes, a slower one fails on time-to-threshold,
+// and one that converges on time but with a degraded reward AUC — a
+// worse policy along the way — fails on the AUC band.
+func TestConvergenceGateScript(t *testing.T) {
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+
+	t.Run("pass", func(t *testing.T) {
+		baseline, dir := writeGateFixture(t, "demo 100 5.0 5.0", 100, true, 5.0)
+		if out, err := runGate(t, baseline, dir); err != nil {
+			t.Fatalf("healthy trajectory failed the gate: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("slower-convergence-fails", func(t *testing.T) {
+		baseline, dir := writeGateFixture(t, "demo 100 5.0 5.0", 130, true, 5.0)
+		out, err := runGate(t, baseline, dir)
+		if err == nil {
+			t.Fatalf("30%% slower convergence passed the gate:\n%s", out)
+		}
+		if !strings.Contains(out, "slower than the committed baseline") {
+			t.Fatalf("wrong failure reason:\n%s", out)
+		}
+	})
+
+	t.Run("degraded-auc-fails", func(t *testing.T) {
+		baseline, dir := writeGateFixture(t, "demo 100 5.0 5.0", 100, true, 4.0)
+		out, err := runGate(t, baseline, dir)
+		if err == nil {
+			t.Fatalf("20%% AUC drop passed the gate:\n%s", out)
+		}
+		if !strings.Contains(out, "reward AUC dropped") {
+			t.Fatalf("wrong failure reason:\n%s", out)
+		}
+	})
+
+	t.Run("auc-within-band-passes", func(t *testing.T) {
+		baseline, dir := writeGateFixture(t, "demo 100 5.0 5.0", 100, true, 4.8)
+		if out, err := runGate(t, baseline, dir); err != nil {
+			t.Fatalf("4%% AUC dip (inside the 5%% band) failed the gate: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("not-converged-fails", func(t *testing.T) {
+		baseline, dir := writeGateFixture(t, "demo 100 5.0 5.0", 0, false, 5.0)
+		out, err := runGate(t, baseline, dir)
+		if err == nil {
+			t.Fatalf("non-converged trajectory passed the gate:\n%s", out)
+		}
+	})
+
+	t.Run("missing-auc-column-fails", func(t *testing.T) {
+		baseline, dir := writeGateFixture(t, "demo 100 5.0", 100, true, 5.0)
+		out, err := runGate(t, baseline, dir)
+		if err == nil {
+			t.Fatalf("baseline without reward_auc column passed the gate:\n%s", out)
+		}
+		if !strings.Contains(out, "no reward_auc column") {
+			t.Fatalf("wrong failure reason:\n%s", out)
+		}
+	})
+}

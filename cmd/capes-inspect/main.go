@@ -47,7 +47,7 @@ import (
 
 func main() {
 	if len(os.Args) == 3 && os.Args[1] == "-stats" {
-		if err := inspectStats(os.Args[2]); err != nil {
+		if err := inspectStats(os.Stdout, os.Args[2]); err != nil {
 			fatal(err)
 		}
 		return
@@ -170,7 +170,7 @@ func inspectSession(dir string) {
 
 // inspectStats pulls a live capesd control plane's /stats and prints a
 // per-session health summary, transport counters included.
-func inspectStats(addr string) error {
+func inspectStats(w io.Writer, addr string) error {
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get("http://" + addr + "/stats")
 	if err != nil {
@@ -185,24 +185,29 @@ func inspectStats(addr string) error {
 		return fmt.Errorf("capesd %s: decoding /stats: %w", addr, err)
 	}
 
-	fmt.Printf("%s: capesd, %d sessions (%d running), kernel tier %s\n",
+	fmt.Fprintf(w, "%s: capesd, %d sessions (%d running), kernel tier %s\n",
 		addr, agg.Totals.Sessions, agg.Totals.Running, agg.KernelTier)
 	for _, s := range agg.Sessions {
 		tr := s.Transport
-		fmt.Printf("\n%s (%s) on %s\n", s.Name, s.State, s.Addr)
-		fmt.Printf("  engine:        %d train steps, %d replay records, %d vetoes\n",
-			s.Engine.TrainSteps, s.Engine.ReplayRecords, s.Engine.Vetoes)
-		fmt.Printf("  agents:        %d hellos, %d reconnects, %d evictions, %d heartbeats\n",
+		fmt.Fprintf(w, "\n%s (%s) on %s\n", s.Name, s.State, s.Addr)
+		loop := "lockstep"
+		if s.Engine.Pipelined {
+			loop = fmt.Sprintf("pipelined, %d prefetched / %d misses",
+				s.Engine.PrefetchedBatches, s.Engine.PrefetchMisses)
+		}
+		fmt.Fprintf(w, "  engine:        %d train steps (%s), %d replay records, %d vetoes\n",
+			s.Engine.TrainSteps, loop, s.Engine.ReplayRecords, s.Engine.Vetoes)
+		fmt.Fprintf(w, "  agents:        %d hellos, %d reconnects, %d evictions, %d heartbeats\n",
 			tr.Hellos, tr.Reconnects, tr.Evictions, tr.Heartbeats)
-		fmt.Printf("  frames:        %d complete, %d partial (%d gap-filled slots), %d dropped, %d pending\n",
+		fmt.Fprintf(w, "  frames:        %d complete, %d partial (%d gap-filled slots), %d dropped, %d pending\n",
 			tr.CompleteFrames, tr.PartialFrames, tr.GapFilledSlots, tr.DroppedTicks, tr.PendingTicks)
-		fmt.Printf("  actions:       %d sent, %d dropped\n", tr.ActionsSent, tr.DroppedActions)
+		fmt.Fprintf(w, "  actions:       %d sent, %d dropped\n", tr.ActionsSent, tr.DroppedActions)
 		if tr.StaleIndicators > 0 {
-			fmt.Printf("  stale drops:   %d (old-epoch indicators discarded)\n", tr.StaleIndicators)
+			fmt.Fprintf(w, "  stale drops:   %d (old-epoch indicators discarded)\n", tr.StaleIndicators)
 		}
 	}
 	t := agg.Totals
-	fmt.Printf("\ntotals: %d reconnects, %d evictions, %d partial frames, %d dropped ticks, %d dropped actions\n",
+	fmt.Fprintf(w, "\ntotals: %d reconnects, %d evictions, %d partial frames, %d dropped ticks, %d dropped actions\n",
 		t.Reconnects, t.Evictions, t.PartialFrames, t.DroppedTicks, t.DroppedActions)
 	return nil
 }
@@ -241,7 +246,7 @@ func watchSession(w io.Writer, addr, name string, interval time.Duration, rounds
 		}
 		// Home + clear-to-end redraws in place instead of scrolling.
 		fmt.Fprint(w, "\x1b[H\x1b[2J")
-		capesd.RenderSessionChart(w, name, string(st.State), pts)
+		capesd.RenderSessionChart(w, name, string(st.State), st.Engine.Pipelined, pts)
 		fmt.Fprintf(w, "\n(watching %s every %s — Ctrl-C to stop)\n", addr, interval)
 	}
 	return nil

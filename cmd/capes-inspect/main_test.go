@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -76,6 +77,17 @@ func TestStatsAndWatchAgainstLiveDaemon(t *testing.T) {
 		ObsTicks:     2,
 		Seed:         1,
 		HistoryEvery: 1,
+		Pipeline:     true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(capesd.SessionConfig{
+		Name:         "lockstep",
+		Listen:       "127.0.0.1:0",
+		Clients:      1,
+		PIsPerClient: 4,
+		ObsTicks:     2,
+		Seed:         1,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -84,10 +96,18 @@ func TestStatsAndWatchAgainstLiveDaemon(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := inspectStats(addr); err != nil {
+	var stats bytes.Buffer
+	if err := inspectStats(&stats, addr); err != nil {
 		t.Fatal(err)
 	}
-	if err := inspectStats("127.0.0.1:1"); err == nil {
+	// -stats must tell the two control-loop modes apart per session.
+	if !strings.Contains(stats.String(), "(pipelined, ") {
+		t.Fatalf("stats output missing pipelined marker:\n%s", stats.String())
+	}
+	if !strings.Contains(stats.String(), "(lockstep)") {
+		t.Fatalf("stats output missing lockstep marker:\n%s", stats.String())
+	}
+	if err := inspectStats(io.Discard, "127.0.0.1:1"); err == nil {
 		t.Fatal("stats against a dead daemon must error")
 	}
 
@@ -97,6 +117,10 @@ func TestStatsAndWatchAgainstLiveDaemon(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "session probe") {
 		t.Fatalf("watch frame missing header:\n%s", out.String())
+	}
+	// The watch header carries the pipelined marker from SessionStats.
+	if !strings.Contains(out.String(), ", pipelined)") {
+		t.Fatalf("watch frame missing pipelined marker:\n%s", out.String())
 	}
 	if err := watchSession(&out, addr, "ghost", time.Millisecond, 1); err == nil {
 		t.Fatal("watching an unknown session must error")

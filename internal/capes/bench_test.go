@@ -1,0 +1,82 @@
+package capes
+
+import (
+	"testing"
+
+	"capes/internal/replay"
+)
+
+// benchEngine builds the benchmark engine at the deployed shape: 64 PIs
+// per sampling tick, 4 ticks per observation (the obs256 network of the
+// internal/rl benchmarks), training every tick — the worst case for
+// tick latency and the case the pipeline exists for.
+func benchEngine(b *testing.B, pipelined bool) (*Engine, *int64) {
+	b.Helper()
+	space, err := NewActionSpace(
+		Tunable{Name: "mrif", Min: 1, Max: 256, Step: 8, Default: 8},
+		Tunable{Name: "rate", Min: 0, Max: 1000, Step: 50, Default: 500},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := DefaultHyperparameters()
+	h.TicksPerObservation = 4
+	h.TrainStartTicks = 64
+	h.ReplayCapacity = 4096
+	cfg := Config{
+		Hyper:      h,
+		Space:      space,
+		Objective:  SumIndices(0, 1, 2, 3),
+		RewardMode: RewardDelta,
+		FrameWidth: 64,
+		Seed:       1,
+		Training:   true,
+		Tuning:     true,
+		Pipeline:   pipelined,
+	}
+	frame := make(replay.Frame, cfg.FrameWidth)
+	tick := new(int64)
+	eng, err := NewEngine(cfg,
+		func() (replay.Frame, error) {
+			// A cheap tick-varying frame: rotate a bump through the PIs.
+			frame[*tick%int64(len(frame))] = float64(*tick % 7)
+			return frame, nil
+		},
+		func([]float64) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm past the training start and the ring's growth phase so the
+	// measured window is pure steady state.
+	for *tick = 1; *tick <= 256; *tick++ {
+		eng.Tick(*tick)
+	}
+	return eng, tick
+}
+
+// BenchmarkEngineTick measures one full engine tick — sample, act,
+// train — in lockstep (serial) and pipelined mode. The gated suite
+// asserts pipelined stays below serial: the train step overlaps the
+// action path and the next batch's assembly instead of serializing
+// after them.
+func BenchmarkEngineTick(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		pipelined bool
+	}{{"serial", false}, {"pipelined", true}} {
+		b.Run(mode.name+"/obs256", func(b *testing.B) {
+			eng, tick := benchEngine(b, mode.pipelined)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				*tick++
+				eng.Tick(*tick)
+			}
+			b.StopTimer()
+			eng.Stop()
+			if st := eng.Stats(); st.TrainSteps == 0 || st.TrainErrors != 0 {
+				b.Fatalf("benchmark never reached steady training: %+v", st)
+			}
+		})
+	}
+}

@@ -45,6 +45,16 @@ type Config struct {
 	Training bool
 	Tuning   bool
 
+	// Pipeline enables the two-stage control-loop pipeline (see
+	// pipeline.go): minibatch assembly overlaps the in-flight train step
+	// on worker goroutines, and the action path forwards through
+	// published parameter snapshots instead of the live online network,
+	// decoupling per-tick action latency from train-step latency. False
+	// preserves the lockstep schedule bit for bit (the golden
+	// trajectory); pipelined runs are seeded-deterministic too, but
+	// follow their own trajectory.
+	Pipeline bool
+
 	// HistoryEvery samples one training-telemetry HistoryPoint per this
 	// many ticks (0 = every 10 ticks; negative disables recording). The
 	// reward field carries the objective of the latest collected frame,
@@ -120,6 +130,9 @@ type Engine struct {
 	// Replay DB and the network.
 	batch      replay.Batch[EnginePrecision]
 	obsScratch []EnginePrecision
+
+	// pipe is the two-stage pipeline state (nil in lockstep mode).
+	pipe *pipeline
 }
 
 // ActionRecord is one applied action (kept in a bounded ring for
@@ -202,7 +215,7 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 	if histCap <= 0 {
 		histCap = 1024
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:          cfg,
 		db:           db,
 		agent:        agent,
@@ -218,7 +231,11 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 		hist:         newHistory(histCap),
 		histEvery:    histEvery,
 		obsScratch:   make([]EnginePrecision, db.ObservationWidth()),
-	}, nil
+	}
+	if cfg.Pipeline {
+		e.startPipeline()
+	}
+	return e, nil
 }
 
 // Tick implements sim.Ticker: one sampling tick, one action tick (when
@@ -229,6 +246,11 @@ func (e *Engine) Tick(now int64) {
 	defer e.mu.Unlock()
 	if e.stopped {
 		return
+	}
+	if e.pipe != nil {
+		// Join any in-flight batch assembly before this tick writes to
+		// the ring (the join-before-write discipline of pipeline.go).
+		e.joinPrefetchLocked()
 	}
 	h := &e.cfg.Hyper
 
@@ -271,7 +293,9 @@ func (e *Engine) Tick(now int64) {
 	// Training step. ConstructMinibatchInto failing just means not
 	// enough data yet; either way the telemetry sample below still runs.
 	if e.cfg.Training && now >= h.TrainStartTicks && now%h.TrainEvery == 0 {
-		if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err == nil {
+		if e.pipe != nil {
+			e.trainTickPipelined(now)
+		} else if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err == nil {
 			if _, err := e.agent.TrainStep(&e.batch); err != nil {
 				e.trainErrors++
 			} else if e.agent.Steps()%25 == 0 {
@@ -282,20 +306,29 @@ func (e *Engine) Tick(now int64) {
 
 	// Telemetry sample: one HistoryPoint per histEvery ticks, recorded
 	// last so this tick's training step is already reflected. Record is
-	// alloc-free, so the tick path stays 0 allocs/op.
+	// alloc-free, so the tick path stays 0 allocs/op. In pipelined mode
+	// the training counters come from the harvested caches — the agent's
+	// own fields belong to the trainer while a step is in flight.
 	if e.histEvery > 0 && now%e.histEvery == 0 {
 		random, calc := e.agent.ActionCounts()
 		eps := 0.0
 		if !e.exploit {
 			eps = e.agent.Epsilon.At(now)
 		}
+		var steps int64
+		var loss, tdErr float64
+		if e.pipe != nil {
+			steps, loss, tdErr = e.pipe.steps, e.pipe.lossEWMA, e.pipe.tdErrEWMA
+		} else {
+			steps, loss, tdErr = e.agent.Steps(), e.agent.SmoothedLoss(), e.agent.TDErrorEMA()
+		}
 		e.hist.Record(HistoryPoint{
 			Tick:          now,
 			Reward:        e.lastReward,
-			Loss:          e.agent.SmoothedLoss(),
-			TDErrEMA:      e.agent.TDErrorEMA(),
+			Loss:          loss,
+			TDErrEMA:      tdErr,
 			Epsilon:       eps,
-			TrainSteps:    e.agent.Steps(),
+			TrainSteps:    steps,
 			RandomActions: random,
 			CalcActions:   calc,
 		})
@@ -310,6 +343,14 @@ func (e *Engine) Tick(now int64) {
 func (e *Engine) chooseAction(now int64) int {
 	if err := replay.ObservationInto(e.db, e.obsScratch, now); err != nil {
 		return e.rng.Intn(e.cfg.Space.NumActions())
+	}
+	if e.pipe != nil {
+		// Pipelined: forward through the published parameter snapshot —
+		// a train step may be mutating the online arenas right now.
+		if e.exploit {
+			return e.agent.GreedyActionPublished(e.obsScratch)
+		}
+		return e.agent.SelectActionPublished(e.obsScratch, now)
 	}
 	if e.exploit {
 		return e.agent.GreedyAction(e.obsScratch)
@@ -385,10 +426,12 @@ func (e *Engine) SetActionHook(h ActionHook) {
 
 // Stop drains the engine: every subsequent Tick is a no-op, so agent
 // callbacks still in flight cannot race a final checkpoint or teardown.
-// Stop is idempotent and does not release any resources itself.
+// In pipelined mode it also joins the in-flight stages and shuts the
+// worker goroutines down. Stop is idempotent.
 func (e *Engine) Stop() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.closePipelineLocked()
 	e.stopped = true
 }
 
@@ -480,16 +523,22 @@ type Stats struct {
 	SmoothedLoss  float64 // EWMA prediction error at the newest sample
 	TDErrorEMA    float64 // EWMA RMS TD error at the newest sample
 	Epsilon       float64 // exploration rate at the newest sample
+
+	// Pipeline health (see pipeline.go); all zero in lockstep mode.
+	Pipelined         bool  // engine runs the two-stage pipeline
+	PrefetchedBatches int64 // train ticks served from a completed prefetch
+	PrefetchMisses    int64 // train ticks that assembled their batch in line
 }
 
-// Stats returns the engine's counters.
+// Stats returns the engine's counters. It never joins the pipeline, so
+// in pipelined mode the training counters are the last harvested values
+// (at most one train step stale).
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	random, calc := e.agent.ActionCounts()
 	last := e.hist.Last()
-	return Stats{
-		TrainSteps:    e.agent.Steps(),
+	s := Stats{
 		MissedSamples: e.missedSamples,
 		Vetoes:        e.vetoes,
 		TrainErrors:   e.trainErrors,
@@ -503,4 +552,13 @@ func (e *Engine) Stats() Stats {
 		TDErrorEMA:    last.TDErrEMA,
 		Epsilon:       last.Epsilon,
 	}
+	if e.pipe != nil {
+		s.TrainSteps = e.pipe.steps
+		s.Pipelined = true
+		s.PrefetchedBatches = e.pipe.prefetched
+		s.PrefetchMisses = e.pipe.misses
+	} else {
+		s.TrainSteps = e.agent.Steps()
+	}
+	return s
 }

@@ -45,6 +45,9 @@ type sessionManifest struct {
 func (e *Engine) SaveSession(dir string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// A pipelined engine may have a train step mutating the model and a
+	// prefetch reading the ring; join both so the snapshot is consistent.
+	e.quiesceLocked()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -88,6 +91,10 @@ func (e *Engine) SaveSession(dir string) error {
 func (e *Engine) RestoreSession(dir string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Restore replaces the agent and possibly the DB wholesale; the
+	// pipeline must be idle across that, and any batch prefetched from
+	// the old DB discarded (resetPipelineLocked below).
+	e.quiesceLocked()
 	buf, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -122,6 +129,11 @@ func (e *Engine) RestoreSession(dir string) error {
 	if err != nil {
 		return err
 	}
+	if e.pipe != nil {
+		// Publishing must be live before the trainer can ever touch the
+		// new agent, or the action path would read the online arenas.
+		agent.EnablePublishing()
+	}
 	e.agent = agent
 	if err := e.loadReplay(filepath.Join(dir, replayFile)); err != nil {
 		return err
@@ -134,6 +146,7 @@ func (e *Engine) RestoreSession(dir string) error {
 	if err := e.loadHistory(filepath.Join(dir, historyFile)); err != nil {
 		return err
 	}
+	e.resetPipelineLocked()
 	return nil
 }
 

@@ -67,6 +67,13 @@ type SessionConfig struct {
 	Objective *ObjectiveConfig `json:"objective,omitempty"`
 	// RewardMode is "delta" (default) or "absolute".
 	RewardMode string `json:"reward_mode,omitempty"`
+	// Pipeline runs the engine's two-stage control loop: minibatch
+	// assembly overlaps the in-flight train step and actions are chosen
+	// from published parameter snapshots, so per-tick action latency no
+	// longer includes the train step. Off by default (the lockstep
+	// golden trajectory). The CAPES_PIPELINE environment variable
+	// overrides every session: 1/true forces it on, 0/false off.
+	Pipeline bool `json:"pipeline,omitempty"`
 
 	// Transport fault-tolerance knobs (zero = agent package defaults).
 	// LivenessTimeoutMs evicts an agent connection that sends nothing —
@@ -281,9 +288,25 @@ func (sc *SessionConfig) engineConfig() (capes.Config, error) {
 		Seed:         sc.Seed,
 		Training:     !sc.Exploit,
 		Tuning:       !sc.MonitorOnly,
+		Pipeline:     pipelineEnabled(sc.Pipeline),
 		HistoryEvery: sc.HistoryEvery,
 		HistoryCap:   sc.HistoryCap,
 	}, nil
+}
+
+// pipelineEnabled resolves the session's pipeline knob against the
+// CAPES_PIPELINE environment override (same spirit as CAPES_SIMD: an
+// operator can flip the whole process without touching configs — e.g.
+// force lockstep to reproduce a golden trajectory, or force the
+// pipeline on to measure it). Unrecognized values keep the config.
+func pipelineEnabled(configured bool) bool {
+	switch strings.ToLower(strings.TrimSpace(os.Getenv("CAPES_PIPELINE"))) {
+	case "1", "true", "on", "yes":
+		return true
+	case "0", "false", "off", "no":
+		return false
+	}
+	return configured
 }
 
 // throughputOffsets resolves the read/write PI offsets: the storesim

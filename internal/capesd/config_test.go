@@ -144,3 +144,44 @@ func TestEngineConfigRejectsBadTunable(t *testing.T) {
 		t.Fatal("inverted tunable range accepted")
 	}
 }
+
+func TestPipelineKnobAndEnvOverride(t *testing.T) {
+	sc := SessionConfig{Name: "p", Clients: 1, Pipeline: true}
+	sc = sc.withDefaults()
+	ec, err := sc.engineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ec.Pipeline {
+		t.Fatal("pipeline: true did not reach the engine config")
+	}
+	off := SessionConfig{Name: "q", Clients: 1}
+	off = off.withDefaults()
+	if ec, _ := off.engineConfig(); ec.Pipeline {
+		t.Fatal("pipeline must default to lockstep")
+	}
+
+	// CAPES_PIPELINE overrides the config in both directions; junk
+	// values leave it alone.
+	cases := []struct {
+		env        string
+		configured bool
+		want       bool
+	}{
+		{"1", false, true},
+		{"true", false, true},
+		{"ON", false, true},
+		{"0", true, false},
+		{"off", true, false},
+		{" False ", true, false},
+		{"maybe", true, true},
+		{"", true, true},
+		{"", false, false},
+	}
+	for _, c := range cases {
+		t.Setenv("CAPES_PIPELINE", c.env)
+		if got := pipelineEnabled(c.configured); got != c.want {
+			t.Errorf("CAPES_PIPELINE=%q configured=%v -> %v, want %v", c.env, c.configured, got, c.want)
+		}
+	}
+}

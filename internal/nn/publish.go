@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"sync"
+
+	"capes/internal/tensor"
+)
+
+// ParamMirror is a read-only inference copy of an online network,
+// double-buffered so the action path can run forwards concurrently with
+// training. It is the same trick the hard target update uses (the spare
+// network in rl.Agent): the publisher copies the online parameters into
+// a clone readers cannot see, then swaps it live under a lock held only
+// for the pointer exchange. Readers therefore never wait on the
+// parameter memcpy — let alone the train step that produced it — and
+// the writer never touches an arena a forward pass is reading.
+//
+// Concurrency contract: one publisher at a time. Readers serialize with
+// each other through the mirror's lock (an MLP forward mutates internal
+// activation scratch, so concurrent forwards on one network are never
+// safe); the lock is held for the ~µs single-observation forward, while
+// Publish holds it only for the swap.
+type ParamMirror[E tensor.Element] struct {
+	mu    sync.Mutex // readers hold it across a forward, Publish only for the swap
+	live  *MLP[E]    // what readers forward through
+	spare *MLP[E]    // publisher-owned staging clone, invisible to readers
+}
+
+// NewParamMirror allocates a mirror of src: two deep clones (the only
+// allocations this type ever makes — Publish and the forwards are
+// allocation-free steady-state).
+func NewParamMirror[E tensor.Element](src *MLP[E]) *ParamMirror[E] {
+	return &ParamMirror[E]{live: src.Clone(), spare: src.Clone()}
+}
+
+// Publish copies src's parameters into the staging clone and swaps it
+// live. The flat memcpy runs outside the lock: spare is invisible to
+// readers, and no reader can still be inside the previous live after a
+// swap completes (the swap excludes readers), so by the time a buffer
+// cycles back to spare it is unobserved. Single publisher only.
+func (pm *ParamMirror[E]) Publish(src *MLP[E]) {
+	pm.spare.CopyParamsFrom(src)
+	pm.mu.Lock()
+	pm.live, pm.spare = pm.spare, pm.live
+	pm.mu.Unlock()
+}
+
+// ForwardVecInto runs a single observation through the last published
+// snapshot, writing the Q-values into dst (also returned). Safe to call
+// concurrently with Publish and with other readers.
+func (pm *ParamMirror[E]) ForwardVecInto(dst, obs []E) []E {
+	pm.mu.Lock()
+	out := pm.live.ForwardVecInto(dst, obs)
+	pm.mu.Unlock()
+	return out
+}

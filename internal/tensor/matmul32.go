@@ -198,7 +198,15 @@ func mulTransBF32(dst, a, b *Matrix[float32], lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Data[i*kTot : (i+1)*kTot]
 			drow := dst.Data[i*dn : (i+1)*dn]
-			for j := j0; j < j1; j++ {
+			// Pair adjacent output columns: sdot2 streams arow once for
+			// both dot products, and each column rounds exactly as a lone
+			// sdot, so the pairing never changes results bit for bit.
+			j := j0
+			for ; j+2 <= j1; j += 2 {
+				drow[j], drow[j+1] = sdot2(arow,
+					b.Data[j*kTot:(j+1)*kTot], b.Data[(j+1)*kTot:(j+2)*kTot])
+			}
+			for ; j < j1; j++ {
 				drow[j] = sdot(arow, b.Data[j*kTot:(j+1)*kTot])
 			}
 		}

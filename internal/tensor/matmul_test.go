@@ -320,11 +320,17 @@ func BenchmarkMulTransAInto(b *testing.B) {
 }
 
 func BenchmarkMulTransBInto(b *testing.B) {
-	// gradIn shape: 32×640 · (640×640)ᵀ.
+	// gradIn shape: 32×640 · (640×640)ᵀ. The f32 variant exercises the
+	// paired sdot2 dot kernels.
+	b.Run("f64", func(b *testing.B) { benchMulTransB[float64](b) })
+	b.Run("f32", func(b *testing.B) { benchMulTransB[float32](b) })
+}
+
+func benchMulTransB[E Element](b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	a := randomMatrix[float64](rng, 32, 640)
-	m := randomMatrix[float64](rng, 640, 640)
-	dst := New[float64](32, 640)
+	a := randomMatrix[E](rng, 32, 640)
+	m := randomMatrix[E](rng, 640, 640)
+	dst := New[E](32, 640)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -169,3 +169,73 @@ sdot_fold:
 	ADDSS  X1, X0
 	MOVSS  X0, ret+48(FP)
 	RET
+
+// func sdot2SSE(a, b0, b1 []float32) (s0, s1 float32)
+// Returns (sum(a[j]*b0[j]), sum(a[j]*b1[j])); len(a) % 4 == 0. The
+// shared left operand is loaded once per lane and feeds both columns;
+// each column keeps sdotSSE's exact two-accumulator order and fold, so
+// every result is bit-identical to an unpaired sdotSSE over it.
+TEXT ·sdot2SSE(SB), NOSPLIT, $0-80
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b0_base+24(FP), DI
+	MOVQ b1_base+48(FP), BX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X6, X6
+	XORPS X7, X7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+sdot2_loop8:
+	CMPQ AX, DX
+	JGE  sdot2_tail4
+	MOVUPS (SI)(AX*4), X2
+	MOVUPS 16(SI)(AX*4), X4
+	MOVUPS (DI)(AX*4), X3
+	MULPS  X2, X3
+	ADDPS  X3, X0
+	MOVUPS 16(DI)(AX*4), X5
+	MULPS  X4, X5
+	ADDPS  X5, X1
+	MOVUPS (BX)(AX*4), X8
+	MULPS  X2, X8
+	ADDPS  X8, X6
+	MOVUPS 16(BX)(AX*4), X9
+	MULPS  X4, X9
+	ADDPS  X9, X7
+	ADDQ   $8, AX
+	JMP    sdot2_loop8
+
+sdot2_tail4:
+	CMPQ AX, CX
+	JGE  sdot2_fold
+	MOVUPS (SI)(AX*4), X2
+	MOVUPS (DI)(AX*4), X3
+	MULPS  X2, X3
+	ADDPS  X3, X0
+	MOVUPS (BX)(AX*4), X8
+	MULPS  X2, X8
+	ADDPS  X8, X6
+	ADDQ   $4, AX
+	JMP    sdot2_tail4
+
+sdot2_fold:
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	MOVHLPS X0, X1
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1
+	ADDSS  X1, X0
+	MOVSS  X0, s0+72(FP)
+	ADDPS  X7, X6
+	MOVAPS X6, X7
+	MOVHLPS X6, X7
+	ADDPS  X7, X6
+	MOVAPS X6, X7
+	SHUFPS $0x55, X7, X7
+	ADDSS  X7, X6
+	MOVSS  X6, s1+76(FP)
+	RET

@@ -233,3 +233,78 @@ saxpy4x2avx_loop8:
 saxpy4x2avx_done:
 	VZEROUPPER
 	RET
+
+// func sdot2AVX2(a, b0, b1 []float32) (s0, s1 float32)
+// Returns (sum(a[j]*b0[j]), sum(a[j]*b1[j])); len(a) % 8 == 0. The
+// shared left operand is loaded once per lane and feeds both columns;
+// each column keeps sdotAVX2's exact two-accumulator order and fold, so
+// every result is bit-identical to an unpaired sdotAVX2 over it.
+TEXT ·sdot2AVX2(SB), NOSPLIT, $0-80
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b0_base+24(FP), DI
+	MOVQ b1_base+48(FP), BX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+sdot2avx_loop16:
+	CMPQ AX, DX
+	JGE  sdot2avx_tail8
+	VMOVUPS (SI)(AX*4), Y2
+	VMOVUPS 32(SI)(AX*4), Y4
+	VMOVUPS (DI)(AX*4), Y3
+	VMULPS  Y3, Y2, Y3
+	VADDPS  Y3, Y0, Y0
+	VMOVUPS 32(DI)(AX*4), Y5
+	VMULPS  Y5, Y4, Y5
+	VADDPS  Y5, Y1, Y1
+	VMOVUPS (BX)(AX*4), Y8
+	VMULPS  Y8, Y2, Y8
+	VADDPS  Y8, Y6, Y6
+	VMOVUPS 32(BX)(AX*4), Y9
+	VMULPS  Y9, Y4, Y9
+	VADDPS  Y9, Y7, Y7
+	ADDQ    $16, AX
+	JMP     sdot2avx_loop16
+
+sdot2avx_tail8:
+	CMPQ AX, CX
+	JGE  sdot2avx_fold
+	VMOVUPS (SI)(AX*4), Y2
+	VMOVUPS (DI)(AX*4), Y3
+	VMULPS  Y3, Y2, Y3
+	VADDPS  Y3, Y0, Y0
+	VMOVUPS (BX)(AX*4), Y8
+	VMULPS  Y8, Y2, Y8
+	VADDPS  Y8, Y6, Y6
+	ADDQ    $8, AX
+	JMP     sdot2avx_tail8
+
+sdot2avx_fold:
+	VADDPS       Y1, Y0, Y0
+	VADDPS       Y7, Y6, Y6
+	VEXTRACTF128 $1, Y0, X1
+	VEXTRACTF128 $1, Y6, X7
+	VZEROUPPER
+	ADDPS        X1, X0
+	MOVAPS       X0, X1
+	MOVHLPS      X0, X1
+	ADDPS        X1, X0
+	MOVAPS       X0, X1
+	SHUFPS       $0x55, X1, X1
+	ADDSS        X1, X0
+	MOVSS        X0, s0+72(FP)
+	ADDPS        X7, X6
+	MOVAPS       X6, X7
+	MOVHLPS      X6, X7
+	ADDPS        X7, X6
+	MOVAPS       X6, X7
+	SHUFPS       $0x55, X7, X7
+	ADDSS        X7, X6
+	MOVSS        X6, s1+76(FP)
+	RET

@@ -27,6 +27,10 @@ func sdot(a, b []float32) float32 {
 	return sdotScalar(a, b)
 }
 
+func sdot2(a, b0, b1 []float32) (float32, float32) {
+	return sdotScalar(a, b0), sdotScalar(a, b1)
+}
+
 func daxpy4(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64) {
 	daxpy4Scalar(dst, x0, x1, x2, x3, a0, a1, a2, a3)
 }

@@ -162,6 +162,30 @@ func TestDotPrimitivesMatchScalarAcrossTiers(t *testing.T) {
 	})
 }
 
+// TestSdot2BitIdenticalToSdotAcrossTiers: the paired dot kernel shares
+// the left operand's loads between two columns but keeps each column's
+// accumulation order exactly sdot's, so on every tier and every length
+// (tails included) both results must match unpaired sdot calls bit for
+// bit — the contract that lets mulTransBF32 pair output columns without
+// perturbing any trajectory.
+func TestSdot2BitIdenticalToSdotAcrossTiers(t *testing.T) {
+	forEachTier(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(59))
+		for _, n := range simdLens {
+			a := randSlice32(rng, n)
+			b0, b1 := randSlice32(rng, n), randSlice32(rng, n)
+			s0, s1 := sdot2(a, b0, b1)
+			w0, w1 := sdot(a, b0), sdot(a, b1)
+			if math.Float32bits(s0) != math.Float32bits(w0) ||
+				math.Float32bits(s1) != math.Float32bits(w1) {
+				t.Fatalf("sdot2 n=%d: (%x,%x) vs sdot (%x,%x)", n,
+					math.Float32bits(s0), math.Float32bits(s1),
+					math.Float32bits(w0), math.Float32bits(w1))
+			}
+		}
+	})
+}
+
 // TestAdamSweepBitIdenticalAcrossTiers: SQRTPS/DIVPS are correctly
 // rounded, so the vectorized fused Adam sweep must reproduce the scalar
 // loops bit for bit at every tier, every length, all three modes. This
