@@ -34,7 +34,9 @@ import (
 	"time"
 
 	"capes/internal/agent"
+	"capes/internal/capes"
 	"capes/internal/faultnet"
+	"capes/internal/replay"
 	"capes/internal/storesim"
 	"capes/internal/workload"
 )
@@ -225,6 +227,111 @@ func dialRetry(addr string, node, numPIs int, role string) (*agent.NodeAgent, er
 	return nil, lastErr
 }
 
+// clusterBenchWidth sizes the synthetic observation so the per-step
+// gradient computation is big enough for the scaling measurement to mean
+// something (the network is square in the observation width).
+const clusterBenchWidth = 30
+
+// runClusterBench boots an in-process data-parallel co-training cluster
+// — one leader plus n followers over loopback — on a deterministic
+// synthetic workload, and reports step throughput, aggregate sample
+// throughput and a parameter checksum. The checksum is bit-identical
+// across any n for the same seed and tick count: that is the cluster's
+// determinism contract, measured from the command line.
+func runClusterBench(n int, ticks, seed int64) error {
+	if ticks <= 0 {
+		ticks = 2000
+	}
+	build := func(cc *capes.ClusterConfig) (*capes.Engine, *int64, error) {
+		space, err := capes.NewActionSpace(capes.Tunable{Name: "p", Min: 0, Max: 100, Step: 5, Default: 50})
+		if err != nil {
+			return nil, nil, err
+		}
+		h := capes.DefaultHyperparameters()
+		h.TicksPerObservation = 10
+		h.TrainStartTicks = 64
+		cfg := capes.Config{
+			Hyper:      h,
+			Space:      space,
+			Objective:  capes.SumIndices(0),
+			FrameWidth: clusterBenchWidth,
+			Seed:       seed,
+			Training:   true,
+			Tuning:     true,
+			Cluster:    cc,
+		}
+		tick := new(int64)
+		eng, err := capes.NewEngine(cfg,
+			func() (replay.Frame, error) {
+				f := make(replay.Frame, clusterBenchWidth)
+				for i := range f {
+					f[i] = float64((*tick*7+int64(i)*13)%101) / 101
+				}
+				return f, nil
+			},
+			func([]float64) error { return nil })
+		return eng, tick, err
+	}
+
+	leader, ltick, err := build(&capes.ClusterConfig{
+		Role:           capes.ClusterLeader,
+		Listen:         "127.0.0.1:0",
+		CollectTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer leader.Stop()
+	engines := []*capes.Engine{leader}
+	tickVars := []*int64{ltick}
+	for i := 0; i < n; i++ {
+		f, ftick, err := build(&capes.ClusterConfig{
+			Role:        capes.ClusterFollower,
+			LeaderAddr:  leader.ClusterAddr(),
+			Rank:        i + 1,
+			SyncTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		defer f.Stop()
+		if err := f.ClusterSync(); err != nil {
+			return fmt.Errorf("follower %d sync: %w", i+1, err)
+		}
+		engines = append(engines, f)
+		tickVars = append(tickVars, ftick)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, eng := range engines {
+		wg.Add(1)
+		go func(eng *capes.Engine, tick *int64) {
+			defer wg.Done()
+			for *tick = 1; *tick <= ticks; *tick++ {
+				eng.Tick(*tick)
+			}
+		}(eng, tickVars[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := leader.Stats()
+	var checksum float64
+	for _, p := range leader.Agent().Online.FlatParams() {
+		checksum += float64(p)
+	}
+	stepsPerSec := float64(st.TrainSteps) / elapsed.Seconds()
+	samplesPerSec := stepsPerSec * float64(capes.DefaultHyperparameters().MinibatchSize) * float64(n+1)
+	fmt.Printf("cluster-bench: followers=%d ticks=%d steps=%d elapsed=%s steps/s=%.0f samples/s=%.0f param-checksum=%.9e\n",
+		n, ticks, st.TrainSteps, elapsed.Round(time.Millisecond), stepsPerSec, samplesPerSec, checksum)
+	if cs := st.Cluster; cs != nil {
+		fmt.Printf("cluster-bench: aggregated=%d solo=%d frames=%d stale=%d evictions=%d\n",
+			cs.AggrSteps, cs.SoloSteps, cs.FramesAccepted, cs.FramesStale, cs.Evictions)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		daemon   = flag.String("daemon", "127.0.0.1:7070", "capesd address")
@@ -238,8 +345,16 @@ func main() {
 		report   = flag.Int64("report-every", 600, "print throughput every N ticks")
 		chaos    = flag.Bool("chaos", false, "route agents through a fault-injecting proxy (kills, stalls, latency, partitions)")
 		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed (cluster i uses seed+i; same seed replays the same faults)")
+		cluFols  = flag.Int("cluster-followers", -1, "run the in-process data-parallel co-training bench instead of the simulator: one leader + N followers over loopback (0 = solo-leader baseline, -1 = off)")
 	)
 	flag.Parse()
+
+	if *cluFols >= 0 {
+		if err := runClusterBench(*cluFols, *ticks, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	addrs := []string{*daemon}
 	if *sessions != "" {

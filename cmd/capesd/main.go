@@ -100,6 +100,11 @@ func buildConfig(args []string, errOut *os.File) (capesd.Config, error) {
 		session  = fs.String("session", "", "session directory for checkpoint save/restore (single-session mode)")
 		noTune   = fs.Bool("monitor-only", false, "collect and train but never issue actions")
 		exploit  = fs.Bool("exploit", false, "greedy policy, no training (measured tuning phase)")
+
+		cluRole   = fs.String("cluster-role", "", "data-parallel co-training role: leader or follower (single-session mode)")
+		cluListen = fs.String("cluster-listen", "", "leader's gradient-plane listen address (cluster-role=leader)")
+		cluLeader = fs.String("cluster-leader", "", "leader address to dial (cluster-role=follower)")
+		cluRank   = fs.Int("cluster-rank", 0, "this follower's unique reduction rank, >= 1 (cluster-role=follower)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return capesd.Config{}, err
@@ -125,6 +130,14 @@ func buildConfig(args []string, errOut *os.File) (capesd.Config, error) {
 			MonitorOnly:   *noTune,
 			Exploit:       *exploit,
 		}},
+	}
+	if *cluRole != "" {
+		cfg.Sessions[0].Cluster = &capesd.ClusterConfig{
+			Role:   *cluRole,
+			Listen: *cluListen,
+			Leader: *cluLeader,
+			Rank:   *cluRank,
+		}
 	}
 	return cfg, cfg.Validate()
 }

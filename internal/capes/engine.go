@@ -55,6 +55,14 @@ type Config struct {
 	// follow their own trajectory.
 	Pipeline bool
 
+	// Cluster enables data-parallel cluster training (see cluster.go):
+	// a leader engine aggregates gradient frames from follower engines
+	// in fixed rank order and broadcasts the post-step parameters back.
+	// Nil (or an empty Role) runs the engine standalone. Mutually
+	// exclusive with Pipeline — the cluster schedule is strictly
+	// synchronous by design.
+	Cluster *ClusterConfig
+
 	// HistoryEvery samples one training-telemetry HistoryPoint per this
 	// many ticks (0 = every 10 ticks; negative disables recording). The
 	// reward field carries the objective of the latest collected frame,
@@ -133,6 +141,14 @@ type Engine struct {
 
 	// pipe is the two-stage pipeline state (nil in lockstep mode).
 	pipe *pipeline
+
+	// Cluster-mode state (see cluster.go): exactly one of cluL/cluF is
+	// non-nil in cluster mode. cluAcc is the leader's float64 reduction
+	// accumulator; cluWire is the follower's gradient export scratch.
+	cluL    *clusterLeader
+	cluF    *clusterFollower
+	cluAcc  []float64
+	cluWire []float32
 }
 
 // ActionRecord is one applied action (kept in a bounded ring for
@@ -160,6 +176,15 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 	}
 	if collector == nil {
 		return nil, fmt.Errorf("capes: collector is required")
+	}
+	clustered := cfg.Cluster != nil && cfg.Cluster.Role != ""
+	if clustered {
+		if err := cfg.Cluster.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Pipeline {
+			return nil, fmt.Errorf("capes: cluster and pipeline modes are mutually exclusive")
+		}
 	}
 	if controller == nil {
 		if cfg.Tuning {
@@ -192,12 +217,13 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 		BumpValue:   cfg.Hyper.EpsilonBump,
 	}
 	agentCfg := rl.Config{
-		Gamma:         cfg.Hyper.DiscountRate,
-		LearningRate:  cfg.Hyper.AdamLearningRate,
-		TargetUpdateα: cfg.Hyper.TargetUpdateRate,
-		MinibatchSize: cfg.Hyper.MinibatchSize,
-		GradientClip:  cfg.Hyper.GradientClip,
-		UseTargetNet:  true,
+		Gamma:           cfg.Hyper.DiscountRate,
+		LearningRate:    cfg.Hyper.AdamLearningRate,
+		TargetUpdateα:   cfg.Hyper.TargetUpdateRate,
+		MinibatchSize:   cfg.Hyper.MinibatchSize,
+		GradientClip:    cfg.Hyper.GradientClip,
+		UseTargetNet:    true,
+		HardUpdateEvery: cfg.Hyper.HardUpdateEvery,
 	}
 	agent, err := rl.NewAgent[EnginePrecision](agentCfg, eps, db.ObservationWidth(), cfg.Space.NumActions(), rng)
 	if err != nil {
@@ -234,6 +260,11 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 	}
 	if cfg.Pipeline {
 		e.startPipeline()
+	}
+	if clustered {
+		if err := e.startCluster(cfg.Cluster.withDefaults()); err != nil {
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -293,7 +324,11 @@ func (e *Engine) Tick(now int64) {
 	// Training step. ConstructMinibatchInto failing just means not
 	// enough data yet; either way the telemetry sample below still runs.
 	if e.cfg.Training && now >= h.TrainStartTicks && now%h.TrainEvery == 0 {
-		if e.pipe != nil {
+		if e.cluL != nil {
+			e.clusterLeaderTick(now)
+		} else if e.cluF != nil {
+			e.clusterFollowerTick(now)
+		} else if e.pipe != nil {
 			e.trainTickPipelined(now)
 		} else if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err == nil {
 			if _, err := e.agent.TrainStep(&e.batch); err != nil {
@@ -432,6 +467,7 @@ func (e *Engine) Stop() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.closePipelineLocked()
+	e.closeClusterLocked()
 	e.stopped = true
 }
 
@@ -528,6 +564,9 @@ type Stats struct {
 	Pipelined         bool  // engine runs the two-stage pipeline
 	PrefetchedBatches int64 // train ticks served from a completed prefetch
 	PrefetchMisses    int64 // train ticks that assembled their batch in line
+
+	// Cluster health (see cluster.go); nil outside cluster mode.
+	Cluster *ClusterStats
 }
 
 // Stats returns the engine's counters. It never joins the pipeline, so
@@ -559,6 +598,15 @@ func (e *Engine) Stats() Stats {
 		s.PrefetchMisses = e.pipe.misses
 	} else {
 		s.TrainSteps = e.agent.Steps()
+	}
+	if e.cluL != nil {
+		cs := e.cluL.statsSnapshot()
+		s.Cluster = &cs
+	} else if e.cluF != nil {
+		cs := e.cluF.stats
+		cs.Epoch = e.cluF.epoch
+		cs.Synced = e.cluF.conn != nil && e.cluF.synced
+		s.Cluster = &cs
 	}
 	return s
 }

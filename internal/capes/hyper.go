@@ -43,6 +43,10 @@ type Hyperparameters struct {
 	ReplayCapacity int
 	// GradientClip bounds the global gradient norm (0 disables).
 	GradientClip float64
+	// HardUpdateEvery, when positive, replaces the soft target update
+	// with a full θ→θ⁻ copy every N train steps (the classic DQN
+	// schedule). 0 keeps the paper's soft updates at TargetUpdateRate.
+	HardUpdateEvery int64
 }
 
 // DefaultHyperparameters returns Table 1's values.
@@ -117,6 +121,9 @@ func (h Hyperparameters) Validate() error {
 	}
 	if h.TrainEvery <= 0 {
 		return fmt.Errorf("capes: TrainEvery must be positive")
+	}
+	if h.HardUpdateEvery < 0 {
+		return fmt.Errorf("capes: HardUpdateEvery must be non-negative")
 	}
 	return nil
 }

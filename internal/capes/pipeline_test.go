@@ -182,17 +182,17 @@ func TestPipelinedSaveRestore(t *testing.T) {
 	if !st.Pipelined {
 		t.Fatal("restored engine lost its pipeline")
 	}
-	if st.TrainSteps != 0 {
-		// Restore rebuilds the agent from the checkpointed weights; its
-		// step counter restarts (same contract as lockstep restore).
-		t.Fatalf("restored agent reports %d steps, want 0", st.TrainSteps)
+	if st.TrainSteps != savedSteps {
+		// Restore is step-exact: the manifest's TrainSteps counter comes
+		// back so target-update phase and schedules resume in place.
+		t.Fatalf("restored agent reports %d steps, want %d", st.TrainSteps, savedSteps)
 	}
 	for tick = 301; tick <= 600; tick++ {
 		restored.Tick(tick)
 	}
 	restored.Stop()
 	st = restored.Stats()
-	if st.TrainSteps == 0 {
+	if st.TrainSteps <= savedSteps {
 		t.Fatal("restored pipelined engine never trained")
 	}
 	if st.TrainErrors != 0 {

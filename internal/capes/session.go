@@ -15,13 +15,32 @@ import (
 // Session checkpointing (§A.4): "CAPES automatically checkpoints and
 // stores the trained model when being stopped, and loads the saved model
 // when being started next time". A session directory holds the model,
-// the replay database snapshot and a small JSON manifest.
+// the replay database snapshot, the telemetry history and a small JSON
+// manifest.
+//
+// Checkpoints are crash-atomic at the directory level: SaveSession
+// stages the complete checkpoint in "<dir>.tmp" (manifest written last)
+// and swaps it in with renames, parking the previous checkpoint at
+// "<dir>.old" until the swap lands. A reader therefore always finds
+// either the complete old checkpoint or the complete new one — never a
+// new model paired with a stale manifest, and never a torn manifest.
+// recoverCheckpointDir completes an interrupted swap on the next save
+// or restore:
+//
+//	crash while staging   → dir intact, torn tmp discarded
+//	crash mid-swap        → dir absent; tmp is complete (its manifest
+//	                        landed before the swap began) and is
+//	                        promoted, else old is rolled back
+//	crash before cleanup  → dir complete, leftover old discarded
 
 const (
 	modelFile    = "model.ckpt"
 	replayFile   = "replay.db"
 	manifestFile = "session.json"
 	historyFile  = "history.json"
+
+	tmpSuffix = ".tmp"
+	oldSuffix = ".old"
 )
 
 // ErrNoSession reports that a session directory holds no checkpoint at
@@ -31,30 +50,89 @@ const (
 // and must not be silently ignored.
 var ErrNoSession = errors.New("capes: no saved session")
 
+// manifestVersion is the current manifest schema. Version 2 added the
+// loss/TD-error telemetry and action counters; version 1 manifests
+// restore with those fields zero.
+const manifestVersion = 2
+
+// sessionManifest is the checkpoint manifest. Fields consumed on
+// restore: FrameWidth/NumActions gate compatibility, CurrentValues
+// restores the engine's view of the applied parameters, TrainSteps
+// restores the agent's global step counter (hard-update phase, EWMA
+// seeding and the divergence-scan schedule all key off it), and the v2
+// telemetry fields keep Stats/history monotonic across a resume.
 type sessionManifest struct {
 	Version       int       `json:"version"`
 	FrameWidth    int       `json:"frame_width"`
 	NumActions    int       `json:"num_actions"`
 	CurrentValues []float64 `json:"current_values"`
 	TrainSteps    int64     `json:"train_steps"`
+
+	LastLoss      float64 `json:"last_loss,omitempty"`
+	LossEWMA      float64 `json:"loss_ewma,omitempty"`
+	TDErrEWMA     float64 `json:"td_err_ewma,omitempty"`
+	RandomActions int64   `json:"random_actions,omitempty"`
+	CalcActions   int64   `json:"calc_actions,omitempty"`
 }
 
-// SaveSession writes the engine's model, replay DB and state to dir
-// (created if needed). It holds the engine lock for the duration, so a
-// checkpoint taken while agents are ticking is internally consistent.
+// recoverCheckpointDir completes a SaveSession swap that a crash
+// interrupted, restoring the invariant that dir exists iff a complete
+// checkpoint exists, with no tmp/old leftovers. Safe to call any time;
+// both SaveSession and RestoreSession run it first.
+func recoverCheckpointDir(dir string) error {
+	tmp, old := dir+tmpSuffix, dir+oldSuffix
+	if _, err := os.Stat(dir); err == nil {
+		// A present dir is authoritative: any tmp is a torn staging
+		// attempt, any old is an already-superseded checkpoint.
+		if err := os.RemoveAll(tmp); err != nil {
+			return err
+		}
+		return os.RemoveAll(old)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	// dir is absent: a swap was cut mid-flight. The staged checkpoint
+	// is complete exactly when its manifest landed (the manifest is
+	// written last, before the swap begins) — promote it; otherwise
+	// roll the parked previous checkpoint back.
+	if _, err := os.Stat(filepath.Join(tmp, manifestFile)); err == nil {
+		if err := os.Rename(tmp, dir); err != nil {
+			return err
+		}
+		return os.RemoveAll(old)
+	}
+	if _, err := os.Stat(old); err == nil {
+		if err := os.RemoveAll(tmp); err != nil {
+			return err
+		}
+		return os.Rename(old, dir)
+	}
+	// No checkpoint at all; discard any torn staging dir.
+	return os.RemoveAll(tmp)
+}
+
+// SaveSession writes the engine's model, replay DB, telemetry and state
+// to dir as one crash-atomic checkpoint (see the package comment above
+// for the staging/swap protocol). It holds the engine lock for the
+// duration, so a checkpoint taken while agents are ticking is
+// internally consistent.
 func (e *Engine) SaveSession(dir string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// A pipelined engine may have a train step mutating the model and a
 	// prefetch reading the ring; join both so the snapshot is consistent.
 	e.quiesceLocked()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := recoverCheckpointDir(dir); err != nil {
 		return err
 	}
-	if err := e.agent.Online.SaveFile(filepath.Join(dir, modelFile)); err != nil {
+	tmp, old := dir+tmpSuffix, dir+oldSuffix
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	if err := e.agent.Online.SaveFile(filepath.Join(tmp, modelFile)); err != nil {
 		return fmt.Errorf("capes: save model: %w", err)
 	}
-	if err := e.db.SaveFile(filepath.Join(dir, replayFile)); err != nil {
+	if err := e.db.SaveFile(filepath.Join(tmp, replayFile)); err != nil {
 		return fmt.Errorf("capes: save replay DB: %w", err)
 	}
 	// Telemetry travels with the checkpoint so a restored session keeps
@@ -63,27 +141,61 @@ func (e *Engine) SaveSession(dir string) error {
 	if err != nil {
 		return fmt.Errorf("capes: save history: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, historyFile), hbuf, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(tmp, historyFile), hbuf, 0o644); err != nil {
 		return fmt.Errorf("capes: save history: %w", err)
 	}
+	random, calc := e.agent.ActionCounts()
 	m := sessionManifest{
-		Version:       1,
+		Version:       manifestVersion,
 		FrameWidth:    e.cfg.FrameWidth,
 		NumActions:    e.cfg.Space.NumActions(),
 		CurrentValues: append([]float64(nil), e.current...),
 		TrainSteps:    e.agent.Steps(),
+		LastLoss:      e.agent.LastLoss(),
+		LossEWMA:      e.agent.SmoothedLoss(),
+		TDErrEWMA:     e.agent.TDErrorEMA(),
+		RandomActions: random,
+		CalcActions:   calc,
 	}
 	buf, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, manifestFile), buf, 0o644)
+	// The manifest is the staging completion marker: it is written last,
+	// so a tmp dir containing a manifest is by construction a complete
+	// checkpoint (recoverCheckpointDir relies on this).
+	if err := os.WriteFile(filepath.Join(tmp, manifestFile), buf, 0o644); err != nil {
+		return err
+	}
+	// Swap: park the previous checkpoint, promote the staged one, then
+	// drop the parked copy. Every crash point here is recoverable.
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.Rename(dir, old); err != nil {
+			return err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		// Best effort: put the previous checkpoint back so the session
+		// stays restorable even though this save failed.
+		if _, statErr := os.Stat(old); statErr == nil {
+			_ = os.Rename(old, dir)
+		}
+		return err
+	}
+	return os.RemoveAll(old)
 }
 
 // RestoreSession loads a session saved by SaveSession into a fresh
-// engine built with the same Config. The model weights and current
-// parameter values are restored; the replay DB snapshot replaces the
-// engine's empty DB.
+// engine built with the same Config. The model weights, train-step
+// counter, telemetry, current parameter values and the replay DB
+// snapshot are restored.
+//
+// The restore is all-or-nothing: every checkpoint file is loaded and
+// validated into temporaries first, and the engine's state is replaced
+// only after everything checked out — a corrupt checkpoint leaves the
+// engine exactly as it was.
 //
 // When dir holds no checkpoint at all the returned error wraps
 // ErrNoSession — a normal first boot. Every other error means a
@@ -95,9 +207,21 @@ func (e *Engine) RestoreSession(dir string) error {
 	// pipeline must be idle across that, and any batch prefetched from
 	// the old DB discarded (resetPipelineLocked below).
 	e.quiesceLocked()
+	if err := recoverCheckpointDir(dir); err != nil {
+		return err
+	}
 	buf, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
+			// With atomic saves a checkpoint either exists completely or
+			// not at all — other checkpoint files alongside a missing
+			// manifest mean a damaged (e.g. hand-edited) checkpoint, not
+			// a fresh directory.
+			for _, f := range []string{modelFile, replayFile, historyFile} {
+				if _, serr := os.Stat(filepath.Join(dir, f)); serr == nil {
+					return fmt.Errorf("capes: checkpoint in %s is missing its manifest", dir)
+				}
+			}
 			return fmt.Errorf("%w in %s", ErrNoSession, dir)
 		}
 		return err
@@ -111,6 +235,10 @@ func (e *Engine) RestoreSession(dir string) error {
 	}
 	if m.NumActions != e.cfg.Space.NumActions() {
 		return fmt.Errorf("capes: session has %d actions, engine %d", m.NumActions, e.cfg.Space.NumActions())
+	}
+	if m.CurrentValues != nil && len(m.CurrentValues) != len(e.cfg.Space.Tunables) {
+		return fmt.Errorf("capes: session has %d current values for %d tunables",
+			len(m.CurrentValues), len(e.cfg.Space.Tunables))
 	}
 	// The loader converts from whatever precision the checkpoint was
 	// written at: a float64 checkpoint from an older session narrows
@@ -129,57 +257,83 @@ func (e *Engine) RestoreSession(dir string) error {
 	if err != nil {
 		return err
 	}
+	// Step-exact resume: the restored counter keeps the
+	// (steps+1)%HardUpdateEvery target-sync phase, the first-step EWMA
+	// seeding and the divergence-scan schedule on the same global steps
+	// an uninterrupted run would hit.
+	if err := agent.RestoreSteps(m.TrainSteps); err != nil {
+		return fmt.Errorf("capes: bad session manifest: %w", err)
+	}
+	agent.RestoreTelemetry(m.LastLoss, m.LossEWMA, m.TDErrEWMA, m.RandomActions, m.CalcActions)
+	db, err := loadReplaySnapshot(filepath.Join(dir, replayFile), e.db.Config())
+	if err != nil {
+		return err
+	}
+	pts, err := loadHistorySnapshot(filepath.Join(dir, historyFile))
+	if err != nil {
+		return err
+	}
+
+	// Commit point: everything validated, replace engine state.
 	if e.pipe != nil {
 		// Publishing must be live before the trainer can ever touch the
 		// new agent, or the action path would read the online arenas.
 		agent.EnablePublishing()
 	}
 	e.agent = agent
-	if err := e.loadReplay(filepath.Join(dir, replayFile)); err != nil {
-		return err
+	if db != nil {
+		e.db = db
 	}
 	if m.CurrentValues != nil {
-		if err := e.setCurrentValues(m.CurrentValues); err != nil {
-			return err
-		}
+		e.current = append([]float64(nil), m.CurrentValues...)
 	}
-	if err := e.loadHistory(filepath.Join(dir, historyFile)); err != nil {
-		return err
+	if pts != nil {
+		e.hist.restore(pts)
 	}
 	e.resetPipelineLocked()
+	// A cluster engine realigns its peers: the leader republishes the
+	// restored parameters and evicts followers (they rejoin against
+	// them), a follower drops its connection and resyncs.
+	e.resyncClusterLocked()
 	return nil
 }
 
-// loadHistory restores the telemetry ring from a checkpoint. A missing
-// file is fine (pre-telemetry checkpoints); a corrupt one is not.
-func (e *Engine) loadHistory(path string) error {
+// loadHistorySnapshot reads the telemetry ring from a checkpoint. A
+// missing file returns (nil, nil) — pre-telemetry checkpoints; a
+// corrupt one is an error.
+func loadHistorySnapshot(path string) ([]HistoryPoint, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil
+			return nil, nil
 		}
-		return err
+		return nil, err
 	}
 	var pts []HistoryPoint
 	if err := json.Unmarshal(buf, &pts); err != nil {
-		return fmt.Errorf("capes: bad history checkpoint: %w", err)
+		return nil, fmt.Errorf("capes: bad history checkpoint: %w", err)
 	}
-	e.hist.restore(pts)
-	return nil
+	if pts == nil {
+		pts = []HistoryPoint{}
+	}
+	return pts, nil
 }
 
-func (e *Engine) loadReplay(path string) error {
+// loadReplaySnapshot loads and validates a replay snapshot against the
+// engine's ring configuration, re-homing the records when the retention
+// settings changed between runs. A missing file returns (nil, nil) — a
+// model-only checkpoint.
+func loadReplaySnapshot(path string, want replay.Config) (*replay.DB, error) {
 	if _, err := os.Stat(path); os.IsNotExist(err) {
-		return nil // model-only checkpoint is fine
+		return nil, nil
 	}
 	db, err := replay.LoadFile(path)
 	if err != nil {
-		return fmt.Errorf("capes: load replay DB: %w", err)
+		return nil, fmt.Errorf("capes: load replay DB: %w", err)
 	}
 	got := db.Config()
-	want := e.db.Config()
 	if got.FrameWidth != want.FrameWidth || got.StackTicks != want.StackTicks {
-		return fmt.Errorf("capes: replay snapshot shape %d×%d, engine %d×%d",
+		return nil, fmt.Errorf("capes: replay snapshot shape %d×%d, engine %d×%d",
 			got.FrameWidth, got.StackTicks, want.FrameWidth, want.StackTicks)
 	}
 	if got != want {
@@ -191,7 +345,7 @@ func (e *Engine) loadReplay(path string) error {
 		// ring sized for it (float32 values round-trip exactly).
 		fresh, err := replay.New(want)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var rehomeErr error
 		db.Range(func(t int64, f replay.Frame, a int, hasAction bool) bool {
@@ -207,10 +361,9 @@ func (e *Engine) loadReplay(path string) error {
 			return true
 		})
 		if rehomeErr != nil {
-			return rehomeErr
+			return nil, rehomeErr
 		}
 		db = fresh
 	}
-	e.db = db
-	return nil
+	return db, nil
 }

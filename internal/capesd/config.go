@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"capes/internal/capes"
 	"capes/internal/storesim"
@@ -74,6 +75,13 @@ type SessionConfig struct {
 	// golden trajectory). The CAPES_PIPELINE environment variable
 	// overrides every session: 1/true forces it on, 0/false off.
 	Pipeline bool `json:"pipeline,omitempty"`
+	// Cluster joins this session's DRL engine to a data-parallel
+	// co-training cluster (capes cluster mode): one leader applies the
+	// optimizer over gradients reduced in fixed rank order; followers
+	// stream gradients and receive parameter broadcasts. Mutually
+	// exclusive with pipeline; a cluster session ignores the
+	// CAPES_PIPELINE override.
+	Cluster *ClusterConfig `json:"cluster,omitempty"`
 
 	// Transport fault-tolerance knobs (zero = agent package defaults).
 	// LivenessTimeoutMs evicts an agent connection that sends nothing —
@@ -100,6 +108,36 @@ type SessionConfig struct {
 	// per 10 ticks, 1024 retained). history_every: -1 disables.
 	HistoryEvery int64 `json:"history_every,omitempty"`
 	HistoryCap   int   `json:"history_cap,omitempty"`
+}
+
+// ClusterConfig mirrors capes.ClusterConfig for JSON configs.
+type ClusterConfig struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Listen is the leader's gradient-plane TCP address.
+	Listen string `json:"listen,omitempty"`
+	// Leader is the leader address a follower dials.
+	Leader string `json:"leader,omitempty"`
+	// Rank is the follower's fixed, unique reduction rank (≥ 1).
+	Rank int `json:"rank,omitempty"`
+	// CollectTimeoutMs bounds the leader's per-step wait for follower
+	// gradient frames (0 = engine default).
+	CollectTimeoutMs int `json:"collect_timeout_ms,omitempty"`
+	// SyncTimeoutMs bounds a follower's dial/sync/broadcast waits
+	// (0 = engine default).
+	SyncTimeoutMs int `json:"sync_timeout_ms,omitempty"`
+}
+
+// capes maps the JSON block onto the engine's cluster config.
+func (cc *ClusterConfig) capes() capes.ClusterConfig {
+	return capes.ClusterConfig{
+		Role:           cc.Role,
+		Listen:         cc.Listen,
+		LeaderAddr:     cc.Leader,
+		Rank:           cc.Rank,
+		CollectTimeout: time.Duration(cc.CollectTimeoutMs) * time.Millisecond,
+		SyncTimeout:    time.Duration(cc.SyncTimeoutMs) * time.Millisecond,
+	}
 }
 
 // TunableConfig mirrors capes.Tunable for JSON configs.
@@ -188,6 +226,18 @@ func (sc *SessionConfig) Validate() error {
 	}
 	if sc.HistoryCap < 0 {
 		return fmt.Errorf("session %s: negative history_cap", sc.Name)
+	}
+	if cc := sc.Cluster; cc != nil {
+		if sc.Pipeline {
+			return fmt.Errorf("session %s: cluster and pipeline modes are mutually exclusive", sc.Name)
+		}
+		ecc := cc.capes()
+		if err := ecc.Validate(); err != nil {
+			return fmt.Errorf("session %s: %w", sc.Name, err)
+		}
+		if cc.CollectTimeoutMs < 0 || cc.SyncTimeoutMs < 0 {
+			return fmt.Errorf("session %s: negative cluster timeout", sc.Name)
+		}
 	}
 	// monitor_only + exploit together is valid: a pure-collection daemon
 	// that neither trains nor acts (the old capesd accepted both flags).
@@ -279,7 +329,7 @@ func (sc *SessionConfig) engineConfig() (capes.Config, error) {
 	if sc.RewardMode == "absolute" {
 		mode = capes.RewardAbsolute
 	}
-	return capes.Config{
+	cfg := capes.Config{
 		Hyper:        hyper,
 		Space:        space,
 		Objective:    obj,
@@ -291,7 +341,17 @@ func (sc *SessionConfig) engineConfig() (capes.Config, error) {
 		Pipeline:     pipelineEnabled(sc.Pipeline),
 		HistoryEvery: sc.HistoryEvery,
 		HistoryCap:   sc.HistoryCap,
-	}, nil
+	}
+	if sc.Cluster != nil {
+		// Cluster mode and the pipelined loop are mutually exclusive;
+		// the cluster block wins over the CAPES_PIPELINE override so an
+		// operator flipping the process-wide knob cannot brick every
+		// cluster session.
+		cfg.Pipeline = false
+		ecc := sc.Cluster.capes()
+		cfg.Cluster = &ecc
+	}
+	return cfg, nil
 }
 
 // pipelineEnabled resolves the session's pipeline knob against the

@@ -4,7 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"capes/internal/capes"
 	"capes/internal/storesim"
 )
 
@@ -86,6 +88,12 @@ func TestLoadConfigRejections(t *testing.T) {
 		"shared checkpoint_dir": `{"sessions": [
 			{"name": "a", "clients": 1, "checkpoint_dir": "/tmp/x"},
 			{"name": "b", "clients": 1, "checkpoint_dir": "/tmp/x/"}]}`,
+		"bad cluster role":      `{"sessions": [{"name": "a", "clients": 1, "cluster": {"role": "observer"}}]}`,
+		"leader sans listen":    `{"sessions": [{"name": "a", "clients": 1, "cluster": {"role": "leader"}}]}`,
+		"follower sans leader":  `{"sessions": [{"name": "a", "clients": 1, "cluster": {"role": "follower", "rank": 1}}]}`,
+		"follower sans rank":    `{"sessions": [{"name": "a", "clients": 1, "cluster": {"role": "follower", "leader": "x:1"}}]}`,
+		"cluster with pipeline": `{"sessions": [{"name": "a", "clients": 1, "pipeline": true, "cluster": {"role": "leader", "listen": ":0"}}]}`,
+		"negative cluster knob": `{"sessions": [{"name": "a", "clients": 1, "cluster": {"role": "leader", "listen": ":0", "collect_timeout_ms": -5}}]}`,
 	}
 	for what, body := range cases {
 		if _, err := LoadConfig(writeConfig(t, body)); err == nil {
@@ -94,6 +102,34 @@ func TestLoadConfigRejections(t *testing.T) {
 	}
 	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestClusterConfigMapsToEngine(t *testing.T) {
+	sc := SessionConfig{Name: "c", Clients: 1, Cluster: &ClusterConfig{
+		Role: "follower", Leader: "127.0.0.1:7710", Rank: 2,
+		CollectTimeoutMs: 250, SyncTimeoutMs: 1500,
+	}}
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline env override must not be able to brick a cluster
+	// session (the modes are mutually exclusive at the engine).
+	t.Setenv("CAPES_PIPELINE", "1")
+	cfg, err := sc.engineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pipeline {
+		t.Fatal("cluster session let the pipeline override through")
+	}
+	cc := cfg.Cluster
+	if cc == nil || cc.Role != capes.ClusterFollower || cc.LeaderAddr != "127.0.0.1:7710" || cc.Rank != 2 {
+		t.Fatalf("cluster block mapped wrong: %+v", cc)
+	}
+	if cc.CollectTimeout != 250*time.Millisecond || cc.SyncTimeout != 1500*time.Millisecond {
+		t.Fatalf("cluster timeouts mapped wrong: %+v", cc)
 	}
 }
 

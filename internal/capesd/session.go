@@ -103,6 +103,14 @@ func newSession(cfg SessionConfig) (*Session, error) {
 		}
 	}
 
+	// Best-effort boot sync for cluster followers: joining now means the
+	// very first train tick already aggregates this worker. Failure is
+	// not fatal — the engine redials and resyncs on its train ticks, so
+	// a follower booted before its leader converges on its own.
+	if engCfg.Cluster != nil && engCfg.Cluster.Role == capes.ClusterFollower {
+		_ = eng.ClusterSync()
+	}
+
 	dmn, err := agent.NewDaemonOpts(cfg.Listen, cfg.Clients, cfg.PIsPerClient,
 		func(tick int64, frame []float64) {
 			if s.paused.Load() {

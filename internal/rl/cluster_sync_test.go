@@ -1,0 +1,162 @@
+package rl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// bitEqual compares two float64 arenas exactly (no tolerance: the
+// cluster determinism contract is bit-identity, not closeness).
+func bitEqual(t *testing.T, what string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: arena lengths differ: %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: diverges at element %d: %v vs %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+// TestApplyParamBroadcastReplicatesSoftTarget: a follower that absorbs
+// only the online parameters must replicate the leader's soft target
+// update bit for bit, step after step.
+func TestApplyParamBroadcastReplicatesSoftTarget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LearningRate = 1e-2
+	leader, err := NewAgent[float64](cfg, nil, 3, 2, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := NewAgent[float64](cfg, nil, 3, 2, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := syntheticBatch(rand.New(rand.NewSource(10)), 16, 3, 2)
+	for i := 0; i < 25; i++ {
+		loss, err := leader.TrainStep(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := follower.ApplyParamBroadcast(leader.Steps(), leader.Online.FlatParams(), nil, loss); err != nil {
+			t.Fatal(err)
+		}
+		bitEqual(t, "online", leader.Online.FlatParams(), follower.Online.FlatParams())
+		bitEqual(t, "target", leader.Target.FlatParams(), follower.Target.FlatParams())
+	}
+	if follower.Steps() != leader.Steps() {
+		t.Fatalf("follower at step %d, leader at %d", follower.Steps(), leader.Steps())
+	}
+	if follower.SmoothedLoss() != leader.SmoothedLoss() {
+		t.Fatalf("loss EWMA diverged: %v vs %v", follower.SmoothedLoss(), leader.SmoothedLoss())
+	}
+}
+
+// TestApplyParamBroadcastReplicatesHardTarget: the replicated hard copy
+// fires on exactly the leader's (steps+1)%HardUpdateEvery schedule.
+func TestApplyParamBroadcastReplicatesHardTarget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LearningRate = 1e-2
+	cfg.HardUpdateEvery = 5
+	leader, err := NewAgent[float64](cfg, nil, 3, 2, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := NewAgent[float64](cfg, nil, 3, 2, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := syntheticBatch(rand.New(rand.NewSource(12)), 16, 3, 2)
+	for i := 0; i < 17; i++ {
+		loss, err := leader.TrainStep(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := follower.ApplyParamBroadcast(leader.Steps(), leader.Online.FlatParams(), nil, loss); err != nil {
+			t.Fatal(err)
+		}
+		bitEqual(t, "target", leader.Target.FlatParams(), follower.Target.FlatParams())
+	}
+}
+
+// TestApplyParamBroadcastGapNeedsSync: a missed broadcast makes the
+// locally replicated θ⁻ unrecoverable — the follower must be told to
+// rejoin (ErrTargetStale), and a full sync with the explicit target must
+// repair it.
+func TestApplyParamBroadcastGapNeedsSync(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LearningRate = 1e-2
+	leader, err := NewAgent[float64](cfg, nil, 3, 2, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := NewAgent[float64](cfg, nil, 3, 2, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := syntheticBatch(rand.New(rand.NewSource(14)), 16, 3, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := leader.TrainStep(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Follower is at step 0; a step-3 broadcast without a target is a
+	// gap of 3.
+	err = follower.ApplyParamBroadcast(leader.Steps(), leader.Online.FlatParams(), nil, 0.5)
+	if !errors.Is(err, ErrTargetStale) {
+		t.Fatalf("gap broadcast: want ErrTargetStale, got %v", err)
+	}
+	if follower.Steps() != 0 {
+		t.Fatalf("failed broadcast advanced the follower to step %d", follower.Steps())
+	}
+	// The full sync (explicit target) repairs the gap.
+	if err := follower.ApplyParamBroadcast(leader.Steps(), leader.Online.FlatParams(), leader.Target.FlatParams(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if follower.Steps() != leader.Steps() {
+		t.Fatalf("sync left follower at step %d, leader at %d", follower.Steps(), leader.Steps())
+	}
+	bitEqual(t, "online", leader.Online.FlatParams(), follower.Online.FlatParams())
+	bitEqual(t, "target", leader.Target.FlatParams(), follower.Target.FlatParams())
+}
+
+// TestApplyParamBroadcastIdleRebroadcast: a broadcast for the follower's
+// current step (the leader had no gradients that round) is a no-op
+// apply, not a staleness error.
+func TestApplyParamBroadcastIdleRebroadcast(t *testing.T) {
+	cfg := DefaultConfig()
+	agent, err := NewAgent[float64](cfg, nil, 3, 2, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := append([]float64(nil), agent.Online.FlatParams()...)
+	if err := agent.ApplyParamBroadcast(0, params, nil, 0); err != nil {
+		t.Fatalf("idle re-broadcast at step 0 must apply cleanly: %v", err)
+	}
+	if agent.Steps() != 0 {
+		t.Fatalf("idle re-broadcast moved the step counter to %d", agent.Steps())
+	}
+	if agent.SmoothedLoss() != 0 {
+		t.Fatal("idle re-broadcast must not touch loss telemetry")
+	}
+}
+
+// TestRestoreSteps: the counter restores exactly and rejects nonsense.
+func TestRestoreSteps(t *testing.T) {
+	cfg := DefaultConfig()
+	agent, err := NewAgent[float64](cfg, nil, 3, 2, rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.RestoreSteps(-1); err == nil {
+		t.Fatal("negative step counter must be rejected")
+	}
+	if err := agent.RestoreSteps(42); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Steps() != 42 {
+		t.Fatalf("restored %d steps, want 42", agent.Steps())
+	}
+}

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -286,12 +287,31 @@ func (a *Agent[E]) ActionCounts() (random, calculated int64) {
 // followed by the target-network update θ⁻ = θ⁻(1−α) + θα. It returns the
 // minibatch loss — the "prediction error" plotted in Figure 5.
 //
-// Divergence guards (audited for float32): the scalar loss is summed in
-// float64 and checked for NaN/±Inf on every step — a float32 network
-// that blows past ~3.4e38 mid-batch surfaces immediately instead of at
-// the next periodic parameter scan — and the full parameter arena is
-// still scanned every 1000 steps as the backstop.
+// TrainStep is exactly ComputeGradients followed by ApplyGradients; the
+// split exists for data-parallel cluster training, where followers stop
+// after the gradient pass and the leader applies an aggregated gradient
+// instead of its local one. The composed path is bit-identical to the
+// historical single-method step.
 func (a *Agent[E]) TrainStep(b *replay.Batch[E]) (float64, error) {
+	loss, err := a.ComputeGradients(b)
+	if err != nil {
+		return loss, err
+	}
+	return loss, a.ApplyGradients(loss)
+}
+
+// ComputeGradients runs the forward/backward pass for one minibatch,
+// leaving ∂L/∂θ in the online network's flat gradient arena (see
+// MLP.FlatGrads) and returning the minibatch loss. It performs no
+// optimizer step and advances no counters — cluster followers call it to
+// produce a gradient frame for the leader, and the leader calls it for
+// its own local contribution before aggregating.
+//
+// Divergence guards (audited for float32): the scalar loss is summed in
+// float64 and checked for NaN/±Inf on every call — a float32 network
+// that blows past ~3.4e38 mid-batch surfaces immediately instead of at
+// the next periodic parameter scan (ApplyGradients' backstop).
+func (a *Agent[E]) ComputeGradients(b *replay.Batch[E]) (float64, error) {
 	// Accept any batch size; the scratch set resizes only when it changes.
 	a.ensureScratch(b.N)
 	states, nextStates := &a.states, &a.nextStates
@@ -339,6 +359,16 @@ func (a *Agent[E]) TrainStep(b *replay.Batch[E]) (float64, error) {
 		return loss, fmt.Errorf("rl: non-finite minibatch loss at step %d: %w", a.steps+1, tensor.ErrNonFinite)
 	}
 	a.Online.Backward(a.gradOut)
+	return loss, nil
+}
+
+// ApplyGradients consumes whatever gradient currently sits in the online
+// network's flat gradient arena: global-norm clip, fused Adam step,
+// target-network update, step counter, loss telemetry and the periodic
+// divergence scan. loss is the minibatch loss the gradient came from (a
+// cluster leader passes the worker-mean loss of the aggregated
+// gradient). TrainStep == ComputeGradients + ApplyGradients.
+func (a *Agent[E]) ApplyGradients(loss float64) error {
 	// The optimizer pass fuses in the global-norm gradient clip (as a
 	// scale applied while gradients are read) and the target-network
 	// update, so the whole parameter working set is touched once. In
@@ -372,6 +402,19 @@ func (a *Agent[E]) TrainStep(b *replay.Batch[E]) (float64, error) {
 		a.Target, a.spare = a.spare, a.Target
 	}
 
+	a.noteLoss(loss)
+	if a.steps%1000 == 0 {
+		if err := a.Online.CheckFinite(); err != nil {
+			return fmt.Errorf("rl: network diverged after %d steps: %w", a.steps, err)
+		}
+	}
+	return nil
+}
+
+// noteLoss folds one step's minibatch loss into the telemetry EWMAs.
+// Callers advance a.steps first: the first-ever step seeds the EWMAs
+// instead of decaying from zero.
+func (a *Agent[E]) noteLoss(loss float64) {
 	a.lastLoss = loss
 	// The minibatch loss is the mean squared TD error, so √loss is the
 	// RMS TD error of this batch — the natural "how wrong are the
@@ -384,12 +427,6 @@ func (a *Agent[E]) TrainStep(b *replay.Batch[E]) (float64, error) {
 		a.lossEWMA = a.lossEWMA*0.99 + loss*0.01
 		a.tdErrEWMA = a.tdErrEWMA*0.99 + tdErr*0.01
 	}
-	if a.steps%1000 == 0 {
-		if err := a.Online.CheckFinite(); err != nil {
-			return loss, fmt.Errorf("rl: network diverged after %d steps: %w", a.steps, err)
-		}
-	}
-	return loss, nil
 }
 
 // Steps returns the number of training steps performed.
@@ -408,3 +445,122 @@ func (a *Agent[E]) TDErrorEMA() float64 { return a.tdErrEWMA }
 
 // SetDoubleDQN toggles the Double-DQN target rule at runtime.
 func (a *Agent[E]) SetDoubleDQN(on bool) { a.cfg.DoubleDQN = on }
+
+// RestoreSteps sets the train-step counter, used when resuming a
+// checkpointed session (the manifest records Steps) or syncing a cluster
+// follower to the leader's global step. Everything phased off the
+// counter — the (steps+1)%HardUpdateEvery target-sync schedule, the
+// first-step EWMA seeding, the every-1000-steps divergence scan —
+// continues from n exactly as an uninterrupted run would.
+func (a *Agent[E]) RestoreSteps(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("rl: negative train-step counter %d", n)
+	}
+	a.steps = n
+	return nil
+}
+
+// RestoreTelemetry sets the loss/TD-error telemetry and the action
+// counters, used on checkpoint restore so dashboards and Stats stay
+// monotonic and smooth across a resume instead of re-seeding from zero.
+func (a *Agent[E]) RestoreTelemetry(lastLoss, lossEWMA, tdErrEWMA float64, random, calculated int64) {
+	a.lastLoss = lastLoss
+	a.lossEWMA = lossEWMA
+	a.tdErrEWMA = tdErrEWMA
+	if random >= 0 {
+		a.randTaken = random
+	}
+	if calculated >= 0 {
+		a.calcTaken = calculated
+	}
+}
+
+// ImportParams overwrites the online network's flat parameter arena
+// (cluster followers absorbing a leader broadcast).
+func (a *Agent[E]) ImportParams(src []E) error {
+	dst := a.Online.FlatParams()
+	if len(src) != len(dst) {
+		return fmt.Errorf("rl: import %d params into %d-param network", len(src), len(dst))
+	}
+	copy(dst, src)
+	return nil
+}
+
+// ImportTarget overwrites the target network's flat parameter arena
+// (cluster follower full sync).
+func (a *Agent[E]) ImportTarget(src []E) error {
+	dst := a.Target.FlatParams()
+	if len(src) != len(dst) {
+		return fmt.Errorf("rl: import %d params into %d-param target", len(src), len(dst))
+	}
+	copy(dst, src)
+	return nil
+}
+
+// ErrTargetStale reports that a parameter broadcast cannot be applied
+// without a full sync: the follower missed at least one step, so
+// replicating the leader's target-network update rule locally would
+// diverge from the leader's actual θ⁻. The caller should drop the
+// connection and rejoin (the leader's welcome sync carries θ⁻).
+var ErrTargetStale = errors.New("rl: target network stale, full sync required")
+
+// ApplyParamBroadcast absorbs one leader parameter broadcast: the online
+// network takes the broadcast parameters, the target network either
+// takes the explicit target (full sync) or replicates the leader's
+// update rule for this step, the step counter jumps to the leader's
+// post-apply global step, and loss telemetry folds in the worker-mean
+// loss. With target == nil the broadcast must be the immediate successor
+// of the follower's current step — a gap means the locally replicated
+// θ⁻ no longer matches the leader's, and ErrTargetStale asks for a
+// rejoin instead of silently training against a diverged target. A
+// broadcast for the follower's current step is an idle re-broadcast (the
+// leader had no gradients that round): the parameters are the same bits,
+// so only the online import runs and the telemetry stays untouched.
+//
+// The replicated update is bit-identical to the leader's fused sweep:
+// soft mode computes θ⁻(1−α) + θα with the same float expression the
+// sweep uses, and hard mode copies θ on exactly the steps the leader's
+// (steps+1)%HardUpdateEvery schedule fires.
+func (a *Agent[E]) ApplyParamBroadcast(step int64, params, target []E, loss float64) error {
+	if step < 0 {
+		return fmt.Errorf("rl: broadcast for negative step %d", step)
+	}
+	if target == nil && a.cfg.UseTargetNet {
+		if step == a.steps {
+			return a.ImportParams(params)
+		}
+		if step != a.steps+1 {
+			return fmt.Errorf("%w (have step %d, broadcast %d)", ErrTargetStale, a.steps, step)
+		}
+	}
+	if err := a.ImportParams(params); err != nil {
+		return err
+	}
+	if target != nil {
+		if err := a.ImportTarget(target); err != nil {
+			return err
+		}
+	} else if a.cfg.UseTargetNet {
+		a.replicateTargetUpdate(step)
+	}
+	advanced := step > a.steps
+	a.steps = step
+	if advanced && step > 0 {
+		a.noteLoss(loss)
+	}
+	return nil
+}
+
+// replicateTargetUpdate applies the leader's target-network rule for the
+// given post-apply step, assuming the online network already holds the
+// leader's post-step parameters.
+func (a *Agent[E]) replicateTargetUpdate(step int64) {
+	switch {
+	case a.cfg.HardUpdateEvery == 0:
+		a.Target.SoftUpdateFrom(a.Online, a.cfg.TargetUpdateα)
+	case step%a.cfg.HardUpdateEvery == 0:
+		// The leader's sweep fills its spare buffer with the post-step θ
+		// and swaps; the flat copy lands on the same bits.
+		a.Target.CopyParamsFrom(a.Online)
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, env *Envelope) *Envelope {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestGradFrameRoundTrip(t *testing.T) {
+	fr := &GradFrame{
+		Rank:   3,
+		Epoch:  7,
+		Step:   1234,
+		BatchN: 32,
+		Loss:   0.125,
+		Grads:  []float32{0.5, -1.25, 3e-8, 0},
+	}
+	got := roundTrip(t, &Envelope{Type: MsgGradFrame, GradFrame: fr})
+	if got.Type != MsgGradFrame || got.GradFrame == nil {
+		t.Fatalf("round trip lost the frame: %+v", got)
+	}
+	if !reflect.DeepEqual(got.GradFrame, fr) {
+		t.Fatalf("grad frame mutated: %+v vs %+v", got.GradFrame, fr)
+	}
+}
+
+func TestGradFramePassRoundTrip(t *testing.T) {
+	fr := &GradFrame{Rank: 1, Epoch: 2, Step: 9}
+	got := roundTrip(t, &Envelope{Type: MsgGradFrame, GradFrame: fr})
+	if got.GradFrame == nil || got.GradFrame.BatchN != 0 || got.GradFrame.Grads != nil {
+		t.Fatalf("pass frame mutated: %+v", got.GradFrame)
+	}
+}
+
+func TestParamBcastRoundTrip(t *testing.T) {
+	steady := &ParamBcast{Step: 55, Loss: 1.5, Params: []float32{1, 2, 3}}
+	got := roundTrip(t, &Envelope{Type: MsgParamBcast, ParamBcast: steady})
+	if got.Type != MsgParamBcast || !reflect.DeepEqual(got.ParamBcast, steady) {
+		t.Fatalf("steady bcast mutated: %+v", got.ParamBcast)
+	}
+	if got.ParamBcast.Sync || got.ParamBcast.Target != nil {
+		t.Fatal("steady bcast must not carry a target")
+	}
+
+	sync := &ParamBcast{Step: 56, Sync: true, Params: []float32{1, 2}, Target: []float32{3, 4}}
+	got = roundTrip(t, &Envelope{Type: MsgParamBcast, ParamBcast: sync})
+	if !reflect.DeepEqual(got.ParamBcast, sync) {
+		t.Fatalf("sync bcast mutated: %+v", got.ParamBcast)
+	}
+}
+
+func TestMsgTypeStringsForClusterPlane(t *testing.T) {
+	if MsgGradFrame.String() != "grad-frame" || MsgParamBcast.String() != "param-bcast" {
+		t.Fatalf("unexpected names: %s, %s", MsgGradFrame, MsgParamBcast)
+	}
+}

@@ -18,10 +18,12 @@ import (
 
 // ProtoVersion is the wire protocol revision this package speaks.
 // Version 2 added session epochs (Hello.Epoch, Indicators.Epoch) and
-// heartbeats. Gob tolerates unknown/missing fields, so v1 peers
-// interoperate: a v1 Hello arrives with Epoch 0 and a v1 daemon simply
-// never sees heartbeats.
-const ProtoVersion = 2
+// heartbeats. Version 3 added the cluster gradient plane (GradFrame /
+// ParamBcast) for data-parallel co-training. Gob tolerates
+// unknown/missing fields, so older peers interoperate on the messages
+// they know: a v1 Hello arrives with Epoch 0, a v2 peer simply never
+// speaks the trainer role that carries the v3 messages.
+const ProtoVersion = 3
 
 // MsgType discriminates protocol messages.
 type MsgType int
@@ -34,6 +36,8 @@ const (
 	MsgAck
 	MsgWorkloadChange
 	MsgHeartbeat
+	MsgGradFrame
+	MsgParamBcast
 )
 
 // String names the message type.
@@ -51,6 +55,10 @@ func (m MsgType) String() string {
 		return "workload-change"
 	case MsgHeartbeat:
 		return "heartbeat"
+	case MsgGradFrame:
+		return "grad-frame"
+	case MsgParamBcast:
+		return "param-bcast"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(m))
 	}
@@ -117,6 +125,62 @@ type WorkloadChange struct {
 	Name string
 }
 
+// GradFrame is one follower's gradient contribution to one global train
+// step of a data-parallel cluster session: the follower's flat gradient
+// arena (engine precision, float32) plus enough addressing for the
+// leader to aggregate deterministically and reject stale frames.
+type GradFrame struct {
+	// Rank is the follower's fixed cluster rank (≥ 1; the leader's own
+	// local gradient is rank 0). The leader reduces frames in ascending
+	// rank order — float addition is not associative, so the order is
+	// part of the trajectory's determinism contract.
+	Rank int
+	// Epoch is the follower connection's session epoch (see Hello.Epoch):
+	// it bumps on every reconnect, and the leader drops frames whose
+	// epoch does not match the connection that delivered them — a
+	// follower that dropped mid-epoch can never splice a stale gradient
+	// into a post-rejoin step.
+	Epoch uint64
+	// Step is the global train step this gradient contributes to: the
+	// leader's post-apply step counter plus one. Frames for any other
+	// step are dropped as stale.
+	Step int64
+	// BatchN is the minibatch size behind the gradient; 0 marks a "pass"
+	// frame from a follower whose replay ring cannot form a minibatch
+	// yet (it keeps the leader's collect from stalling, contributing
+	// nothing to the reduction).
+	BatchN int
+	// Loss is the follower's minibatch loss; the leader folds the
+	// worker-mean loss into its telemetry EWMAs.
+	Loss float64
+	// Grads is the flat gradient arena (len == the model's NumParams);
+	// nil on a pass frame.
+	Grads []float32
+}
+
+// ParamBcast carries the leader's post-step parameters down to
+// followers. A steady-state broadcast carries only the online arena —
+// followers replicate the target-network update rule locally, bit for
+// bit. A sync broadcast (Sync == true, sent as the welcome on join and
+// rejoin) additionally carries the target arena and is the only way a
+// follower that missed steps can resume: its locally replicated θ⁻ is
+// stale the moment a broadcast gap appears.
+type ParamBcast struct {
+	// Step is the leader's post-apply global train step; followers set
+	// their step counter to it, keeping hard-update phase and the
+	// divergence-scan schedule aligned cluster-wide.
+	Step int64
+	// Sync marks a full welcome sync (Target present, counters
+	// authoritative) rather than a steady-state delta.
+	Sync bool
+	// Loss is the worker-mean minibatch loss of the step (telemetry).
+	Loss float64
+	// Params is the online network's flat parameter arena.
+	Params []float32
+	// Target is the target network's flat arena; nil unless Sync.
+	Target []float32
+}
+
 // Envelope wraps a message with its type for transport.
 type Envelope struct {
 	Type           MsgType
@@ -126,6 +190,8 @@ type Envelope struct {
 	Ack            *Ack
 	WorkloadChange *WorkloadChange
 	Heartbeat      *Heartbeat
+	GradFrame      *GradFrame
+	ParamBcast     *ParamBcast
 }
 
 // Encode serializes an envelope: gob → flate → 4-byte big-endian length
