@@ -67,6 +67,7 @@ func main() {
 		collectCmd = flag.String("collect-cmd", "", "command printing one float per PI")
 		controlCmd = flag.String("control-cmd", "", "command receiving parameter values as args")
 		interval   = flag.Duration("interval", time.Second, "sampling tick length")
+		offline    = flag.Duration("offline-budget", 2*time.Minute, "exit non-zero after this long without a delivered tick (0 = retry forever)")
 	)
 	flag.Parse()
 	if *collectCmd == "" {
@@ -98,6 +99,7 @@ func main() {
 	ticker := time.NewTicker(*interval)
 	defer ticker.Stop()
 	var tick int64
+	lastDelivered := time.Now()
 	for {
 		select {
 		case <-sig:
@@ -114,12 +116,21 @@ func main() {
 			if err := a.SendIndicators(tick, vals); err != nil {
 				// The agent reconnects on its own; a tick lost while the
 				// link is down is the same as a failed collect — skip it.
+				// But a daemon that stays unreachable past the offline
+				// budget will never come back on its own schedule: exit
+				// non-zero so a process supervisor can restage us instead
+				// of collecting indicators into the void forever.
 				if errors.Is(err, agent.ErrReconnecting) {
+					if down := time.Since(lastDelivered); *offline > 0 && down > *offline {
+						fatal(fmt.Errorf("daemon unreachable for %v (offline budget %v): %w",
+							down.Round(time.Second), *offline, err))
+					}
 					fmt.Fprintf(os.Stderr, "capes-agent: tick %d skipped: %v\n", tick, err)
 					continue
 				}
 				fatal(err)
 			}
+			lastDelivered = time.Now()
 		}
 	}
 }

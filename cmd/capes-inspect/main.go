@@ -189,7 +189,16 @@ func inspectStats(w io.Writer, addr string) error {
 		addr, agg.Totals.Sessions, agg.Totals.Running, agg.KernelTier)
 	for _, s := range agg.Sessions {
 		tr := s.Transport
-		fmt.Fprintf(w, "\n%s (%s) on %s\n", s.Name, s.State, s.Addr)
+		sup := s.Supervisor
+		fmt.Fprintf(w, "\n%s (%s, %s) on %s\n", s.Name, s.State, sup.Health, s.Addr)
+		if sup.Trips > 0 || sup.ShedFrames > 0 {
+			fmt.Fprintf(w, "  supervisor:    %d trips (%d panic, %d divergence, %d watchdog), %d rollbacks, %d failed, %d shed frames\n",
+				sup.Trips, sup.PanicTrips, sup.DivergenceTrips, sup.WatchdogTrips,
+				sup.Rollbacks, sup.FailedEscalations, sup.ShedFrames)
+			if sup.LastTripReason != "" {
+				fmt.Fprintf(w, "  last trip:     %s\n", sup.LastTripReason)
+			}
+		}
 		loop := "lockstep"
 		if s.Engine.Pipelined {
 			loop = fmt.Sprintf("pipelined, %d prefetched / %d misses",
@@ -209,6 +218,8 @@ func inspectStats(w io.Writer, addr string) error {
 	t := agg.Totals
 	fmt.Fprintf(w, "\ntotals: %d reconnects, %d evictions, %d partial frames, %d dropped ticks, %d dropped actions\n",
 		t.Reconnects, t.Evictions, t.PartialFrames, t.DroppedTicks, t.DroppedActions)
+	fmt.Fprintf(w, "health: %d healthy, %d degraded, %d quarantined, %d failed; %d trips, %d rollbacks, %d shed frames\n",
+		t.Healthy, t.Degraded, t.Quarantined, t.Failed, t.Trips, t.Rollbacks, t.ShedFrames)
 	return nil
 }
 

@@ -76,6 +76,9 @@ type clusterOpts struct {
 	// reconnect/gap-fill behavior end to end.
 	chaos     bool
 	chaosSeed int64
+	// offline bounds how long the cluster keeps simulating with every
+	// send skipped on ErrReconnecting before giving up (0 = forever).
+	offline time.Duration
 }
 
 // runCluster builds a cluster + its node agents and drives ticks until
@@ -155,6 +158,7 @@ func runCluster(opts clusterOpts, stop <-chan struct{}) error {
 	var tick int64
 	var sumTput float64
 	var skipped int64
+	lastDelivered := time.Now()
 	report := func(reason string) {
 		fmt.Printf("capes-sim: %s%s at tick %d", opts.label, reason, tick)
 		if skipped > 0 {
@@ -175,6 +179,7 @@ func runCluster(opts clusterOpts, stop <-chan struct{}) error {
 		case <-ticker.C:
 			tick++
 			cluster.Tick(tick)
+			delivered := false
 			for i, a := range agents {
 				cluster.ClientPIs(i, pis)
 				if err := a.SendIndicators(tick, pis); err != nil {
@@ -187,6 +192,17 @@ func runCluster(opts clusterOpts, stop <-chan struct{}) error {
 					}
 					return fmt.Errorf("node %d send: %w", i, err)
 				}
+				delivered = true
+			}
+			if delivered {
+				lastDelivered = time.Now()
+			} else if down := time.Since(lastDelivered); opts.offline > 0 && down > opts.offline {
+				// Every agent has been spinning on ErrReconnecting past
+				// the offline budget: the daemon is gone, not flapping.
+				// Exit non-zero instead of simulating into the void.
+				report("abandoned")
+				return fmt.Errorf("daemon %s unreachable for %v (offline budget %v)",
+					opts.daemon, down.Round(time.Second), opts.offline)
 			}
 			sumTput += cluster.AggregateThroughput()
 			if opts.report > 0 && tick%opts.report == 0 {
@@ -343,6 +359,7 @@ func main() {
 		ticks    = flag.Int64("ticks", 0, "stop after this many ticks (0 = run until signal)")
 		seed     = flag.Int64("seed", 1, "random seed (cluster i uses seed+i)")
 		report   = flag.Int64("report-every", 600, "print throughput every N ticks")
+		offline  = flag.Duration("offline-budget", 2*time.Minute, "exit non-zero after this long with every send skipped on reconnect (0 = retry forever)")
 		chaos    = flag.Bool("chaos", false, "route agents through a fault-injecting proxy (kills, stalls, latency, partitions)")
 		chaosSd  = flag.Int64("chaos-seed", 1, "chaos fault-schedule seed (cluster i uses seed+i; same seed replays the same faults)")
 		cluFols  = flag.Int("cluster-followers", -1, "run the in-process data-parallel co-training bench instead of the simulator: one leader + N followers over loopback (0 = solo-leader baseline, -1 = off)")
@@ -394,6 +411,7 @@ func main() {
 
 			chaos:     *chaos,
 			chaosSeed: *chaosSd + int64(i),
+			offline:   *offline,
 		}
 		if len(addrs) > 1 {
 			opts.label = fmt.Sprintf("[%s] ", addr)

@@ -25,8 +25,11 @@
 //
 //	capesd -listen :7070 -clients 5 -session /var/lib/capes/session
 //
-// On SIGINT/SIGTERM every running session is checkpointed concurrently
-// before the process exits.
+// On SIGINT/SIGTERM the process drains gracefully: every session is
+// paused (no further actions or train steps), a final checkpoint is
+// written concurrently for each checkpoint-enabled session, and the
+// process exits 0 — or 1 when any drain/stop step failed, so process
+// supervisors can tell a clean handoff from a lossy one.
 package main
 
 import (
@@ -67,22 +70,33 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	got := <-sig
+	fmt.Printf("capesd: %v: draining sessions\n", got)
 
-	// Snapshot stats before Shutdown tears the sessions down; shutdown
-	// checkpoints every session concurrently.
+	// Graceful drain: pause everything first so the final checkpoints
+	// capture a quiesced trajectory, then snapshot stats, then tear
+	// down. Shutdown's own per-session checkpoint is a no-op re-save
+	// after the drain's.
+	exit := 0
+	_, drainErrs := mgr.Drain()
+	for name, err := range drainErrs {
+		fmt.Fprintf(os.Stderr, "capesd: drain: session %s: %v\n", name, err)
+		exit = 1
+	}
 	agg := mgr.AggregateStats()
 	if errs := mgr.Shutdown(); len(errs) != 0 {
 		for _, err := range errs {
 			fmt.Fprintln(os.Stderr, "capesd: shutdown:", err)
 		}
+		exit = 1
 	}
 	for _, st := range agg.Sessions {
-		fmt.Printf("capesd: session %s: train steps %d, replay records %d, vetoes %d\n",
-			st.Name, st.Engine.TrainSteps, st.Engine.ReplayRecords, st.Engine.Vetoes)
+		fmt.Printf("capesd: session %s: health %s, train steps %d, replay records %d, vetoes %d\n",
+			st.Name, st.Supervisor.Health, st.Engine.TrainSteps, st.Engine.ReplayRecords, st.Engine.Vetoes)
 	}
 	fmt.Printf("capesd: shutting down (%d sessions, %d total train steps)\n",
 		agg.Totals.Sessions, agg.Totals.TrainSteps)
+	os.Exit(exit)
 }
 
 // buildConfig resolves flags into a capesd.Config: either a declarative
@@ -92,14 +106,15 @@ func buildConfig(args []string, errOut *os.File) (capesd.Config, error) {
 	fs := flag.NewFlagSet("capesd", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		config   = fs.String("config", "", "multi-session JSON config file (see internal/capesd)")
-		httpAddr = fs.String("http", "", "control-plane listen address (overrides the config's)")
-		listen   = fs.String("listen", "127.0.0.1:7070", "address to listen for agents (single-session mode)")
-		clients  = fs.Int("clients", 5, "number of monitored client nodes (single-session mode)")
-		obsTicks = fs.Int("obs-ticks", 5, "sampling ticks per observation (single-session mode)")
-		session  = fs.String("session", "", "session directory for checkpoint save/restore (single-session mode)")
-		noTune   = fs.Bool("monitor-only", false, "collect and train but never issue actions")
-		exploit  = fs.Bool("exploit", false, "greedy policy, no training (measured tuning phase)")
+		config    = fs.String("config", "", "multi-session JSON config file (see internal/capesd)")
+		httpAddr  = fs.String("http", "", "control-plane listen address (overrides the config's)")
+		authToken = fs.String("auth-token", "", "bearer token required on mutating control-plane endpoints (overrides the config's)")
+		listen    = fs.String("listen", "127.0.0.1:7070", "address to listen for agents (single-session mode)")
+		clients   = fs.Int("clients", 5, "number of monitored client nodes (single-session mode)")
+		obsTicks  = fs.Int("obs-ticks", 5, "sampling ticks per observation (single-session mode)")
+		session   = fs.String("session", "", "session directory for checkpoint save/restore (single-session mode)")
+		noTune    = fs.Bool("monitor-only", false, "collect and train but never issue actions")
+		exploit   = fs.Bool("exploit", false, "greedy policy, no training (measured tuning phase)")
 
 		cluRole   = fs.String("cluster-role", "", "data-parallel co-training role: leader or follower (single-session mode)")
 		cluListen = fs.String("cluster-listen", "", "leader's gradient-plane listen address (cluster-role=leader)")
@@ -117,10 +132,14 @@ func buildConfig(args []string, errOut *os.File) (capesd.Config, error) {
 		if *httpAddr != "" {
 			cfg.HTTP = *httpAddr
 		}
+		if *authToken != "" {
+			cfg.AuthToken = *authToken
+		}
 		return cfg, nil
 	}
 	cfg := capesd.Config{
-		HTTP: *httpAddr,
+		HTTP:      *httpAddr,
+		AuthToken: *authToken,
 		Sessions: []capesd.SessionConfig{{
 			Name:          "default",
 			Listen:        *listen,

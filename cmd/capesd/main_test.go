@@ -202,13 +202,37 @@ func TestEndToEndTwoSessions(t *testing.T) {
 		return true
 	}, "both sessions trained (via /stats)")
 
+	// /healthz carries the supervision census: after a clean run both
+	// sessions are healthy and the self-healing counters are all zero.
 	resp, err := http.Get("http://" + httpAddr + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
+	var health struct {
+		OK     bool `json:"ok"`
+		Health struct {
+			Healthy     int   `json:"healthy"`
+			Degraded    int   `json:"degraded"`
+			Quarantined int   `json:"quarantined"`
+			Failed      int   `json:"failed"`
+			Trips       int64 `json:"trips"`
+			Rollbacks   int64 `json:"rollbacks"`
+		} `json:"health"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz = %d", resp.StatusCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !health.OK {
+		t.Fatalf("healthz = %d, ok %v", resp.StatusCode, health.OK)
+	}
+	if health.Health.Healthy != 2 || health.Health.Degraded != 0 ||
+		health.Health.Quarantined != 0 || health.Health.Failed != 0 {
+		t.Fatalf("healthz census = %+v, want 2 healthy", health.Health)
+	}
+	if health.Health.Trips != 0 || health.Health.Rollbacks != 0 {
+		t.Fatalf("healthz counters nonzero on a clean run: %+v", health.Health)
 	}
 
 	// Checkpoint alpha over the control plane.

@@ -44,6 +44,10 @@ type Opts struct {
 	// Seed seeds the backoff jitter; 0 derives one from the node id so
 	// runs stay reproducible.
 	Seed int64
+	// DrainTimeout bounds how long Close waits for the daemon to drain
+	// and acknowledge (by closing its side) the frames already written.
+	// Negative closes immediately. Default 2s.
+	DrainTimeout time.Duration
 	// OnReconnect, when non-nil, is called after each successful
 	// reconnect with the new session epoch (observability/test hook).
 	OnReconnect func(epoch uint64)
@@ -64,6 +68,9 @@ func (o Opts) withDefaults(nodeID int) Opts {
 	}
 	if o.HeartbeatInterval == 0 {
 		o.HeartbeatInterval = 2 * time.Second
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 2 * time.Second
 	}
 	if o.Seed == 0 {
 		o.Seed = int64(nodeID) + 1
@@ -93,6 +100,7 @@ type NodeAgent struct {
 
 	actions chan wire.Action
 	done    chan struct{}
+	drained chan struct{} // closed when the supervisor exits (peer done)
 
 	mu         sync.Mutex
 	conn       net.Conn // nil while reconnecting
@@ -124,6 +132,7 @@ func DialOpts(addr string, nodeID, numPIs int, role string, opts Opts) (*NodeAge
 		opts:    opts.withDefaults(nodeID),
 		actions: make(chan wire.Action, 64),
 		done:    make(chan struct{}),
+		drained: make(chan struct{}),
 	}
 	conn, err := a.handshake(1)
 	if err != nil {
@@ -174,6 +183,7 @@ func (a *NodeAgent) handshake(epoch uint64) (net.Conn, error) {
 // actions channel closes only on Close or a terminal failure.
 func (a *NodeAgent) supervise(conn net.Conn) {
 	defer close(a.actions)
+	defer close(a.drained)
 	for {
 		a.readLoop(conn)
 		a.mu.Lock()
@@ -457,6 +467,14 @@ func (a *NodeAgent) Connected() bool {
 
 // Close shuts the agent down: the connection is closed, the supervisor
 // and heartbeat goroutines exit, and Actions closes.
+//
+// The close is graceful: the write side is half-closed first (FIN) so
+// indicator frames already written reach the daemon and are processed
+// before the teardown. Closing outright would reset the connection
+// whenever an unread action broadcast sits in the receive buffer —
+// discarding the in-flight tail of the monitor stream with it. Close
+// waits (bounded by DrainTimeout) for the daemon to drain to EOF and
+// close its side, then closes fully; a dead peer cannot hang it.
 func (a *NodeAgent) Close() error {
 	a.mu.Lock()
 	if a.closed {
@@ -468,8 +486,17 @@ func (a *NodeAgent) Close() error {
 	a.conn = nil
 	a.mu.Unlock()
 	close(a.done)
-	if conn != nil {
-		return conn.Close()
+	if conn == nil {
+		return nil
 	}
-	return nil
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := conn.(closeWriter); ok && a.opts.DrainTimeout > 0 {
+		if err := cw.CloseWrite(); err == nil {
+			select {
+			case <-a.drained:
+			case <-time.After(a.opts.DrainTimeout):
+			}
+		}
+	}
+	return conn.Close()
 }

@@ -738,8 +738,12 @@ func (e *Engine) clusterLeaderTick(now int64) {
 	localN := 0
 	localLoss := 0.0
 	if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err == nil {
+		if e.faults != nil && e.faults.takePoison(step) {
+			e.poisonParamsLocked()
+		}
 		if loss, err := e.agent.ComputeGradients(&e.batch); err != nil {
 			e.trainErrors++
+			e.noteTrainFaultLocked(err, now)
 		} else {
 			localN = e.batch.N
 			localLoss = loss
@@ -782,6 +786,7 @@ func (e *Engine) clusterLeaderTick(now int64) {
 		meanLoss = lossSum / float64(workers)
 		if err := e.agent.ApplyGradients(meanLoss); err != nil {
 			e.trainErrors++
+			e.noteTrainFaultLocked(err, now)
 		} else if e.agent.Steps()%25 == 0 {
 			e.lossTrace = append(e.lossTrace, LossPoint{Tick: now, Loss: e.agent.SmoothedLoss()})
 		}
@@ -813,8 +818,12 @@ func (e *Engine) clusterFollowerTick(now int64) {
 	loss := 0.0
 	haveGrads := false
 	if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err == nil {
+		if e.faults != nil && e.faults.takePoison(e.agent.Steps()+1) {
+			e.poisonParamsLocked()
+		}
 		if l, err := e.agent.ComputeGradients(&e.batch); err != nil {
 			e.trainErrors++
+			e.noteTrainFaultLocked(err, now)
 		} else {
 			batchN = e.batch.N
 			loss = l
@@ -828,6 +837,7 @@ func (e *Engine) clusterFollowerTick(now int64) {
 	if !wasSynced && haveGrads {
 		if l, err := e.agent.ComputeGradients(&e.batch); err != nil {
 			e.trainErrors++
+			e.noteTrainFaultLocked(err, now)
 			haveGrads = false
 		} else {
 			loss = l

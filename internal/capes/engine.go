@@ -70,6 +70,11 @@ type Config struct {
 	HistoryEvery int64
 	// HistoryCap bounds the telemetry ring (0 = 1024 points).
 	HistoryCap int
+
+	// Divergence tunes the divergence guard (see divergence.go). Nil
+	// applies the defaults — the guard itself is always on: a non-finite
+	// training fault trips it regardless of policy knobs.
+	Divergence *DivergencePolicy
 }
 
 // LossPoint is one sample of the training loss trace (Figure 5).
@@ -138,6 +143,29 @@ type Engine struct {
 	// Replay DB and the network.
 	batch      replay.Batch[EnginePrecision]
 	obsScratch []EnginePrecision
+
+	// Divergence guard (see divergence.go): div is the resolved policy,
+	// divGate the tick path's trip flag (owned by e.mu), and the
+	// divMu-guarded mirror below is what Divergence() reads so a
+	// supervisor can poll the trip state without touching e.mu — even
+	// while a tick is wedged or a checkpoint holds the engine lock.
+	div        DivergencePolicy
+	divGate    bool
+	divMu      sync.Mutex
+	divTripped bool
+	divReason  string
+	divTick    int64
+	divTrips   int64
+
+	// Reward-collapse tracker and the probe schedule cursor.
+	rewardEWMA    float64
+	rewardSeeded  bool
+	rewardPeak    float64
+	lastProbeStep int64
+
+	// faults is the deterministic fault hook (nil outside tests and the
+	// supervisor chaos suite; see faults.go).
+	faults *FaultInjector
 
 	// pipe is the two-stage pipeline state (nil in lockstep mode).
 	pipe *pipeline
@@ -241,7 +269,12 @@ func NewEngine(cfg Config, collector Collector, controller Controller) (*Engine,
 	if histCap <= 0 {
 		histCap = 1024
 	}
+	div := DivergencePolicy{}
+	if cfg.Divergence != nil {
+		div = *cfg.Divergence
+	}
 	e := &Engine{
+		div:          div.withDefaults(),
 		cfg:          cfg,
 		db:           db,
 		agent:        agent,
@@ -278,6 +311,10 @@ func (e *Engine) Tick(now int64) {
 	if e.stopped {
 		return
 	}
+	if e.faults != nil {
+		// Deterministic fault hook (tests only): may panic or block.
+		e.faults.beforeTick(now)
+	}
 	if e.pipe != nil {
 		// Join any in-flight batch assembly before this tick writes to
 		// the ring (the join-before-write discipline of pipeline.go).
@@ -292,14 +329,18 @@ func (e *Engine) Tick(now int64) {
 			e.missedSamples++
 		} else {
 			e.lastReward = e.cfg.Objective(frame)
+			e.noteRewardLocked(e.lastReward)
 			if err := e.db.PutFrame(now, frame); err != nil {
 				e.missedSamples++
 			}
 		}
 	}
 
-	// Action tick.
-	if e.cfg.Tuning && now%h.ActionTickLength == 0 {
+	// Action tick. A tripped divergence guard quarantines the policy:
+	// no actions leave a diverged network, and no training compounds the
+	// excursion, until the supervisor rolls the session back (or an
+	// operator clears the trip). Collection above keeps running.
+	if e.cfg.Tuning && !e.divGate && now%h.ActionTickLength == 0 {
 		action := e.chooseAction(now)
 		proposed := e.cfg.Space.Apply(action, e.current)
 		if err := e.checker(proposed); err != nil {
@@ -323,18 +364,27 @@ func (e *Engine) Tick(now int64) {
 
 	// Training step. ConstructMinibatchInto failing just means not
 	// enough data yet; either way the telemetry sample below still runs.
-	if e.cfg.Training && now >= h.TrainStartTicks && now%h.TrainEvery == 0 {
+	if e.cfg.Training && !e.divGate && now >= h.TrainStartTicks && now%h.TrainEvery == 0 {
 		if e.cluL != nil {
 			e.clusterLeaderTick(now)
+			e.maybeProbeLocked(e.agent.Steps(), now)
 		} else if e.cluF != nil {
 			e.clusterFollowerTick(now)
+			e.maybeProbeLocked(e.agent.Steps(), now)
 		} else if e.pipe != nil {
 			e.trainTickPipelined(now)
 		} else if err := replay.ConstructMinibatchInto(e.db, e.rng, h.MinibatchSize, e.rewardFn, &e.batch); err == nil {
+			if e.faults != nil && e.faults.takePoison(e.agent.Steps()+1) {
+				e.poisonParamsLocked()
+			}
 			if _, err := e.agent.TrainStep(&e.batch); err != nil {
 				e.trainErrors++
-			} else if e.agent.Steps()%25 == 0 {
-				e.lossTrace = append(e.lossTrace, LossPoint{Tick: now, Loss: e.agent.SmoothedLoss()})
+				e.noteTrainFaultLocked(err, now)
+			} else {
+				e.maybeProbeLocked(e.agent.Steps(), now)
+				if e.agent.Steps()%25 == 0 {
+					e.lossTrace = append(e.lossTrace, LossPoint{Tick: now, Loss: e.agent.SmoothedLoss()})
+				}
 			}
 		}
 	}
@@ -367,6 +417,10 @@ func (e *Engine) Tick(now int64) {
 			RandomActions: random,
 			CalcActions:   calc,
 		})
+		// The windowed divergence checks ride the telemetry cadence:
+		// they read exactly the harvested loss/steps recorded above, so
+		// they are safe in every engine mode and alloc-free.
+		e.checkDivergenceLocked(steps, loss, now)
 	}
 }
 
@@ -560,6 +614,13 @@ type Stats struct {
 	TDErrorEMA    float64 // EWMA RMS TD error at the newest sample
 	Epsilon       float64 // exploration rate at the newest sample
 
+	// Divergence-guard state (see divergence.go). Diverged mirrors the
+	// trip flag at snapshot time; DivergenceTrips counts lifetime trips
+	// (clears and rollbacks do not reset it).
+	Diverged         bool
+	DivergenceReason string
+	DivergenceTrips  int64
+
 	// Pipeline health (see pipeline.go); all zero in lockstep mode.
 	Pipelined         bool  // engine runs the two-stage pipeline
 	PrefetchedBatches int64 // train ticks served from a completed prefetch
@@ -591,6 +652,11 @@ func (e *Engine) Stats() Stats {
 		TDErrorEMA:    last.TDErrEMA,
 		Epsilon:       last.Epsilon,
 	}
+	e.divMu.Lock()
+	s.Diverged = e.divTripped
+	s.DivergenceReason = e.divReason
+	s.DivergenceTrips = e.divTrips
+	e.divMu.Unlock()
 	if e.pipe != nil {
 		s.TrainSteps = e.pipe.steps
 		s.Pipelined = true

@@ -166,9 +166,14 @@ func (e *Engine) joinTrainLocked() {
 	p.tdErrEWMA = e.agent.TDErrorEMA()
 	if res.err != nil {
 		e.trainErrors++
+		e.noteTrainFaultLocked(res.err, p.trainTick)
 		return
 	}
 	e.agent.PublishParams()
+	// The trainer is idle between the join and the next launch — the
+	// only pipelined window where the divergence probe may touch the
+	// online arenas.
+	e.maybeProbeLocked(p.steps, p.trainTick)
 	if p.steps%25 == 0 {
 		e.lossTrace = append(e.lossTrace, LossPoint{Tick: p.trainTick, Loss: p.lossEWMA})
 	}
@@ -194,6 +199,11 @@ func (e *Engine) trainTickPipelined(now int64) {
 		ok = bounded && replay.ConstructMinibatchPinnedInto(e.db, p.rng, h.MinibatchSize, e.rewardFn, b, lo, hi) == nil
 	}
 	if ok {
+		if e.faults != nil && e.faults.takePoison(e.agent.Steps()+1) {
+			// The previous step is joined, so the trainer is idle and the
+			// arenas are the engine's to poison.
+			e.poisonParamsLocked()
+		}
 		p.trainTick = now
 		p.trainInFlight = true
 		p.trainReq <- trainReq{agent: e.agent, b: b}

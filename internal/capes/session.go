@@ -290,6 +290,15 @@ func (e *Engine) RestoreSession(dir string) error {
 	if pts != nil {
 		e.hist.restore(pts)
 	}
+	// A rollback restore re-arms the divergence guard: the restored
+	// parameters are the last-known-good generation, so the trip that
+	// motivated the restore is resolved. The probe cursor rewinds with
+	// the step counter, and the collapse tracker re-seeds (its EWMA was
+	// shaped by the diverged policy's actions).
+	e.clearDivergenceLocked()
+	e.lastProbeStep = m.TrainSteps
+	e.rewardSeeded = false
+	e.rewardPeak = 0
 	e.resetPipelineLocked()
 	// A cluster engine realigns its peers: the leader republishes the
 	// restored parameters and evicts followers (they rejoin against

@@ -35,6 +35,11 @@ import (
 type Config struct {
 	// HTTP is the control-plane listen address ("" disables it).
 	HTTP string `json:"http,omitempty"`
+	// AuthToken, when set, is required as "Authorization: Bearer <token>"
+	// on every mutating control-plane endpoint (create/pause/resume/
+	// checkpoint/delete). Read-only endpoints stay open — they are what
+	// liveness probes and dashboards scrape. "" disables authentication.
+	AuthToken string `json:"auth_token,omitempty"`
 	// Sessions created at boot. More can be added over HTTP.
 	Sessions []SessionConfig `json:"sessions"`
 }
@@ -108,6 +113,51 @@ type SessionConfig struct {
 	// per 10 ticks, 1024 retained). history_every: -1 disables.
 	HistoryEvery int64 `json:"history_every,omitempty"`
 	HistoryCap   int   `json:"history_cap,omitempty"`
+
+	// Supervision knobs (see supervisor.go). TickDeadlineMs arms the
+	// tick watchdog: an engine tick in flight longer than this is
+	// declared wedged and the session restarts through the rollback
+	// path. 0 disables the watchdog (the default — deadlines are
+	// deployment-specific).
+	TickDeadlineMs int `json:"tick_deadline_ms,omitempty"`
+	// MaxRollbacks bounds consecutive automatic rollbacks before the
+	// supervisor gives up and fails the session (0 = default 3).
+	MaxRollbacks int `json:"max_rollbacks,omitempty"`
+	// RollbackBackoffMs is the base delay between a trip and its
+	// rollback attempt, doubling per consecutive trip (0 = default 500).
+	RollbackBackoffMs int `json:"rollback_backoff_ms,omitempty"`
+	// SuperviseEveryMs is the supervisor poll interval (0 = default 100;
+	// -1 disables the background loop — tests drive superviseOnce).
+	SuperviseEveryMs int `json:"supervise_every_ms,omitempty"`
+	// MaxFramesPerSec is the per-session ingest quota: monitor frames
+	// beyond this rate are shed before they reach the engine (counted in
+	// the supervisor's shed_frames, on top of the transport ring's
+	// Stale() semantics). 0 = unlimited.
+	MaxFramesPerSec int `json:"max_frames_per_sec,omitempty"`
+	// Divergence overrides the engine's divergence-guard policy.
+	Divergence *DivergenceConfig `json:"divergence,omitempty"`
+}
+
+// DivergenceConfig mirrors capes.DivergencePolicy for JSON configs;
+// zero fields use the engine defaults, negative values disable the
+// corresponding check (the guard's NaN-loss trip is always on).
+type DivergenceConfig struct {
+	LossExplodeFactor    float64 `json:"loss_explode_factor,omitempty"`
+	MinSteps             int64   `json:"min_steps,omitempty"`
+	MinPoints            int     `json:"min_points,omitempty"`
+	RewardCollapseFactor float64 `json:"reward_collapse_factor,omitempty"`
+	ProbeEverySteps      int64   `json:"probe_every_steps,omitempty"`
+}
+
+// capes maps the JSON block onto the engine's divergence policy.
+func (dc *DivergenceConfig) capes() capes.DivergencePolicy {
+	return capes.DivergencePolicy{
+		LossExplodeFactor:    dc.LossExplodeFactor,
+		MinSteps:             dc.MinSteps,
+		MinPoints:            dc.MinPoints,
+		RewardCollapseFactor: dc.RewardCollapseFactor,
+		ProbeEverySteps:      dc.ProbeEverySteps,
+	}
 }
 
 // ClusterConfig mirrors capes.ClusterConfig for JSON configs.
@@ -227,6 +277,20 @@ func (sc *SessionConfig) Validate() error {
 	if sc.HistoryCap < 0 {
 		return fmt.Errorf("session %s: negative history_cap", sc.Name)
 	}
+	if sc.TickDeadlineMs < 0 || sc.MaxRollbacks < 0 || sc.RollbackBackoffMs < 0 || sc.MaxFramesPerSec < 0 {
+		return fmt.Errorf("session %s: negative supervision knob (tick_deadline_ms/max_rollbacks/rollback_backoff_ms/max_frames_per_sec)", sc.Name)
+	}
+	if sc.SuperviseEveryMs < -1 {
+		return fmt.Errorf("session %s: supervise_every_ms %d (want >= -1)", sc.Name, sc.SuperviseEveryMs)
+	}
+	if d := sc.Divergence; d != nil {
+		if d.MinSteps < 0 || d.MinPoints < 0 {
+			return fmt.Errorf("session %s: negative divergence min_steps/min_points", sc.Name)
+		}
+		if d.RewardCollapseFactor < 0 {
+			return fmt.Errorf("session %s: negative divergence reward_collapse_factor", sc.Name)
+		}
+	}
 	if cc := sc.Cluster; cc != nil {
 		if sc.Pipeline {
 			return fmt.Errorf("session %s: cluster and pipeline modes are mutually exclusive", sc.Name)
@@ -277,6 +341,15 @@ func (sc SessionConfig) withDefaults() SessionConfig {
 	}
 	if sc.Seed == 0 {
 		sc.Seed = 1
+	}
+	if sc.MaxRollbacks == 0 {
+		sc.MaxRollbacks = 3
+	}
+	if sc.RollbackBackoffMs == 0 {
+		sc.RollbackBackoffMs = 500
+	}
+	if sc.SuperviseEveryMs == 0 {
+		sc.SuperviseEveryMs = 100
 	}
 	return sc
 }
@@ -341,6 +414,10 @@ func (sc *SessionConfig) engineConfig() (capes.Config, error) {
 		Pipeline:     pipelineEnabled(sc.Pipeline),
 		HistoryEvery: sc.HistoryEvery,
 		HistoryCap:   sc.HistoryCap,
+	}
+	if sc.Divergence != nil {
+		d := sc.Divergence.capes()
+		cfg.Divergence = &d
 	}
 	if sc.Cluster != nil {
 		// Cluster mode and the pipelined loop are mutually exclusive;

@@ -105,6 +105,53 @@ func TestLoadConfigRejections(t *testing.T) {
 	}
 }
 
+func TestSupervisionKnobValidation(t *testing.T) {
+	cases := map[string]string{
+		"negative tick_deadline_ms":    `{"sessions": [{"name": "a", "clients": 1, "tick_deadline_ms": -1}]}`,
+		"negative max_rollbacks":       `{"sessions": [{"name": "a", "clients": 1, "max_rollbacks": -2}]}`,
+		"negative rollback_backoff_ms": `{"sessions": [{"name": "a", "clients": 1, "rollback_backoff_ms": -100}]}`,
+		"negative max_frames_per_sec":  `{"sessions": [{"name": "a", "clients": 1, "max_frames_per_sec": -5}]}`,
+		"supervise_every_ms below -1":  `{"sessions": [{"name": "a", "clients": 1, "supervise_every_ms": -2}]}`,
+	}
+	for what, body := range cases {
+		if _, err := LoadConfig(writeConfig(t, body)); err == nil {
+			t.Errorf("%s: config accepted", what)
+		}
+	}
+
+	// -1 is the documented "no background supervision loop" sentinel
+	// (tests drive superviseOnce by hand), and 0 on the rest means "use
+	// defaults" — both must pass validation.
+	ok := `{"sessions": [{"name": "a", "clients": 1, "supervise_every_ms": -1}]}`
+	if _, err := LoadConfig(writeConfig(t, ok)); err != nil {
+		t.Fatalf("supervise_every_ms -1 rejected: %v", err)
+	}
+}
+
+func TestSupervisionDefaults(t *testing.T) {
+	sc := SessionConfig{Name: "d", Clients: 1}.withDefaults()
+	if sc.MaxRollbacks != 3 {
+		t.Fatalf("max_rollbacks default = %d, want 3", sc.MaxRollbacks)
+	}
+	if sc.RollbackBackoffMs != 500 {
+		t.Fatalf("rollback_backoff_ms default = %d, want 500", sc.RollbackBackoffMs)
+	}
+	if sc.SuperviseEveryMs != 100 {
+		t.Fatalf("supervise_every_ms default = %d, want 100", sc.SuperviseEveryMs)
+	}
+	// Watchdog and shedding stay opt-in: a zero deadline/quota means
+	// disabled, not "some default we invented".
+	if sc.TickDeadlineMs != 0 || sc.MaxFramesPerSec != 0 {
+		t.Fatalf("tick_deadline_ms/max_frames_per_sec must default to disabled, got %d/%d",
+			sc.TickDeadlineMs, sc.MaxFramesPerSec)
+	}
+	// Explicit settings survive the defaulting pass.
+	explicit := SessionConfig{Name: "e", Clients: 1, MaxRollbacks: 7, SuperviseEveryMs: -1}.withDefaults()
+	if explicit.MaxRollbacks != 7 || explicit.SuperviseEveryMs != -1 {
+		t.Fatalf("explicit supervision knobs overwritten: %+v", explicit)
+	}
+}
+
 func TestClusterConfigMapsToEngine(t *testing.T) {
 	sc := SessionConfig{Name: "c", Clients: 1, Cluster: &ClusterConfig{
 		Role: "follower", Leader: "127.0.0.1:7710", Rank: 2,

@@ -1,12 +1,14 @@
 package capesd
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"capes/internal/capes"
 	"capes/internal/tensor"
@@ -29,6 +31,16 @@ import (
 //	DELETE /sessions/{name}              drain, final-checkpoint and remove
 //
 // Every response is JSON; errors are {"error": "..."} with 4xx/5xx.
+//
+// Hardening: when Config.AuthToken is set, every mutating endpoint
+// (POST/DELETE) requires "Authorization: Bearer <token>" and answers
+// 401 otherwise; reads stay open for probes and dashboards. JSON
+// request bodies are capped at maxBodyBytes (413 beyond it).
+
+// maxBodyBytes caps control-plane request bodies: a session config is
+// a few KB, so 1 MiB is generous and still starves memory-exhaustion
+// attempts.
+const maxBodyBytes = 1 << 20
 
 // Handler returns the control-plane handler (useful for tests and for
 // embedding capesd into a larger server).
@@ -44,24 +56,52 @@ func (m *Manager) Handler() http.Handler {
 			DroppedTicks   int64 `json:"dropped_ticks"`
 			DroppedActions int64 `json:"dropped_actions"`
 		}
-		for _, s := range m.Sessions() {
-			st := s.Stats().Transport
-			tr.Reconnects += st.Reconnects
-			tr.Evictions += st.Evictions
-			tr.DroppedTicks += st.DroppedTicks
-			tr.DroppedActions += st.DroppedActions
+		// The supervision census makes self-healing activity visible from
+		// the liveness probe: a nonzero quarantined/failed count (or
+		// climbing trips/rollbacks) flags sessions the supervisor is
+		// nursing, before anyone digs into /stats.
+		var hl struct {
+			Healthy     int   `json:"healthy"`
+			Degraded    int   `json:"degraded"`
+			Quarantined int   `json:"quarantined"`
+			Failed      int   `json:"failed"`
+			Trips       int64 `json:"trips"`
+			Rollbacks   int64 `json:"rollbacks"`
+			ShedFrames  int64 `json:"shed_frames"`
+		}
+		sessions := m.Sessions()
+		for _, s := range sessions {
+			st := s.Stats()
+			tr.Reconnects += st.Transport.Reconnects
+			tr.Evictions += st.Transport.Evictions
+			tr.DroppedTicks += st.Transport.DroppedTicks
+			tr.DroppedActions += st.Transport.DroppedActions
+			switch st.Supervisor.Health {
+			case HealthHealthy:
+				hl.Healthy++
+			case HealthDegraded:
+				hl.Degraded++
+			case HealthQuarantined:
+				hl.Quarantined++
+			case HealthFailed:
+				hl.Failed++
+			}
+			hl.Trips += st.Supervisor.Trips
+			hl.Rollbacks += st.Supervisor.Rollbacks
+			hl.ShedFrames += st.Supervisor.ShedFrames
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":          true,
-			"sessions":    len(m.Sessions()),
+			"sessions":    len(sessions),
 			"kernel_tier": tensor.KernelTier(),
 			"transport":   tr,
+			"health":      hl,
 		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.AggregateStats())
 	})
-	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /checkpoint", m.requireAuth(func(w http.ResponseWriter, r *http.Request) {
 		saved, errs := m.CheckpointAll()
 		body := map[string]any{"checkpointed": saved}
 		status := http.StatusOK
@@ -74,7 +114,7 @@ func (m *Manager) Handler() http.Handler {
 			status = http.StatusInternalServerError
 		}
 		writeJSON(w, status, body)
-	})
+	}))
 	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
 		stats := []SessionStats{}
 		for _, s := range m.Sessions() {
@@ -82,11 +122,17 @@ func (m *Manager) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, stats)
 	})
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /sessions", m.requireAuth(func(w http.ResponseWriter, r *http.Request) {
 		var cfg SessionConfig
-		dec := json.NewDecoder(r.Body)
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&cfg); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("session config exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad session config: %w", err))
 			return
 		}
@@ -103,7 +149,7 @@ func (m *Manager) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusCreated, s.Stats())
-	})
+	}))
 	mux.HandleFunc("GET /sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
 		withSession(m, w, r, func(s *Session) {
 			writeJSON(w, http.StatusOK, s.Stats())
@@ -143,7 +189,7 @@ func (m *Manager) Handler() http.Handler {
 			RenderSessionChart(w, s.Name(), string(s.State()), s.Engine().Pipelined(), s.Engine().History())
 		})
 	})
-	mux.HandleFunc("POST /sessions/{name}/pause", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /sessions/{name}/pause", m.requireAuth(func(w http.ResponseWriter, r *http.Request) {
 		withSession(m, w, r, func(s *Session) {
 			if err := s.Pause(); err != nil {
 				writeError(w, http.StatusConflict, err)
@@ -151,8 +197,8 @@ func (m *Manager) Handler() http.Handler {
 			}
 			writeJSON(w, http.StatusOK, s.Stats())
 		})
-	})
-	mux.HandleFunc("POST /sessions/{name}/resume", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /sessions/{name}/resume", m.requireAuth(func(w http.ResponseWriter, r *http.Request) {
 		withSession(m, w, r, func(s *Session) {
 			if err := s.Resume(); err != nil {
 				writeError(w, http.StatusConflict, err)
@@ -160,8 +206,8 @@ func (m *Manager) Handler() http.Handler {
 			}
 			writeJSON(w, http.StatusOK, s.Stats())
 		})
-	})
-	mux.HandleFunc("POST /sessions/{name}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /sessions/{name}/checkpoint", m.requireAuth(func(w http.ResponseWriter, r *http.Request) {
 		withSession(m, w, r, func(s *Session) {
 			if err := s.Checkpoint(); err != nil {
 				writeError(w, http.StatusInternalServerError, err)
@@ -169,8 +215,8 @@ func (m *Manager) Handler() http.Handler {
 			}
 			writeJSON(w, http.StatusOK, s.Stats())
 		})
-	})
-	mux.HandleFunc("DELETE /sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("DELETE /sessions/{name}", m.requireAuth(func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if _, ok := m.Get(name); !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", name))
@@ -181,7 +227,7 @@ func (m *Manager) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
-	})
+	}))
 	return mux
 }
 
@@ -214,6 +260,26 @@ func (m *Manager) HTTPAddr() string {
 		return ""
 	}
 	return m.httpLn.Addr().String()
+}
+
+// requireAuth wraps a mutating handler behind the manager's bearer
+// token. No token configured → open (single-operator dev setups); a
+// constant-time compare keeps the token unguessable byte-by-byte.
+func (m *Manager) requireAuth(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		token := m.authToken
+		m.mu.Unlock()
+		if token != "" {
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="capesd"`)
+				writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+				return
+			}
+		}
+		fn(w, r)
+	}
 }
 
 func withSession(m *Manager, w http.ResponseWriter, r *http.Request, fn func(*Session)) {

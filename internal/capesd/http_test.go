@@ -248,6 +248,147 @@ func TestStartHTTPBindsAndServes(t *testing.T) {
 	}
 }
 
+// doAuth is doJSON plus an optional bearer token, returning the full
+// response for header assertions.
+func doAuth(t *testing.T, method, url, token string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestAuthTokenGatesMutatingEndpoints: with a token configured, every
+// mutating endpoint answers 401 to missing or wrong credentials while
+// the read endpoints stay open for probes and dashboards.
+func TestAuthTokenGatesMutatingEndpoints(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	m.SetAuthToken("sekrit")
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	cfg, err := json.Marshal(testSession("auth", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutating := [][3]string{
+		{"POST", "/sessions", string(cfg)},
+		{"POST", "/checkpoint", ""},
+		{"POST", "/sessions/auth/pause", ""},
+		{"POST", "/sessions/auth/resume", ""},
+		{"POST", "/sessions/auth/checkpoint", ""},
+		{"DELETE", "/sessions/auth", ""},
+	}
+	for _, probe := range mutating {
+		for _, token := range []string{"", "wrong"} {
+			resp := doAuth(t, probe[0], srv.URL+probe[1], token, []byte(probe[2]))
+			if resp.StatusCode != http.StatusUnauthorized {
+				t.Fatalf("%s %s with token %q = %d, want 401", probe[0], probe[1], token, resp.StatusCode)
+			}
+			if got := resp.Header.Get("WWW-Authenticate"); got == "" {
+				t.Fatalf("%s %s: 401 without a WWW-Authenticate challenge", probe[0], probe[1])
+			}
+		}
+	}
+	// Unauthenticated rejection happens before the body is parsed or the
+	// session resolved: no session named "auth" exists yet, and the 401s
+	// above must not have leaked that via a 404.
+	for _, probe := range [][2]string{
+		{"GET", "/healthz"}, {"GET", "/stats"}, {"GET", "/sessions"},
+	} {
+		if resp := doAuth(t, probe[0], srv.URL+probe[1], "", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("read endpoint %s %s = %d with auth enabled, want 200", probe[0], probe[1], resp.StatusCode)
+		}
+	}
+	// The right token unlocks the full lifecycle.
+	if resp := doAuth(t, "POST", srv.URL+"/sessions", "sekrit", cfg); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("authorized create = %d, want 201", resp.StatusCode)
+	}
+	if resp := doAuth(t, "POST", srv.URL+"/sessions/auth/pause", "sekrit", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized pause = %d, want 200", resp.StatusCode)
+	}
+	if resp := doAuth(t, "DELETE", srv.URL+"/sessions/auth", "sekrit", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized delete = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestOversizedBodyRejected413: a session-config body past maxBodyBytes
+// is cut off by MaxBytesReader and answered with 413, not buffered.
+func TestOversizedBodyRejected413(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	huge := []byte(`{"name": "big", "clients": 1, "tunables": [`)
+	row := []byte(`{"name": "t", "min": 0, "max": 1, "step": 1},`)
+	for len(huge) <= maxBodyBytes {
+		huge = append(huge, row...)
+	}
+	huge = append(huge[:len(huge)-1], ']', '}')
+	resp := doAuth(t, "POST", srv.URL+"/sessions", "", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized create = %d, want 413", resp.StatusCode)
+	}
+	// A body just under the cap still parses (the limit is on bytes, not
+	// on semantic size).
+	if resp := doAuth(t, "POST", srv.URL+"/sessions", "", []byte(`{"name": "ok", "clients": 1}`)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small create after oversized = %d, want 201", resp.StatusCode)
+	}
+}
+
+// TestMethodVsPathStatus audits the mux wiring: a known path with the
+// wrong verb is 405 (with Allow), an unknown path is 404. Conflating
+// the two hides routing typos from clients.
+func TestMethodVsPathStatus(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	if resp := doAuth(t, "POST", srv.URL+"/sessions", "", []byte(`{"name": "mp", "clients": 1}`)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+
+	wrongVerb := [][2]string{
+		{"DELETE", "/healthz"},
+		{"POST", "/stats"},
+		{"PUT", "/sessions"},
+		{"DELETE", "/sessions/mp/pause"},
+		{"GET", "/checkpoint"},
+		{"POST", "/sessions/mp/history"},
+	}
+	for _, probe := range wrongVerb {
+		resp := doAuth(t, probe[0], srv.URL+probe[1], "", nil)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s = %d, want 405", probe[0], probe[1], resp.StatusCode)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Fatalf("%s %s: 405 without an Allow header", probe[0], probe[1])
+		}
+	}
+	unknownPath := [][2]string{
+		{"GET", "/session"}, // singular typo
+		{"GET", "/sessions/mp/nope"},
+		{"POST", "/sessions/mp/restart"},
+		{"GET", "/v1/healthz"},
+	}
+	for _, probe := range unknownPath {
+		if resp := doAuth(t, probe[0], srv.URL+probe[1], "", nil); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s = %d, want 404", probe[0], probe[1], resp.StatusCode)
+		}
+	}
+}
+
 // TestTransportStatsSurfacedOverHTTP: the daemon-side fault-tolerance
 // counters must be visible per-session (/stats, /sessions/{name}),
 // in the cross-session totals, and summarized on /healthz.

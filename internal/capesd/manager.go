@@ -31,6 +31,10 @@ type Manager struct {
 	dirs     map[string]string // checkpoint_dir → owning session name
 	closed   bool
 
+	// authToken, when non-empty, gates every mutating control-plane
+	// endpoint behind "Authorization: Bearer <token>".
+	authToken string
+
 	httpLn  net.Listener
 	httpSrv *http.Server
 }
@@ -51,6 +55,7 @@ func Boot(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := NewManager()
+	m.SetAuthToken(cfg.AuthToken)
 	for _, sc := range cfg.Sessions {
 		if _, err := m.Create(sc); err != nil {
 			m.Shutdown()
@@ -64,6 +69,14 @@ func Boot(cfg Config) (*Manager, error) {
 		}
 	}
 	return m, nil
+}
+
+// SetAuthToken installs (or clears) the bearer token required by the
+// mutating control-plane endpoints. Must be called before StartHTTP.
+func (m *Manager) SetAuthToken(token string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.authToken = token
 }
 
 // Create validates, builds and starts a new session.
@@ -241,6 +254,16 @@ type Totals struct {
 	GapFilledSlots int64 `json:"gap_filled_slots"`
 	DroppedTicks   int64 `json:"dropped_ticks"`
 	DroppedActions int64 `json:"dropped_actions"`
+
+	// Supervision totals: health census plus self-healing counters.
+	Healthy           int   `json:"healthy"`
+	Degraded          int   `json:"degraded"`
+	Quarantined       int   `json:"quarantined"`
+	Failed            int   `json:"failed"`
+	Trips             int64 `json:"trips"`
+	Rollbacks         int64 `json:"rollbacks"`
+	FailedEscalations int64 `json:"failed_escalations"`
+	ShedFrames        int64 `json:"shed_frames"`
 }
 
 // AggregateStats snapshots every session plus cross-session totals.
@@ -266,8 +289,44 @@ func (m *Manager) AggregateStats() AggregateStats {
 		agg.Totals.GapFilledSlots += st.Transport.GapFilledSlots
 		agg.Totals.DroppedTicks += st.Transport.DroppedTicks
 		agg.Totals.DroppedActions += st.Transport.DroppedActions
+		switch st.Supervisor.Health {
+		case HealthHealthy:
+			agg.Totals.Healthy++
+		case HealthDegraded:
+			agg.Totals.Degraded++
+		case HealthQuarantined:
+			agg.Totals.Quarantined++
+		case HealthFailed:
+			agg.Totals.Failed++
+		}
+		agg.Totals.Trips += st.Supervisor.Trips
+		agg.Totals.Rollbacks += st.Supervisor.Rollbacks
+		agg.Totals.FailedEscalations += st.Supervisor.FailedEscalations
+		agg.Totals.ShedFrames += st.Supervisor.ShedFrames
 	}
 	return agg
+}
+
+// Drain pauses every session and writes a final checkpoint for each
+// checkpoint-enabled one — the graceful-shutdown half of SIGTERM
+// handling, separated from Shutdown so the caller can report checkpoint
+// failures before tearing the process down. Quarantined/failed sessions
+// refuse their checkpoint by design (the last-known-good generation on
+// disk must survive); those refusals are not drain failures.
+func (m *Manager) Drain() (saved []string, errs map[string]error) {
+	for _, s := range m.Sessions() {
+		// Pause only fails on stopped sessions, which no longer tick.
+		_ = s.Pause()
+	}
+	saved, errs = m.CheckpointAll()
+	for name := range errs {
+		if s, ok := m.Get(name); ok {
+			if h := s.Health(); h == HealthQuarantined || h == HealthFailed {
+				delete(errs, name)
+			}
+		}
+	}
+	return saved, errs
 }
 
 // Shutdown stops the control plane and drains every session

@@ -1,0 +1,471 @@
+package capesd
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"capes/internal/capes"
+)
+
+// supervisedSession is testSession with the background supervision loop
+// disabled (tests drive superviseOnce with synthetic clocks) and a
+// short rollback backoff.
+func supervisedSession(name, ckpt string) SessionConfig {
+	sc := testSession(name, ckpt)
+	sc.SuperviseEveryMs = -1
+	sc.RollbackBackoffMs = 50
+	return sc
+}
+
+// checkInvariant asserts the supervisor's accounting identity: every
+// trip is resolved exactly once — rollback, failed escalation, or still
+// pending.
+func checkInvariant(t *testing.T, s *Session) {
+	t.Helper()
+	sup := s.Stats().Supervisor
+	if sup.Trips != sup.Rollbacks+sup.FailedEscalations+sup.PendingTrips {
+		t.Errorf("accounting invariant broken: trips %d != rollbacks %d + failed %d + pending %d",
+			sup.Trips, sup.Rollbacks, sup.FailedEscalations, sup.PendingTrips)
+	}
+}
+
+// TestSupervisorDivergenceRollbackStepExact is the tentpole acceptance
+// test: a forced NaN loss trips the divergence guard, the supervisor
+// quarantines the session (frames shed, checkpoint refused), rolls it
+// back to the last good checkpoint after the backoff, and training
+// resumes step-exact — the train-step counter and epsilon schedule
+// match a control session restored from the same checkpoint and driven
+// over the same post-rollback ticks, as if the divergence never
+// happened.
+func TestSupervisorDivergenceRollbackStepExact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newSession(supervisedSession("diverge", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	// Drain barrier: all 100 ticks sampled means every in-flight frame
+	// (and its train step) has been processed, so the checkpoint and
+	// savedSteps below are a stable, quiesced snapshot.
+	pump(t, s.Addr(), 2, 4, 1, 100)
+	waitFor(t, func() bool { return s.Stats().Engine.ReplayRecords == 100 }, "ticks 1..100 never drained")
+	if s.Stats().Engine.TrainSteps == 0 {
+		t.Fatal("no training before checkpoint; test setup is wrong")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	savedSteps := s.Stats().Engine.TrainSteps
+
+	f := &capes.FaultInjector{}
+	s.Engine().SetFaultInjector(f)
+	f.PoisonTrainStep(savedSteps + 1)
+	pump(t, s.Addr(), 2, 4, 101, 140)
+	waitFor(t, func() bool {
+		_, _, tripped := s.Engine().Divergence()
+		return tripped
+	}, "poison did not trip the divergence guard")
+
+	// One supervision pass quarantines; until the backoff elapses the
+	// trip stays pending.
+	t0 := time.Now()
+	s.superviseOnce(t0)
+	if got := s.Health(); got != HealthQuarantined {
+		t.Fatalf("health after trip = %s, want quarantined", got)
+	}
+	sup := s.Stats().Supervisor
+	if sup.Trips != 1 || sup.DivergenceTrips != 1 || sup.PendingTrips != 1 {
+		t.Fatalf("after trip: %+v", sup)
+	}
+	if !strings.Contains(sup.LastTripReason, "divergence") {
+		t.Fatalf("last trip reason = %q", sup.LastTripReason)
+	}
+	checkInvariant(t, s)
+
+	// Quarantine semantics: new frames are shed before the engine, and
+	// a checkpoint is refused so the last-known-good generation survives.
+	// Then drain: every one of the 145 pumped ticks is either sampled
+	// (delivered before the trip) or shed — so no late in-flight frame
+	// can leak into the rolled-back engine and break step-exactness.
+	pump(t, s.Addr(), 2, 4, 141, 145)
+	waitFor(t, func() bool {
+		st := s.Stats()
+		return st.Supervisor.ShedFrames > 0 &&
+			st.Supervisor.ShedFrames+int64(st.Engine.ReplayRecords) == 145
+	}, "quarantined session never drained (sampled + shed != 145)")
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint while quarantined must refuse")
+	}
+
+	// Before the backoff: no recovery.
+	s.superviseOnce(t0.Add(10 * time.Millisecond))
+	if got := s.Health(); got != HealthQuarantined {
+		t.Fatalf("recovered before the backoff elapsed (health %s)", got)
+	}
+	// After the backoff: rollback.
+	s.superviseOnce(t0.Add(100 * time.Millisecond))
+	waitFor(t, func() bool { return s.Health() == HealthDegraded }, "rollback did not complete")
+	sup = s.Stats().Supervisor
+	if sup.Rollbacks != 1 || sup.Generation != 1 || sup.PendingTrips != 0 {
+		t.Fatalf("after rollback: %+v", sup)
+	}
+	checkInvariant(t, s)
+	if _, _, tripped := s.Engine().Divergence(); tripped {
+		t.Fatal("rollback left the divergence guard tripped")
+	}
+	if got := s.Stats().Engine.TrainSteps; got != savedSteps {
+		t.Fatalf("rollback restored %d train steps, checkpoint had %d", got, savedSteps)
+	}
+
+	// Resume. The control session restores the identical checkpoint and
+	// sees the identical post-rollback tick range; both are drained to
+	// exactly 75 new ticks before comparing, so the equality below is
+	// deterministic rather than a wait-until-it-happens.
+	base := s.Stats().Engine.ReplayRecords
+	pump(t, s.Addr(), 2, 4, 146, 220)
+	waitFor(t, func() bool { return s.Stats().Engine.ReplayRecords == base+75 }, "resume ticks never drained")
+	if got := s.Stats().Engine.TrainSteps; got <= savedSteps {
+		t.Fatalf("training did not resume after rollback: %d steps (checkpoint had %d)", got, savedSteps)
+	}
+
+	ctrl, err := newSession(supervisedSession("control", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.stop(false) // never overwrite the shared checkpoint
+	if !ctrl.Stats().Restored {
+		t.Fatal("control session did not restore the checkpoint")
+	}
+	if got := ctrl.Stats().Engine.ReplayRecords; got != base {
+		t.Fatalf("control restored %d replay records, rolled-back session had %d", got, base)
+	}
+	pump(t, ctrl.Addr(), 2, 4, 146, 220)
+	waitFor(t, func() bool { return ctrl.Stats().Engine.ReplayRecords == base+75 }, "control ticks never drained")
+
+	a, b := s.Stats().Engine, ctrl.Stats().Engine
+	if a.TrainSteps != b.TrainSteps {
+		t.Fatalf("step-exact resume broken: %d train steps vs control %d", a.TrainSteps, b.TrainSteps)
+	}
+	if a.Epsilon != b.Epsilon {
+		t.Fatalf("epsilon schedule diverged: %v vs control %v", a.Epsilon, b.Epsilon)
+	}
+
+	// Degraded → healthy after a sustained quiet period.
+	s.superviseOnce(t0.Add(24 * time.Hour))
+	if got := s.Health(); got != HealthHealthy {
+		t.Fatalf("health after quiet period = %s, want healthy", got)
+	}
+	checkInvariant(t, s)
+}
+
+// TestSupervisorPanicIsolatesSiblings proves panic isolation: an
+// injected panic inside one session's engine tick fails that session
+// only — its sibling keeps collecting and training, the process (and
+// control plane) stays up.
+func TestSupervisorPanicIsolatesSiblings(t *testing.T) {
+	m := NewManager()
+	defer m.Shutdown()
+	sa, err := m.Create(supervisedSession("alpha", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := m.Create(supervisedSession("beta", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := &capes.FaultInjector{}
+	sa.Engine().SetFaultInjector(f)
+	f.PanicAtTick(50)
+
+	var wg sync.WaitGroup
+	for _, s := range []*Session{sa, sb} {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			pump(t, s.Addr(), 2, 4, 1, 120)
+		}(s)
+	}
+	wg.Wait()
+
+	waitFor(t, func() bool { return sa.Health() == HealthFailed }, "panic did not fail alpha")
+	// Failed sessions shed everything that arrived after the panic; the
+	// shed counter is the drain signal for alpha's in-flight frames.
+	waitFor(t, func() bool { return sa.Stats().Supervisor.ShedFrames > 0 }, "failed session shed no frames")
+	sup := sa.Stats().Supervisor
+	if sup.PanicTrips != 1 || sup.FailedEscalations != 1 {
+		t.Fatalf("alpha supervisor stats: %+v", sup)
+	}
+	if !strings.Contains(sup.LastTripReason, "injected panic at tick") {
+		t.Fatalf("alpha last trip reason = %q", sup.LastTripReason)
+	}
+	checkInvariant(t, sa)
+
+	// The sibling ran the full range untouched.
+	waitFor(t, func() bool { return sb.Stats().Engine.ReplayRecords == 120 }, "beta never drained its 120 ticks")
+	if got := sb.Health(); got != HealthHealthy {
+		t.Fatalf("beta health = %s, want healthy", got)
+	}
+	if got := sb.Stats().Engine.TrainSteps; got == 0 {
+		t.Fatal("beta stopped training")
+	}
+	checkInvariant(t, sb)
+
+	// The health census is visible in the aggregate stats (/stats).
+	tot := m.AggregateStats().Totals
+	if tot.Failed != 1 || tot.Healthy != 1 || tot.Trips != 1 {
+		t.Fatalf("aggregate totals: failed %d healthy %d trips %d", tot.Failed, tot.Healthy, tot.Trips)
+	}
+}
+
+// TestSupervisorWatchdogRestartsWedgedEngine proves the tick watchdog:
+// a tick frozen mid-flight (holding the engine lock) trips once the
+// deadline passes, and recovery swaps in a freshly built engine
+// restored from the last checkpoint — without ever waiting on the
+// wedged one.
+func TestSupervisorWatchdogRestartsWedgedEngine(t *testing.T) {
+	dir := t.TempDir()
+	sc := supervisedSession("wedge", dir)
+	sc.TickDeadlineMs = 50
+	s, err := newSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	// Drain to a quiesced snapshot before checkpointing (see the
+	// step-exact test).
+	pump(t, s.Addr(), 2, 4, 1, 60)
+	waitFor(t, func() bool { return s.Stats().Engine.ReplayRecords == 60 }, "ticks 1..60 never drained")
+	if s.Stats().Engine.TrainSteps == 0 {
+		t.Fatal("no training before checkpoint; test setup is wrong")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	savedSteps := s.Stats().Engine.TrainSteps
+	oldEngine := s.Engine()
+
+	f := &capes.FaultInjector{}
+	oldEngine.SetFaultInjector(f)
+	release := f.FreezeNextTick()
+	defer release()
+	pump(t, s.Addr(), 2, 4, 61, 61)
+	waitFor(t, func() bool { return s.tickStartNs.Load() != 0 }, "frozen tick never started")
+
+	// The synthetic clock is anchored on the wedged tick's own start
+	// stamp: the watchdog comparison is pure arithmetic on the stamp, so
+	// the test controls elapsed time exactly — real time (including the
+	// pump's graceful-close drain above) does not matter.
+	t0 := time.Unix(0, s.tickStartNs.Load()).Add(10 * time.Millisecond)
+
+	// Within the deadline: no trip.
+	s.superviseOnce(t0)
+	if got := s.Health(); got != HealthHealthy {
+		t.Fatalf("watchdog tripped within the deadline (health %s)", got)
+	}
+	// Past the deadline: trip (the synthetic clock stands in for real
+	// elapsed time — the comparison is pure arithmetic on the stamp).
+	s.superviseOnce(t0.Add(60 * time.Millisecond))
+	if got := s.Health(); got != HealthQuarantined {
+		t.Fatalf("health after wedged deadline = %s, want quarantined", got)
+	}
+	sup := s.Stats().Supervisor
+	if sup.WatchdogTrips != 1 {
+		t.Fatalf("watchdog trips = %d", sup.WatchdogTrips)
+	}
+	checkInvariant(t, s)
+	// A second pass on the same wedge must not double-trip.
+	s.superviseOnce(t0.Add(65 * time.Millisecond))
+	if got := s.Stats().Supervisor.Trips; got != 1 {
+		t.Fatalf("same wedge tripped %d times", got)
+	}
+
+	// Recovery past the backoff: engine swap, restored from checkpoint,
+	// while the wedged tick is STILL frozen. Stats stays answerable
+	// throughout — while the wedge is live it serves the last-good
+	// engine snapshot instead of blocking on the retired engine's lock.
+	s.superviseOnce(t0.Add(200 * time.Millisecond))
+	waitFor(t, func() bool { return s.Health() == HealthDegraded }, "watchdog restart did not complete")
+	if s.Engine() == oldEngine {
+		t.Fatal("watchdog recovery did not swap the engine")
+	}
+	sup = s.Stats().Supervisor
+	if sup.Rollbacks != 1 || sup.Generation != 1 {
+		t.Fatalf("after restart: %+v", sup)
+	}
+	checkInvariant(t, s)
+
+	// Unwedge the retired engine; once its frozen tick unwinds, Stats
+	// reads the new engine live — restored to the checkpoint exactly.
+	release()
+	waitFor(t, func() bool { return s.tickStartNs.Load() == 0 }, "retired tick never unwound")
+	if got := s.Stats().Engine.TrainSteps; got != savedSteps {
+		t.Fatalf("restarted engine at %d train steps, checkpoint had %d", got, savedSteps)
+	}
+	pump(t, s.Addr(), 2, 4, 62, 140)
+	waitFor(t, func() bool { return s.Stats().Engine.TrainSteps > savedSteps }, "training did not resume after restart")
+}
+
+// TestSupervisorEscalatesWithoutCheckpoint: a divergence trip with no
+// checkpoint directory has nothing to roll back to — the session
+// escalates to failed (and the invariant still balances).
+func TestSupervisorEscalatesWithoutCheckpoint(t *testing.T) {
+	s, err := newSession(supervisedSession("doomed", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	pump(t, s.Addr(), 2, 4, 1, 60)
+	waitFor(t, func() bool { return s.Stats().Engine.TrainSteps > 0 }, "no training")
+	f := &capes.FaultInjector{}
+	s.Engine().SetFaultInjector(f)
+	f.PoisonTrainStep(s.Stats().Engine.TrainSteps + 1)
+	pump(t, s.Addr(), 2, 4, 61, 100)
+	waitFor(t, func() bool {
+		_, _, tripped := s.Engine().Divergence()
+		return tripped
+	}, "poison did not trip")
+
+	t0 := time.Now()
+	s.superviseOnce(t0)
+	if got := s.Health(); got != HealthQuarantined {
+		t.Fatalf("health = %s", got)
+	}
+	s.superviseOnce(t0.Add(time.Second))
+	waitFor(t, func() bool { return s.Health() == HealthFailed }, "did not escalate to failed")
+	sup := s.Stats().Supervisor
+	if sup.FailedEscalations != 1 || sup.Rollbacks != 0 {
+		t.Fatalf("after escalation: %+v", sup)
+	}
+	if !strings.Contains(sup.LastTripReason, "no checkpoint_dir") {
+		t.Fatalf("escalation reason = %q", sup.LastTripReason)
+	}
+	checkInvariant(t, s)
+
+	// Failed is terminal: further supervision passes are no-ops.
+	s.superviseOnce(t0.Add(time.Hour))
+	if got := s.Stats().Supervisor.Trips; got != 1 {
+		t.Fatalf("failed session re-tripped: %d trips", got)
+	}
+}
+
+// TestSessionShedsOverQuota: the per-session ingest quota sheds monitor
+// frames beyond max_frames_per_sec before they reach the engine.
+func TestSessionShedsOverQuota(t *testing.T) {
+	sc := supervisedSession("throttled", "")
+	sc.MaxFramesPerSec = 2
+	s, err := newSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	// 200 frames arrive as fast as the transport carries them — far
+	// beyond 2/s — so nearly all must shed.
+	pump(t, s.Addr(), 2, 4, 1, 200)
+	waitFor(t, func() bool { return s.Stats().Supervisor.ShedFrames > 0 }, "quota shed nothing")
+	st := s.Stats()
+	if st.Engine.ReplayRecords >= 100 {
+		t.Fatalf("engine saw %d of 200 frames; quota is not shedding", st.Engine.ReplayRecords)
+	}
+	if st.Supervisor.ShedFrames+int64(st.Engine.ReplayRecords) > 200 {
+		t.Fatalf("shed %d + admitted %d > 200 pumped", st.Supervisor.ShedFrames, st.Engine.ReplayRecords)
+	}
+	// Quota shedding is backpressure, not a health event.
+	if got := s.Health(); got != HealthHealthy {
+		t.Fatalf("health = %s, want healthy under quota shedding", got)
+	}
+	checkInvariant(t, s)
+}
+
+// TestSupervisorChaosSoak runs the whole self-healing layer at once
+// under the background supervision loop: one session diverges and rolls
+// back, one panics and fails, one wedges and is restarted — all while
+// siblings keep training. Run with -race in CI (supervisor-chaos job).
+func TestSupervisorChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	dirA, dirC := t.TempDir(), t.TempDir()
+	m := NewManager()
+	defer m.Shutdown()
+
+	mk := func(name, ckpt string, deadlineMs int) *Session {
+		sc := testSession(name, ckpt)
+		sc.SuperviseEveryMs = 5
+		sc.RollbackBackoffMs = 20
+		sc.TickDeadlineMs = deadlineMs
+		s, err := m.Create(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sa := mk("alpha", dirA, 0)   // will diverge and roll back
+	sb := mk("beta", "", 0)      // will panic and fail
+	sg := mk("gamma", dirC, 100) // will wedge and restart
+
+	// Warm up and checkpoint the recoverable sessions.
+	var wg sync.WaitGroup
+	for _, s := range []*Session{sa, sb, sg} {
+		wg.Add(1)
+		go func(s *Session) { defer wg.Done(); pump(t, s.Addr(), 2, 4, 1, 80) }(s)
+	}
+	wg.Wait()
+	for _, s := range []*Session{sa, sg} {
+		waitFor(t, func() bool { return s.Stats().Engine.TrainSteps > 0 }, s.Name()+" no training")
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Arm all three faults, then pump everything concurrently while the
+	// background supervisors react.
+	fa := &capes.FaultInjector{}
+	sa.Engine().SetFaultInjector(fa)
+	fa.PoisonTrainStep(sa.Stats().Engine.TrainSteps + 1)
+	fb := &capes.FaultInjector{}
+	sb.Engine().SetFaultInjector(fb)
+	fb.PanicAtTick(100)
+	fg := &capes.FaultInjector{}
+	sg.Engine().SetFaultInjector(fg)
+	release := fg.FreezeNextTick()
+	defer release()
+
+	for _, s := range []*Session{sa, sb, sg} {
+		wg.Add(1)
+		go func(s *Session) { defer wg.Done(); pump(t, s.Addr(), 2, 4, 81, 240) }(s)
+	}
+	wg.Wait()
+
+	waitFor(t, func() bool { return sa.Stats().Supervisor.Rollbacks >= 1 }, "alpha never rolled back")
+	waitFor(t, func() bool { return sb.Health() == HealthFailed }, "beta never failed")
+	waitFor(t, func() bool { return sg.Stats().Supervisor.Rollbacks >= 1 }, "gamma never restarted")
+	release()
+
+	// Post-recovery traffic still trains the survivors.
+	for _, s := range []*Session{sa, sg} {
+		steps := s.Stats().Engine.TrainSteps
+		pump(t, s.Addr(), 2, 4, 241, 320)
+		waitFor(t, func() bool { return s.Stats().Engine.TrainSteps > steps }, s.Name()+" stopped training after recovery")
+	}
+
+	// Quiesce, then check the accounting invariant on every session.
+	for _, s := range []*Session{sa, sb, sg} {
+		waitFor(t, func() bool { return s.Stats().Supervisor.PendingTrips == 0 || s.Health() == HealthQuarantined },
+			s.Name()+" never quiesced")
+		checkInvariant(t, s)
+	}
+	tot := m.AggregateStats().Totals
+	if tot.Failed != 1 {
+		t.Fatalf("aggregate failed = %d, want 1 (beta)", tot.Failed)
+	}
+	if tot.Rollbacks < 2 {
+		t.Fatalf("aggregate rollbacks = %d, want >= 2", tot.Rollbacks)
+	}
+}

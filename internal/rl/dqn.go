@@ -411,6 +411,25 @@ func (a *Agent[E]) ApplyGradients(loss float64) error {
 	return nil
 }
 
+// ProbeFinite scans the online and target parameter arenas for NaN/Inf,
+// wrapping tensor.ErrNonFinite on a hit. It is the divergence guard's
+// explicit probe — unlike ApplyGradients' every-1000-steps backstop it
+// runs on the caller's schedule, so a supervisor can scan as often as
+// its policy demands. Allocation-free on the healthy path. Callers must
+// hold whatever excludes a concurrent TrainStep (the probe reads the
+// arenas the optimizer mutates).
+func (a *Agent[E]) ProbeFinite() error {
+	if err := a.Online.CheckFinite(); err != nil {
+		return fmt.Errorf("rl: online network: %w", err)
+	}
+	if a.cfg.UseTargetNet {
+		if err := a.Target.CheckFinite(); err != nil {
+			return fmt.Errorf("rl: target network: %w", err)
+		}
+	}
+	return nil
+}
+
 // noteLoss folds one step's minibatch loss into the telemetry EWMAs.
 // Callers advance a.steps first: the first-ever step seeds the EWMAs
 // instead of decaying from zero.
